@@ -1,0 +1,80 @@
+//! Ablation benches for the simulator's design choices (see DESIGN.md §4):
+//! the framework op-dispatch cost (which packing amortizes) and interconnect
+//! burst congestion (which interleaving paces). Each bench prints a small
+//! comparison table showing that the modeled mechanism is load-bearing —
+//! removing it collapses the corresponding optimization's benefit — then
+//! measures the simulation under each variant.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use picasso_core::experiments::Scale;
+use picasso_core::{Framework, ModelKind, PicassoConfig, Session};
+use picasso_core::sim::MachineSpec;
+
+fn ips(kind: ModelKind, machine: MachineSpec, fw: Framework) -> f64 {
+    let mut cfg: PicassoConfig = Scale::Quick.eflops_config();
+    cfg.machine = machine;
+    cfg.machines = 2;
+    cfg.batch_per_executor = Some(8192);
+    Session::new(kind, cfg).run_framework(fw).report.ips_per_node
+}
+
+fn bench(c: &mut Criterion) {
+    // Packing's benefit rests on the op-dispatch cost model: without it,
+    // the baseline's fragmentary operations are free to launch and the
+    // packing speedup should collapse toward the pipeline-granularity
+    // effects only.
+    let with_dispatch = ips(ModelKind::WideDeep, MachineSpec::eflops(), Framework::Picasso)
+        / ips(ModelKind::WideDeep, MachineSpec::eflops(), Framework::PicassoBase);
+    let no_dispatch = ips(
+        ModelKind::WideDeep,
+        MachineSpec::eflops().without_dispatch_cost(),
+        Framework::Picasso,
+    ) / ips(
+        ModelKind::WideDeep,
+        MachineSpec::eflops().without_dispatch_cost(),
+        Framework::PicassoBase,
+    );
+    println!("## design ablation — op-dispatch cost (W&D, PICASSO vs hybrid base)");
+    println!("   with dispatch model: {with_dispatch:.2}x");
+    println!("   without            : {no_dispatch:.2}x");
+    assert!(
+        with_dispatch > no_dispatch,
+        "dispatch model must be load-bearing for packing"
+    );
+
+    // Interleaving's benefit is partly the congestion pacing.
+    let m = MachineSpec::eflops();
+    let with_c = ips(ModelKind::Can, m.clone(), Framework::Picasso);
+    let no_c = ips(ModelKind::Can, m.without_congestion(), Framework::Picasso);
+    println!("## design ablation — burst congestion (CAN under full PICASSO)");
+    println!("   with congestion model: {with_c:.0} IPS");
+    println!("   without              : {no_c:.0} IPS (idealized interconnect)");
+
+    let mut group = c.benchmark_group("design_ablations");
+    group.sample_size(10);
+    group.bench_function("picasso_with_all_models", |b| {
+        b.iter(|| ips(ModelKind::WideDeep, MachineSpec::eflops(), Framework::Picasso))
+    });
+    group.bench_function("picasso_idealized_hardware", |b| {
+        b.iter(|| {
+            ips(
+                ModelKind::WideDeep,
+                MachineSpec::eflops().without_congestion().without_dispatch_cost(),
+                Framework::Picasso,
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    // Short windows: each measured unit is a full multi-iteration training
+    // simulation, so run-to-run variance is already low.
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_secs(1))
+        .measurement_time(std::time::Duration::from_millis(1500))
+        .sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Bench target for fig14_groups: regenerates the table once, then measures a
+//! representative training-simulation unit.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use picasso_core::experiments::{fig14_groups, Scale};
+use picasso_bench::measured_picasso_run;
+use picasso_core::ModelKind;
+
+fn bench(c: &mut Criterion) {
+    // Regenerate the paper artifact (captured by `cargo bench | tee ...`).
+    println!("{}", fig14_groups::run(Scale::Quick));
+    let mut group = c.benchmark_group("fig14_groups");
+    group.sample_size(10);
+    group.bench_function("picasso_unit", |b| {
+        b.iter(|| measured_picasso_run(ModelKind::MMoe))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    // Short windows: each measured unit is a full multi-iteration training
+    // simulation, so run-to-run variance is already low.
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_secs(1))
+        .measurement_time(std::time::Duration::from_millis(1500))
+        .sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

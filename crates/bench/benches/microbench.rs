@@ -1,0 +1,125 @@
+//! Microbenchmarks of the core data structures and passes: HybridHash
+//! lookups, the embedding operator pipeline, the Zipf sampler, the packing
+//! planner, and the event engine itself.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use picasso_core::data::{DatasetSpec, IdDistribution, IdSampler};
+use picasso_core::embedding::{
+    unique, EmbeddingTable, HybridHash, HybridHashConfig, PackPlan, PlannerConfig,
+};
+use picasso_core::graph::{d_packing, graph_stats, k_packing};
+use picasso_core::models::ModelKind;
+use picasso_core::sim::{Engine, ResourceKind, ResourceSpec, Task, TaskCategory};
+use rand_ids::ids;
+
+mod rand_ids {
+    use super::*;
+    /// Deterministic skewed ID stream for the microbenches.
+    pub fn ids(n: usize) -> Vec<u64> {
+        let sampler = IdSampler::new(50_000, IdDistribution::Zipf { s: 1.2 });
+        let mut rng = <rand_impl::Pcg as rand_impl::Rng>::seeded(7);
+        (0..n).map(|_| sampler_sample(&sampler, &mut rng)).collect()
+    }
+    fn sampler_sample(s: &IdSampler, rng: &mut rand_impl::Pcg) -> u64 {
+        use rand_impl::Rng;
+        let u = rng.next_f64();
+        // Inverse-CDF via the sampler's public probability interface would
+        // be slow; emulate by rank-skewed power draw.
+        let v = (u.powf(3.0) * s.vocab() as f64) as u64;
+        v.min(s.vocab() - 1)
+    }
+    pub mod rand_impl {
+        pub trait Rng {
+            fn seeded(seed: u64) -> Self;
+            fn next_f64(&mut self) -> f64;
+        }
+        pub struct Pcg(u64);
+        impl Rng for Pcg {
+            fn seeded(seed: u64) -> Self {
+                Pcg(seed.wrapping_mul(6364136223846793005).wrapping_add(1))
+            }
+            fn next_f64(&mut self) -> f64 {
+                self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                (self.0 >> 11) as f64 / (1u64 << 53) as f64
+            }
+        }
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    let stream = ids(16_384);
+
+    c.bench_function("hybridhash_lookup_16k", |b| {
+        let mut cache = HybridHash::new(
+            EmbeddingTable::new(16, 1),
+            HybridHashConfig {
+                warmup_iters: 1,
+                flush_iters: 64,
+                hot_bytes: 8 << 20,
+            },
+        );
+        let mut out = Vec::new();
+        b.iter(|| {
+            out.clear();
+            cache.lookup_batch(black_box(&stream), &mut out);
+            out.len()
+        })
+    });
+
+    c.bench_function("unique_16k", |b| {
+        b.iter(|| unique(black_box(&stream)).0.unique_ids.len())
+    });
+
+    c.bench_function("pack_planner_product2", |b| {
+        let data = DatasetSpec::product2();
+        b.iter(|| PackPlan::plan(black_box(&data), &PlannerConfig::default()).pack_count())
+    });
+
+    c.bench_function("graph_passes_can", |b| {
+        let data = DatasetSpec::product2();
+        let spec = ModelKind::Can.build(&data);
+        let plan = PackPlan::plan(&data, &PlannerConfig::default());
+        let assign: std::collections::BTreeMap<usize, usize> = plan
+            .packs
+            .iter()
+            .enumerate()
+            .flat_map(|(p, pack)| pack.tables.iter().map(move |&t| (t, p)))
+            .collect();
+        b.iter(|| {
+            let packed = k_packing::apply(&d_packing::apply(black_box(&spec), &assign));
+            graph_stats(&packed).total_ops
+        })
+    });
+
+    c.bench_function("event_engine_10k_tasks", |b| {
+        b.iter(|| {
+            let mut e = Engine::new();
+            let g = e.add_resource(ResourceSpec::new("g", ResourceKind::GpuSm, 1e12, 0));
+            let n = e.add_resource(ResourceSpec::new("n", ResourceKind::Network, 1e10, 0));
+            let mut prev = None;
+            for i in 0..10_000usize {
+                let r = if i % 2 == 0 { g } else { n };
+                let mut t = Task::new(r, 1e5, TaskCategory::Computation);
+                if let Some(p) = prev {
+                    if i % 3 == 0 {
+                        t = t.after([p]);
+                    }
+                }
+                prev = Some(e.add_task(t).unwrap());
+            }
+            e.run().unwrap().makespan
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    // Short windows: each measured unit is a full multi-iteration training
+    // simulation, so run-to-run variance is already low.
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_secs(1))
+        .measurement_time(std::time::Duration::from_millis(1500))
+        .sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Bench target for tab03_auc: regenerates the table once, then measures a
+//! representative training-simulation unit.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use picasso_core::experiments::{tab03_auc, Scale};
+
+
+fn bench(c: &mut Criterion) {
+    // Regenerate the paper artifact (captured by `cargo bench | tee ...`).
+    println!("{}", tab03_auc::run(Scale::Quick));
+    let mut group = c.benchmark_group("tab03_auc");
+    group.sample_size(10);
+    group.bench_function("regenerate", |b| {
+        b.iter(|| tab03_auc::run(Scale::Quick))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    // Short windows: each measured unit is a full multi-iteration training
+    // simulation, so run-to-run variance is already low.
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_secs(1))
+        .measurement_time(std::time::Duration::from_millis(1500))
+        .sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Ad-hoc inspection of busy/exposed fractions (development aid).
+use picasso_core::experiments::Scale;
+use picasso_core::{ModelKind, Optimizations, PicassoConfig, Session, Strategy};
+
+fn main() {
+    for kind in [ModelKind::WideDeep, ModelKind::Can, ModelKind::MMoe] {
+        let mut cfg: PicassoConfig = Scale::Quick.eflops_config();
+        cfg.batch_per_executor = Some(8192);
+        let s = Session::new(kind, cfg);
+        for (label, strat) in [
+            ("PS", Strategy::PsSync { servers: 1 }),
+            ("MP", Strategy::ModelParallel),
+        ] {
+            let r = s.run_custom(strat, Optimizations::NONE, label).report;
+            println!(
+                "{} {}: iter={:.3}s ips={:.0}",
+                kind.name(),
+                label,
+                r.secs_per_iteration,
+                r.ips_per_node
+            );
+            for (cat, busy) in &r.busy {
+                println!("   {cat:>14}: busy {busy:.2} exposed {:.2}", r.exposed[cat]);
+            }
+        }
+    }
+}

@@ -1,0 +1,13 @@
+//! Ad-hoc inspection of interleaving effects (development aid).
+use picasso_core::experiments::{fig14_groups, Scale};
+use picasso_core::ModelKind;
+
+fn main() {
+    for kind in [ModelKind::MMoe, ModelKind::Can, ModelKind::WideDeep] {
+        for (g, m) in [(1, 1), (1, 2), (1, 4), (3, 1), (3, 4), (5, 4)] {
+            let ips = fig14_groups::ips_at(kind, g, m, Scale::Quick);
+            println!("{} groups={g} micro={m}: {ips:.0}", kind.name());
+        }
+        println!();
+    }
+}

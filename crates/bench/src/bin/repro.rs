@@ -1,0 +1,65 @@
+//! Regenerates the paper's tables and figures.
+//!
+//! ```text
+//! repro <experiment|all> [quick|full]
+//! ```
+//!
+//! Experiments: fig1 fig3 fig5 fig10 fig11 fig12 fig13 fig14 fig15
+//!              tab3 tab4 tab5 tab6 tab7 tab8 tab9 tab10
+
+use picasso_core::experiments::{
+    fig01_util_trend, fig03_id_cdf, fig05_breakdown, fig10_walltime, fig11_sm_cdf,
+    fig12_bandwidth, fig13_ips, fig14_groups, fig15_scaling, tab03_auc, tab04_ablation,
+    tab05_opcount, tab06_cache, tab07_zoo, tab08_fields, tab09_production, tab10_scale, Scale,
+};
+use picasso_core::TextTable;
+use std::time::Instant;
+
+type Runner = fn(Scale) -> TextTable;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let which = args.first().map(String::as_str).unwrap_or("all");
+    let scale = match args.get(1).map(String::as_str) {
+        Some("full") => Scale::Full,
+        _ => Scale::Quick,
+    };
+
+    let experiments: Vec<(&str, Runner)> = vec![
+        ("fig1", fig01_util_trend::run),
+        ("fig3", fig03_id_cdf::run),
+        ("fig5", fig05_breakdown::run),
+        ("tab3", tab03_auc::run),
+        ("fig10", fig10_walltime::run),
+        ("fig11", fig11_sm_cdf::run),
+        ("fig12", fig12_bandwidth::run),
+        ("fig13", fig13_ips::run),
+        ("tab4", tab04_ablation::run),
+        ("tab5", tab05_opcount::run),
+        ("fig14", fig14_groups::run),
+        ("tab6", tab06_cache::run),
+        ("fig15", fig15_scaling::run),
+        ("tab7", tab07_zoo::run),
+        ("tab8", tab08_fields::run),
+        ("tab9", tab09_production::run),
+        ("tab10", tab10_scale::run),
+    ];
+
+    let mut ran = 0;
+    for (name, run) in &experiments {
+        if which != "all" && which != *name {
+            continue;
+        }
+        let t0 = Instant::now();
+        let table = run(scale);
+        println!("{table}");
+        println!("  [{name} regenerated in {:.1}s]\n", t0.elapsed().as_secs_f64());
+        ran += 1;
+    }
+    if ran == 0 {
+        eprintln!("unknown experiment '{which}'");
+        eprintln!("known: fig1 fig3 fig5 fig10 fig11 fig12 fig13 fig14 fig15");
+        eprintln!("       tab3 tab4 tab5 tab6 tab7 tab8 tab9 tab10 | all");
+        std::process::exit(2);
+    }
+}

@@ -1,0 +1,38 @@
+//! # picasso-bench
+//!
+//! The benchmark harness of the PICASSO reproduction. Each Criterion bench
+//! target regenerates one table or figure of the paper (printed once at
+//! startup) and then measures a representative unit of that experiment so
+//! regressions in the underlying systems are caught by `cargo bench`.
+//!
+//! The `repro` binary prints every table at either scale:
+//!
+//! ```text
+//! cargo run --release -p picasso-bench --bin repro -- all quick
+//! cargo run --release -p picasso-bench --bin repro -- fig13 full
+//! ```
+
+#![warn(missing_docs)]
+
+use picasso_core::{PicassoConfig, Scale, Session};
+use picasso_core::{Framework, ModelKind};
+
+/// A small, fast session used as the measured unit inside benches: one
+/// EFLOPS node, fixed batch, few iterations.
+pub fn quick_session(kind: ModelKind) -> Session {
+    let mut cfg: PicassoConfig = Scale::Quick.eflops_config();
+    cfg.machines = 1;
+    cfg.iterations = 2;
+    cfg.batch_per_executor = Some(1024);
+    Session::new(kind, cfg)
+}
+
+/// Measured unit: one full PICASSO training simulation.
+pub fn measured_picasso_run(kind: ModelKind) -> f64 {
+    quick_session(kind).report().ips_per_node
+}
+
+/// Measured unit: one baseline run.
+pub fn measured_baseline_run(kind: ModelKind, fw: Framework) -> f64 {
+    quick_session(kind).run_framework(fw).report.ips_per_node
+}

@@ -1,0 +1,62 @@
+//! Fig. 1: GPU utilization across the evolution of WDL models when trained
+//! by the canonical PS framework.
+//!
+//! The paper's motivating observation: as models evolve from LR/W&D toward
+//! CAN/STAR (gaining feature fields and interaction modules), accuracy
+//! rises but PS-strategy GPU utilization stays low and even degrades.
+
+use crate::experiments::Scale;
+use crate::report::TextTable;
+use crate::{PicassoConfig, Session};
+use picasso_exec::{Framework, ModelKind};
+
+/// The model generations of Fig. 1, oldest first.
+pub const GENERATIONS: [ModelKind; 6] = [
+    ModelKind::Lr,
+    ModelKind::WideDeep,
+    ModelKind::DeepFm,
+    ModelKind::Din,
+    ModelKind::Dien,
+    ModelKind::Can,
+];
+
+/// Runs the Fig. 1 sweep: each generation under the PS baseline.
+pub fn run(scale: Scale) -> TextTable {
+    let mut table = TextTable::new(
+        "Fig. 1 — GPU SM utilization of WDL generations under PS training",
+        &["model", "feature fields", "interaction modules", "GPU SM util (%)"],
+    );
+    for kind in GENERATIONS {
+        let data = kind.default_dataset().shared();
+        let mut cfg: PicassoConfig = scale.eflops_config().machines(2);
+        cfg.batch_per_executor = scale.quick_batch();
+        let session = Session::with_dataset(kind, data.clone(), cfg);
+        let run = session.run_framework(Framework::TfPs);
+        table.row(vec![
+            kind.name().into(),
+            data.sparse_field_count().to_string(),
+            run.spec.modules.len().to_string(),
+            format!("{:.0}", run.report.sm_util_pct),
+        ]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ps_utilization_stays_low_across_generations() {
+        let t = run(Scale::Quick);
+        assert_eq!(t.rows.len(), 6);
+        for row in &t.rows {
+            let util: f64 = row[3].parse().unwrap();
+            assert!(
+                util < 60.0,
+                "{}: PS training should underutilize the GPU, got {util}%",
+                row[0]
+            );
+        }
+    }
+}

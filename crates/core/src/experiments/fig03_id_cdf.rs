@@ -1,0 +1,62 @@
+//! Fig. 3: distribution of categorical feature IDs across the datasets.
+//!
+//! Verifies that the synthetic generators reproduce the paper's skew: the
+//! top 20% of IDs cover ~70% of the training data on average, up to 99%.
+
+use crate::experiments::Scale;
+use crate::report::TextTable;
+use picasso_data::DatasetSpec;
+use picasso_exec::run_warmup;
+
+/// Coverage rows: analytic and empirical coverage of the top-k% of IDs.
+pub fn run(scale: Scale) -> TextTable {
+    let mut table = TextTable::new(
+        "Fig. 3 — coverage of training data by the most frequent IDs",
+        &["dataset", "top 10%", "top 20% (analytic)", "top 20% (measured)", "top 50%"],
+    );
+    let datasets = [
+        DatasetSpec::criteo(),
+        DatasetSpec::alibaba(),
+        DatasetSpec::product1(),
+        DatasetSpec::product2(),
+        DatasetSpec::product3(),
+    ];
+    for data in datasets {
+        let field = &data.fields[0];
+        let vocab = field.vocab.min(scale.warmup().max_vocab);
+        let sampler = picasso_data::IdSampler::new(vocab, field.dist);
+        let shared = data.shared();
+        let mut wcfg = scale.warmup();
+        wcfg.hot_bytes = 0; // coverage only
+        let warm = run_warmup(&shared, &wcfg);
+        table.row(vec![
+            shared.name.clone(),
+            format!("{:.0}%", sampler.coverage_of_top(0.1) * 100.0),
+            format!("{:.0}%", sampler.coverage_of_top(0.2) * 100.0),
+            format!("{:.0}%", warm.coverage_top20 * 100.0),
+            format!("{:.0}%", sampler.coverage_of_top(0.5) * 100.0),
+        ]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn top_20_percent_covers_most_data() {
+        let t = run(Scale::Quick);
+        assert_eq!(t.rows.len(), 5);
+        let mut avg = 0.0;
+        for row in &t.rows {
+            let cov: f64 = row[2].trim_end_matches('%').parse().unwrap();
+            assert!(cov > 40.0, "{}: coverage {cov}%", row[0]);
+            avg += cov / 5.0;
+        }
+        assert!(
+            (55.0..=99.0).contains(&avg),
+            "paper reports ~70% average coverage, got {avg:.0}%"
+        );
+    }
+}

@@ -1,0 +1,91 @@
+//! Fig. 5: worker-side time breakdown of the three representative WDL
+//! workloads under PS and MP strategies.
+//!
+//! Reproduces the workload characterization: W&D is I/O & memory bound
+//! (~20% exposed I/O+memory), CAN is communication bound (~60-70% exposed
+//! communication), and MMoE is computation bound (~50% arithmetic).
+
+use crate::experiments::Scale;
+use crate::report::TextTable;
+use crate::{PicassoConfig, Session};
+use picasso_exec::{ModelKind, Optimizations, Strategy};
+use picasso_sim::TaskCategory;
+
+/// The three representative workloads (§II-D).
+pub const WORKLOADS: [ModelKind; 3] = [ModelKind::WideDeep, ModelKind::Can, ModelKind::MMoe];
+
+/// Runs the breakdown under PS and MP. Shares are each category's busy
+/// time normalized over total busy time (concurrent activity on different
+/// resources overlaps); the final column is the strictly *exposed*
+/// communication — the period when communication blocks everything else.
+pub fn run(scale: Scale) -> TextTable {
+    let mut table = TextTable::new(
+        "Fig. 5 — worker-side busy-time shares (exposed communication last)",
+        &["model", "strategy", "io", "memory", "communication", "computation", "exposed comm"],
+    );
+    for kind in WORKLOADS {
+        let mut cfg: PicassoConfig = scale.eflops_config();
+        cfg.batch_per_executor = scale.quick_batch();
+        let session = Session::new(kind, cfg);
+        for (label, strategy) in [
+            ("PS", Strategy::PsSync { servers: scale.eflops_nodes().div_ceil(4) }),
+            ("MP", Strategy::ModelParallel),
+        ] {
+            let run = session.run_custom(strategy, Optimizations::NONE, label);
+            let b = &run.report.busy;
+            let total: f64 = b.values().sum::<f64>().max(1e-12);
+            let share = |cat: TaskCategory| b[&cat] / total * 100.0;
+            table.row(vec![
+                kind.name().into(),
+                label.into(),
+                format!("{:.0}%", share(TaskCategory::DataIo)),
+                format!("{:.0}%", share(TaskCategory::Memory)),
+                format!("{:.0}%", share(TaskCategory::Communication)),
+                format!("{:.0}%", share(TaskCategory::Computation)),
+                format!("{:.0}%", run.report.exposed[&TaskCategory::Communication] * 100.0),
+            ]);
+        }
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn col(t: &TextTable, model: &str, strategy: &str, idx: usize) -> f64 {
+        t.rows
+            .iter()
+            .find(|r| r[0] == model && r[1] == strategy)
+            .unwrap()[idx]
+            .trim_end_matches('%')
+            .parse()
+            .unwrap()
+    }
+
+    #[test]
+    fn workload_characters_match_paper() {
+        let t = run(Scale::Quick);
+        assert_eq!(t.rows.len(), 6);
+        // CAN is the communication-intensive workload: a larger comm share
+        // than MMoE under both strategies.
+        assert!(
+            col(&t, "CAN", "MP", 4) > col(&t, "MMoE", "MP", 4),
+            "CAN should spend a larger share communicating than MMoE"
+        );
+        // MMoE is the computation-intensive workload.
+        assert!(
+            col(&t, "MMoE", "MP", 5) > col(&t, "W&D", "MP", 5),
+            "MMoE should spend a larger share computing than W&D"
+        );
+        assert!(
+            col(&t, "MMoE", "MP", 5) > col(&t, "CAN", "MP", 5),
+            "MMoE should out-compute CAN"
+        );
+        // W&D leans on memory more than MMoE does.
+        assert!(
+            col(&t, "W&D", "MP", 3) > col(&t, "MMoE", "MP", 3),
+            "W&D is the memory-intensive workload"
+        );
+    }
+}

@@ -1,0 +1,61 @@
+//! Fig. 10: walltime in GPU-core-hours to train the four benchmark models
+//! completely under each framework (one Gn6e node, one epoch).
+
+use crate::experiments::Scale;
+use crate::report::TextTable;
+use crate::{PicassoConfig, Session};
+use picasso_exec::{Framework, ModelKind};
+
+/// The benchmark models with their dataset sizes (instances per epoch).
+pub fn benchmarks() -> [(ModelKind, f64); 4] {
+    [
+        (ModelKind::Dlrm, 4e9),
+        (ModelKind::DeepFm, 4e9),
+        (ModelKind::Din, 13e6),
+        (ModelKind::Dien, 13e6),
+    ]
+}
+
+/// Runs the walltime comparison on one Gn6e node.
+pub fn run(scale: Scale) -> TextTable {
+    let mut table = TextTable::new(
+        "Fig. 10 — walltime (GPU core hours) to train one epoch",
+        &["model", "PICASSO", "PyTorch", "TF-PS", "Horovod", "TF-PS / PICASSO"],
+    );
+    for (kind, instances) in benchmarks() {
+        let mut cfg: PicassoConfig = scale.gn6e_config();
+        cfg.batch_per_executor = scale.quick_batch();
+        let session = Session::new(kind, cfg);
+        let mut cells = vec![kind.name().to_string()];
+        let mut hours = Vec::new();
+        for fw in Framework::BENCHMARK {
+            let run = session.run_framework(fw);
+            let h = run.report.gpu_core_hours(instances);
+            hours.push(h);
+            cells.push(format!("{h:.2}"));
+        }
+        cells.push(format!("{:.1}x", hours[2] / hours[0]));
+        table.row(cells);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn picasso_is_fastest_and_tfps_slowest() {
+        let t = run(Scale::Quick);
+        for row in &t.rows {
+            let p: f64 = row[1].parse().unwrap();
+            let torch: f64 = row[2].parse().unwrap();
+            let tfps: f64 = row[3].parse().unwrap();
+            assert!(p <= torch, "{}: PICASSO {p} vs PyTorch {torch}", row[0]);
+            assert!(tfps > p, "{}: TF-PS must be slowest", row[0]);
+            // The paper reports 1.9x-10x over TF-PS.
+            let speedup: f64 = row[5].trim_end_matches('x').parse().unwrap();
+            assert!(speedup > 1.5, "{}: speedup {speedup}", row[0]);
+        }
+    }
+}

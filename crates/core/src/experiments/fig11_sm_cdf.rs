@@ -1,0 +1,73 @@
+//! Fig. 11: CDF of GPU SM utilization while training DLRM under each
+//! framework. PICASSO should have barely any low-utilization area.
+
+use crate::experiments::Scale;
+use crate::report::TextTable;
+use crate::{PicassoConfig, Session};
+use picasso_exec::{Framework, ModelKind, TrainingReport};
+
+/// Raw CDFs per framework, for plotting.
+pub fn cdfs(scale: Scale) -> Vec<(String, Vec<(f64, f64)>)> {
+    let mut cfg: PicassoConfig = scale.gn6e_config();
+    cfg.batch_per_executor = scale.quick_batch();
+    let session = Session::new(ModelKind::Dlrm, cfg);
+    Framework::BENCHMARK
+        .iter()
+        .map(|&fw| {
+            let report: TrainingReport = session.run_framework(fw).report;
+            (fw.name().to_string(), report.sm_util_cdf)
+        })
+        .collect()
+}
+
+/// Summarizes each framework's CDF (fraction of time below thresholds).
+pub fn run(scale: Scale) -> TextTable {
+    let mut table = TextTable::new(
+        "Fig. 11 — GPU SM utilization CDF while training DLRM",
+        &["framework", "time below 10% util", "time below 50% util", "mean util"],
+    );
+    for (name, cdf) in cdfs(scale) {
+        let frac_below = |threshold: f64| -> f64 {
+            cdf.iter()
+                .filter(|&&(u, _)| u < threshold)
+                .map(|&(_, f)| f)
+                .fold(0.0, f64::max)
+        };
+        let mean: f64 = if cdf.is_empty() {
+            0.0
+        } else {
+            cdf.iter().map(|&(u, _)| u).sum::<f64>() / cdf.len() as f64
+        };
+        table.row(vec![
+            name,
+            format!("{:.0}%", frac_below(10.0) * 100.0),
+            format!("{:.0}%", frac_below(50.0) * 100.0),
+            format!("{mean:.0}%"),
+        ]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn picasso_has_least_low_utilization_area() {
+        let t = run(Scale::Quick);
+        let low = |name: &str| -> f64 {
+            t.rows
+                .iter()
+                .find(|r| r[0] == name)
+                .unwrap()[2]
+                .trim_end_matches('%')
+                .parse()
+                .unwrap()
+        };
+        assert!(
+            low("PICASSO") <= low("TF-PS"),
+            "PICASSO should spend less time at low utilization than TF-PS"
+        );
+        assert!(low("PICASSO") <= low("Horovod") + 5.0);
+    }
+}

@@ -1,0 +1,51 @@
+//! Fig. 12: PCIe and NVLink bandwidth consumption while training DLRM under
+//! each framework on a Gn6e node. TF-PS cannot use NVLink at all; PICASSO
+//! should drive the interconnects hardest.
+
+use crate::experiments::Scale;
+use crate::report::TextTable;
+use crate::{PicassoConfig, Session};
+use picasso_exec::{Framework, ModelKind};
+
+/// Runs the bandwidth comparison.
+pub fn run(scale: Scale) -> TextTable {
+    let mut table = TextTable::new(
+        "Fig. 12 — interconnect bandwidth while training DLRM (mean GB/s)",
+        &["framework", "PCIe (GB/s)", "NVLink (GB/s)", "network (Gbps)"],
+    );
+    let mut cfg: PicassoConfig = scale.gn6e_config();
+    cfg.batch_per_executor = scale.quick_batch();
+    let session = Session::new(ModelKind::Dlrm, cfg);
+    for fw in Framework::BENCHMARK {
+        let r = session.run_framework(fw).report;
+        table.row(vec![
+            fw.name().into(),
+            format!("{:.2}", r.pcie_gbps),
+            format!("{:.2}", r.nvlink_gbps),
+            format!("{:.2}", r.network_gbps),
+        ]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cell(t: &TextTable, fw: &str, idx: usize) -> f64 {
+        t.rows.iter().find(|r| r[0] == fw).unwrap()[idx].parse().unwrap()
+    }
+
+    #[test]
+    fn tfps_cannot_use_nvlink() {
+        let t = run(Scale::Quick);
+        assert_eq!(cell(&t, "TF-PS", 2), 0.0, "PS traffic bypasses NVLink");
+        assert!(cell(&t, "PICASSO", 2) > 0.0, "PICASSO rides NVLink");
+    }
+
+    #[test]
+    fn picasso_moves_at_least_as_much_nvlink_traffic_as_pytorch() {
+        let t = run(Scale::Quick);
+        assert!(cell(&t, "PICASSO", 2) >= cell(&t, "PyTorch", 2) * 0.5);
+    }
+}

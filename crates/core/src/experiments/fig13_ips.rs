@@ -1,0 +1,49 @@
+//! Fig. 13: training throughput (IPS) of the three industrial workloads
+//! under the Baseline (XDL-style sync PS), the pure hybrid strategy
+//! ("PICASSO(Base)") and full PICASSO, on the EFLOPS cluster.
+
+use crate::experiments::Scale;
+use crate::report::{pct_delta, si, TextTable};
+use crate::{PicassoConfig, Session};
+use picasso_exec::{Framework, ModelKind};
+
+/// The industrial workloads.
+pub const WORKLOADS: [ModelKind; 3] = [ModelKind::WideDeep, ModelKind::Can, ModelKind::MMoe];
+
+/// Runs the Fig. 13 comparison.
+pub fn run(scale: Scale) -> TextTable {
+    let mut table = TextTable::new(
+        "Fig. 13 — IPS on the EFLOPS cluster",
+        &["model", "Baseline (XDL)", "PICASSO(Base)", "PICASSO", "speedup vs baseline"],
+    );
+    for kind in WORKLOADS {
+        let mut cfg: PicassoConfig = scale.eflops_config();
+        cfg.batch_per_executor = scale.quick_batch();
+        let session = Session::new(kind, cfg);
+        let xdl = session.run_framework(Framework::Xdl).report.ips_per_node;
+        let base = session.run_framework(Framework::PicassoBase).report.ips_per_node;
+        let full = session.run_framework(Framework::Picasso).report.ips_per_node;
+        table.row(vec![
+            kind.name().into(),
+            si(xdl),
+            si(base),
+            si(full),
+            pct_delta(full, xdl),
+        ]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn picasso_orders_above_base_above_xdl() {
+        let t = run(Scale::Quick);
+        for row in &t.rows {
+            let speedup: f64 = row[4].trim_start_matches('+').trim_end_matches('%').parse().unwrap();
+            assert!(speedup > 50.0, "{}: speedup {speedup}% too small", row[0]);
+        }
+    }
+}

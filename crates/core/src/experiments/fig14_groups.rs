@@ -1,0 +1,92 @@
+//! Fig. 14: training throughput as a function of the number of
+//! K-interleaving groups (1-11) and D-interleaving micro-batches.
+
+use crate::experiments::Scale;
+use crate::report::{si, TextTable};
+use crate::{PicassoConfig, Session};
+use picasso_exec::ModelKind;
+
+/// The models swept (they own 16 / 19 / 11 packed embeddings in the paper).
+pub const WORKLOADS: [ModelKind; 3] = [ModelKind::WideDeep, ModelKind::Can, ModelKind::MMoe];
+
+/// IPS for one model at an explicit (groups, micro-batches) point.
+pub fn ips_at(kind: ModelKind, groups: usize, micro: usize, scale: Scale) -> f64 {
+    let mut cfg: PicassoConfig = scale
+        .eflops_config()
+        .interleaving_groups(groups)
+        .micro_batches(micro);
+    cfg.batch_per_executor = scale.quick_batch();
+    Session::new(kind, cfg).report().ips_per_node
+}
+
+/// Group counts swept at each scale.
+pub fn group_sweep(scale: Scale) -> Vec<usize> {
+    match scale {
+        Scale::Quick => vec![1, 3, 5],
+        Scale::Full => vec![1, 3, 5, 7, 9, 11],
+    }
+}
+
+/// Runs the sweep: the group knob is varied with micro-batching off
+/// (isolating the Fig. 8c stagger), and the micro-batch knob with a single
+/// group (isolating the Fig. 8a/b pipeline), mirroring the paper's two
+/// interleaving strategies.
+pub fn run(scale: Scale) -> TextTable {
+    let mut table = TextTable::new(
+        "Fig. 14 — IPS by interleaving configuration",
+        &["model", "knob", "value", "IPS"],
+    );
+    for kind in WORKLOADS {
+        for &g in &group_sweep(scale) {
+            table.row(vec![
+                kind.name().into(),
+                "groups".into(),
+                g.to_string(),
+                si(ips_at(kind, g, 1, scale)),
+            ]);
+        }
+        for m in 1..=3 {
+            table.row(vec![
+                kind.name().into(),
+                "micro-batches".into(),
+                m.to_string(),
+                si(ips_at(kind, 1, m, scale)),
+            ]);
+        }
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interleaving_groups_help_the_communication_heavy_model() {
+        // Paper: W&D and CAN benefit from increased interleaving — the
+        // grouped stagger paces the interconnect and avoids incast.
+        let one = ips_at(ModelKind::Can, 1, 1, Scale::Quick);
+        let three = ips_at(ModelKind::Can, 3, 1, Scale::Quick);
+        assert!(
+            three >= one,
+            "groups should help CAN: 1 group {one}, 3 groups {three}"
+        );
+    }
+
+    #[test]
+    fn micro_batches_help_the_compute_heavy_model() {
+        // Paper: utilizing more micro-batches greatly improves CAN and MMoE.
+        let one = ips_at(ModelKind::MMoe, 1, 1, Scale::Quick);
+        let three = ips_at(ModelKind::MMoe, 1, 3, Scale::Quick);
+        assert!(
+            three > one * 1.02,
+            "micro-batching should raise MMoE throughput: {one} -> {three}"
+        );
+        let can_one = ips_at(ModelKind::Can, 1, 1, Scale::Quick);
+        let can_two = ips_at(ModelKind::Can, 1, 2, Scale::Quick);
+        assert!(
+            can_two > can_one * 1.1,
+            "micro-batching should raise CAN throughput: {can_one} -> {can_two}"
+        );
+    }
+}

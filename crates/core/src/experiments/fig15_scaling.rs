@@ -1,0 +1,57 @@
+//! Fig. 15: scaling out from 1 to 128 PICASSO-Executors.
+//!
+//! CAN and MMoE scale near-linearly; W&D (not enough compute to amortize
+//! the growing exchange) is sublinear.
+
+use crate::experiments::Scale;
+use crate::report::{si, TextTable};
+use crate::{PicassoConfig, Session};
+use picasso_exec::ModelKind;
+
+/// IPS per node for one model at `workers` EFLOPS nodes.
+pub fn ips_at(kind: ModelKind, workers: usize, scale: Scale) -> f64 {
+    let mut cfg: PicassoConfig = scale.eflops_config().machines(workers);
+    cfg.batch_per_executor = scale.quick_batch();
+    Session::new(kind, cfg).report().ips_per_node
+}
+
+/// Runs the scaling sweep.
+pub fn run(scale: Scale) -> TextTable {
+    let mut table = TextTable::new(
+        "Fig. 15 — IPS per node when scaling out (efficiency vs 1 node)",
+        &["model", "workers", "IPS/node", "efficiency"],
+    );
+    for kind in [ModelKind::WideDeep, ModelKind::Can, ModelKind::MMoe] {
+        let mut base = None;
+        for &w in &scale.scaling_workers() {
+            let ips = ips_at(kind, w, scale);
+            let b = *base.get_or_insert(ips);
+            table.row(vec![
+                kind.name().into(),
+                w.to_string(),
+                si(ips),
+                format!("{:.0}%", ips / b * 100.0),
+            ]);
+        }
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compute_heavy_models_scale_better_than_wd() {
+        let eff = |kind: ModelKind| {
+            ips_at(kind, 8, Scale::Quick) / ips_at(kind, 1, Scale::Quick)
+        };
+        let wd = eff(ModelKind::WideDeep);
+        let mmoe = eff(ModelKind::MMoe);
+        assert!(
+            mmoe >= wd * 0.9,
+            "MMoE efficiency {mmoe:.2} should be >= W&D {wd:.2}"
+        );
+        assert!(mmoe > 0.3, "MMoE should retain efficiency, got {mmoe:.2}");
+    }
+}

@@ -1,0 +1,96 @@
+//! Table III: AUC of trained models by the four training systems.
+//!
+//! PICASSO / PyTorch / Horovod train synchronously (differing in feasible
+//! batch size); TF-PS trains asynchronously with gradient staleness. The
+//! paper's observation to reproduce: synchronous training matches or
+//! slightly beats async PS, so PICASSO's throughput does not cost accuracy.
+
+use crate::experiments::Scale;
+use crate::report::TextTable;
+use picasso_train::{auc_datasets, train_ctr, SyncMode, TrainConfig, Variant};
+
+/// One system's training semantics for this experiment.
+#[derive(Debug, Clone, Copy)]
+pub struct SystemSetup {
+    /// System name.
+    pub name: &'static str,
+    /// Batch size (PICASSO runs the largest, as in Tab. III).
+    pub batch: usize,
+    /// Update semantics.
+    pub mode: SyncMode,
+}
+
+/// The four systems of Table III.
+pub const SYSTEMS: [SystemSetup; 4] = [
+    SystemSetup { name: "PICASSO", batch: 512, mode: SyncMode::Synchronous },
+    SystemSetup { name: "PyTorch", batch: 256, mode: SyncMode::Synchronous },
+    SystemSetup { name: "TF-PS", batch: 192, mode: SyncMode::AsyncStale { staleness: 4 } },
+    SystemSetup { name: "Horovod", batch: 320, mode: SyncMode::Synchronous },
+];
+
+/// The four benchmark models and their datasets.
+pub fn models() -> [(&'static str, Variant, std::sync::Arc<picasso_data::DatasetSpec>); 4] {
+    [
+        ("DLRM", Variant::DotDeep, auc_datasets::criteo_like()),
+        ("DeepFM", Variant::DotDeep, auc_datasets::criteo_like()),
+        ("DIN", Variant::Attention, auc_datasets::alibaba_like()),
+        ("DIEN", Variant::Evolution, auc_datasets::alibaba_like()),
+    ]
+}
+
+/// Steps trained per run at each scale.
+fn steps(scale: Scale) -> usize {
+    match scale {
+        Scale::Quick => 60,
+        Scale::Full => 240,
+    }
+}
+
+/// Runs the AUC comparison.
+pub fn run(scale: Scale) -> TextTable {
+    let mut table = TextTable::new(
+        "Tab. III — AUC by training system (batch size in parentheses)",
+        &["model", "PICASSO", "PyTorch", "TF-PS", "Horovod"],
+    );
+    for (name, variant, data) in models() {
+        let mut row = vec![name.to_string()];
+        for sys in SYSTEMS {
+            let cfg = TrainConfig {
+                steps: steps(scale),
+                batch: sys.batch,
+                mode: sys.mode,
+                seed: 42,
+                ..TrainConfig::default()
+            };
+            let out = train_ctr(variant, &data, &cfg);
+            row.push(format!("{:.4} ({})", out.auc, sys.batch));
+        }
+        table.row(row);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn auc_of(cell: &str) -> f64 {
+        cell.split(' ').next().unwrap().parse().unwrap()
+    }
+
+    #[test]
+    fn synchronous_systems_match_or_beat_async_ps() {
+        let t = run(Scale::Quick);
+        assert_eq!(t.rows.len(), 4);
+        for row in &t.rows {
+            let picasso = auc_of(&row[1]);
+            let tfps = auc_of(&row[3]);
+            assert!(picasso > 0.55, "{}: PICASSO AUC {picasso}", row[0]);
+            assert!(
+                picasso >= tfps - 0.01,
+                "{}: PICASSO {picasso} vs TF-PS {tfps}",
+                row[0]
+            );
+        }
+    }
+}

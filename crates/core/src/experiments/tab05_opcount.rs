@@ -1,0 +1,85 @@
+//! Table V: number of graph operations and packed embeddings, baseline
+//! versus PICASSO.
+
+use crate::experiments::Scale;
+use crate::report::TextTable;
+use crate::{PicassoConfig, Session};
+use picasso_exec::{Framework, ModelKind};
+
+/// Structured row for one model.
+#[derive(Debug, Clone, Copy)]
+pub struct OpCountRow {
+    /// Baseline total operations.
+    pub baseline_ops: u64,
+    /// PICASSO total operations.
+    pub picasso_ops: u64,
+    /// Baseline embedding chains (= tables).
+    pub baseline_embeddings: usize,
+    /// PICASSO packed embeddings.
+    pub picasso_embeddings: usize,
+}
+
+/// Computes the counts for one model.
+pub fn counts(kind: ModelKind, scale: Scale) -> OpCountRow {
+    let mut cfg: PicassoConfig = scale.eflops_config().machines(2);
+    cfg.batch_per_executor = scale.quick_batch();
+    let session = Session::new(kind, cfg);
+    let base = session.run_framework(Framework::PicassoBase).report.op_stats;
+    let full = session.run_framework(Framework::Picasso).report.op_stats;
+    OpCountRow {
+        baseline_ops: base.total_ops,
+        picasso_ops: full.total_ops,
+        baseline_embeddings: base.packed_embeddings,
+        picasso_embeddings: full.packed_embeddings,
+    }
+}
+
+/// Runs the full Table V.
+pub fn run(scale: Scale) -> TextTable {
+    let mut table = TextTable::new(
+        "Tab. V — operations and packed embeddings, baseline vs PICASSO",
+        &["model", "ops (baseline)", "ops (PICASSO)", "ratio", "emb (baseline)", "emb (PICASSO)"],
+    );
+    for kind in [ModelKind::WideDeep, ModelKind::Can, ModelKind::MMoe] {
+        let c = counts(kind, scale);
+        table.row(vec![
+            kind.name().into(),
+            c.baseline_ops.to_string(),
+            c.picasso_ops.to_string(),
+            format!("{:.1}%", c.picasso_ops as f64 / c.baseline_ops as f64 * 100.0),
+            c.baseline_embeddings.to_string(),
+            c.picasso_embeddings.to_string(),
+        ]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn packing_reduces_ops_to_a_small_fraction() {
+        // Paper: 14.9% / 17.8% / 25.0% of baseline operations remain.
+        for kind in [ModelKind::WideDeep, ModelKind::Can, ModelKind::MMoe] {
+            let c = counts(kind, Scale::Quick);
+            let ratio = c.picasso_ops as f64 / c.baseline_ops as f64;
+            assert!(
+                (0.02..=0.45).contains(&ratio),
+                "{}: ratio {ratio:.3} outside the paper's ballpark",
+                kind.name()
+            );
+            assert!(c.picasso_embeddings < c.baseline_embeddings / 3);
+        }
+    }
+
+    #[test]
+    fn baseline_embedding_counts_equal_table_counts() {
+        let c = counts(ModelKind::Can, Scale::Quick);
+        assert_eq!(c.baseline_embeddings, 364);
+        let w = counts(ModelKind::WideDeep, Scale::Quick);
+        assert_eq!(w.baseline_embeddings, 204);
+        let m = counts(ModelKind::MMoe, Scale::Quick);
+        assert_eq!(m.baseline_embeddings, 94);
+    }
+}

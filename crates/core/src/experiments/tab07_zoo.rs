@@ -1,0 +1,111 @@
+//! Table VII: the twelve AUC-prediction models on the Product-2 dataset —
+//! batch size, GPU SM utilization, and IPS, in-house XDL versus PICASSO.
+
+use crate::experiments::Scale;
+use crate::report::{pct_delta, si, TextTable};
+use crate::{PicassoConfig, Session};
+use picasso_data::DatasetSpec;
+use picasso_exec::{Framework, ModelKind};
+
+/// The twelve models of Table VII, in paper order.
+pub const MODELS: [ModelKind; 12] = [
+    ModelKind::Lr,
+    ModelKind::WideDeep,
+    ModelKind::TwoTowerDnn,
+    ModelKind::Dlrm,
+    ModelKind::Dcn,
+    ModelKind::XDeepFm,
+    ModelKind::Atbrg,
+    ModelKind::Din,
+    ModelKind::Dien,
+    ModelKind::Dsin,
+    ModelKind::Can,
+    ModelKind::Star,
+];
+
+/// One Table VII row.
+#[derive(Debug, Clone)]
+pub struct ZooRow {
+    /// Model name.
+    pub model: &'static str,
+    /// XDL batch / PICASSO batch.
+    pub batch: (usize, usize),
+    /// XDL SM util / PICASSO SM util (%).
+    pub sm_util: (f64, f64),
+    /// XDL IPS / PICASSO IPS.
+    pub ips: (f64, f64),
+}
+
+/// Runs one model through both frameworks.
+pub fn compare(kind: ModelKind, scale: Scale) -> ZooRow {
+    let data = DatasetSpec::product2().shared();
+    let mut cfg: PicassoConfig = scale.eflops_config();
+    if let Some(b) = scale.quick_batch() {
+        // Quick mode fixes the XDL batch and lets PICASSO auto-derive only
+        // the micro-batch multiplier.
+        cfg.batch_per_executor = Some(b);
+    }
+    let session = Session::with_dataset(kind, data.clone(), cfg);
+    let xdl = session.run_framework(Framework::Xdl).report;
+    // PICASSO derives its own (larger) batch when not pinned.
+    let mut pcfg: PicassoConfig = scale.eflops_config();
+    if let Some(b) = scale.quick_batch() {
+        pcfg.batch_per_executor = Some(b * 2);
+        pcfg.micro_batches = Some(2);
+    }
+    let picasso = Session::with_dataset(kind, data, pcfg)
+        .run_framework(Framework::Picasso)
+        .report;
+    ZooRow {
+        model: kind.name(),
+        batch: (xdl.batch_per_executor, picasso.batch_per_executor),
+        sm_util: (xdl.sm_util_pct, picasso.sm_util_pct),
+        ips: (xdl.ips_per_node, picasso.ips_per_node),
+    }
+}
+
+/// Runs the full Table VII.
+pub fn run(scale: Scale) -> TextTable {
+    let mut table = TextTable::new(
+        "Tab. VII — model zoo on Product-2, XDL -> PICASSO",
+        &["model", "batch", "SM util (%)", "IPS", "IPS gain"],
+    );
+    for kind in MODELS {
+        let r = compare(kind, scale);
+        table.row(vec![
+            r.model.into(),
+            format!("{} -> {}", r.batch.0, r.batch.1),
+            format!("{:.0} -> {:.0}", r.sm_util.0, r.sm_util.1),
+            format!("{} -> {}", si(r.ips.0), si(r.ips.1)),
+            pct_delta(r.ips.1, r.ips.0),
+        ]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn picasso_improves_every_zoo_model() {
+        // Spot-check a cheap subset to keep the test fast.
+        for kind in [ModelKind::Lr, ModelKind::Dcn, ModelKind::Din] {
+            let r = compare(kind, Scale::Quick);
+            assert!(
+                r.ips.1 > r.ips.0,
+                "{}: PICASSO {} <= XDL {}",
+                r.model,
+                r.ips.1,
+                r.ips.0
+            );
+            assert!(
+                r.sm_util.1 > r.sm_util.0 * 0.9,
+                "{}: SM util should not collapse ({} -> {})",
+                r.model,
+                r.sm_util.0,
+                r.sm_util.1
+            );
+        }
+    }
+}

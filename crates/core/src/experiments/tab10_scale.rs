@@ -1,0 +1,90 @@
+//! Table X: GPU-core-hours to train one year of accumulated data at model
+//! scales from ~1B to ~1T parameters, XDL versus PICASSO, on 128 workers.
+
+use crate::experiments::Scale;
+use crate::report::TextTable;
+use crate::{PicassoConfig, Session};
+use picasso_data::DatasetSpec;
+use picasso_exec::{Framework, ModelKind};
+
+/// Instances accumulated over one year of the paper's streaming workloads.
+pub const YEAR_INSTANCES: f64 = 30e9;
+
+/// The model-scale points: a dataset scaled to the target parameter count.
+pub fn scaled_dataset(target_params: f64) -> DatasetSpec {
+    let mut data = DatasetSpec::product2();
+    let factor = target_params / data.total_params();
+    for f in &mut data.fields {
+        f.vocab = ((f.vocab as f64 * factor).max(1.0)) as u64;
+    }
+    data.name = format!("product-2-{:.0e}p", target_params);
+    data
+}
+
+/// Walltime in GPU-core-hours for one framework at one scale point.
+pub fn core_hours(target_params: f64, fw: Framework, scale: Scale) -> f64 {
+    let workers = match scale {
+        Scale::Quick => 4,
+        Scale::Full => 128,
+    };
+    let data = scaled_dataset(target_params).shared();
+    let mut cfg: PicassoConfig = scale.eflops_config().machines(workers);
+    cfg.batch_per_executor = scale.quick_batch();
+    let r = Session::with_dataset(ModelKind::Can, data, cfg)
+        .run_framework(fw)
+        .report;
+    r.gpu_core_hours(YEAR_INSTANCES)
+}
+
+/// Runs Table X.
+pub fn run(scale: Scale) -> TextTable {
+    let mut table = TextTable::new(
+        "Tab. X — GPU-core-hours to train one year of data",
+        &["model scale", "XDL", "PICASSO", "reduction"],
+    );
+    for (label, params) in [
+        ("~1B", 1e9),
+        ("~10B", 1e10),
+        ("~100B", 1e11),
+        ("~1T", 1e12),
+    ] {
+        let xdl = core_hours(params, Framework::Xdl, scale);
+        let picasso = core_hours(params, Framework::Picasso, scale);
+        table.row(vec![
+            label.into(),
+            format!("{xdl:.0}"),
+            format!("{picasso:.0}"),
+            format!("{:.1}x", xdl / picasso),
+        ]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn picasso_reduces_training_cost_at_every_scale() {
+        for params in [1e9, 1e11] {
+            let xdl = core_hours(params, Framework::Xdl, Scale::Quick);
+            let picasso = core_hours(params, Framework::Picasso, Scale::Quick);
+            assert!(
+                xdl / picasso > 1.5,
+                "at {params:.0e}: XDL {xdl:.0}h vs PICASSO {picasso:.0}h"
+            );
+        }
+    }
+
+    #[test]
+    fn scaled_datasets_hit_their_parameter_targets() {
+        for target in [1e9, 1e10, 1e12] {
+            let d = scaled_dataset(target);
+            let params = d.total_params();
+            assert!(
+                (0.5..2.0).contains(&(params / target)),
+                "target {target:.0e} got {params:.2e}"
+            );
+        }
+    }
+}

@@ -1,0 +1,120 @@
+//! Plain-text table rendering for experiment output.
+
+use std::fmt;
+
+/// A simple aligned text table.
+#[derive(Debug, Clone, Default)]
+pub struct TextTable {
+    /// Table title.
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Data rows.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates an empty table.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> TextTable {
+        TextTable {
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (must match the header count).
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(cells);
+    }
+}
+
+impl fmt::Display for TextTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (w, c) in widths.iter_mut().zip(row) {
+                *w = (*w).max(c.len());
+            }
+        }
+        writeln!(f, "## {}", self.title)?;
+        let line = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            write!(f, "|")?;
+            for (c, w) in cells.iter().zip(&widths) {
+                write!(f, " {c:<w$} |")?;
+            }
+            writeln!(f)
+        };
+        line(f, &self.headers)?;
+        write!(f, "|")?;
+        for w in &widths {
+            write!(f, "{:-<width$}|", "", width = w + 2)?;
+        }
+        writeln!(f)?;
+        for row in &self.rows {
+            line(f, row)?;
+        }
+        Ok(())
+    }
+}
+
+/// Formats a number with k/M/B suffixes (e.g. IPS values).
+pub fn si(v: f64) -> String {
+    let a = v.abs();
+    if a >= 1e9 {
+        format!("{:.2}B", v / 1e9)
+    } else if a >= 1e6 {
+        format!("{:.2}M", v / 1e6)
+    } else if a >= 1e3 {
+        format!("{:.1}K", v / 1e3)
+    } else {
+        format!("{v:.1}")
+    }
+}
+
+/// Formats a ratio as a signed percentage (`+25%`).
+pub fn pct_delta(new: f64, old: f64) -> String {
+    if old == 0.0 {
+        return "n/a".into();
+    }
+    format!("{:+.0}%", (new / old - 1.0) * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = TextTable::new("Demo", &["model", "ips"]);
+        t.row(vec!["W&D".into(), "22.8K".into()]);
+        t.row(vec!["CAN".into(), "12.2K".into()]);
+        let s = t.to_string();
+        assert!(s.contains("## Demo"));
+        assert!(s.contains("| W&D   |"));
+        assert!(s.lines().count() >= 4);
+    }
+
+    #[test]
+    fn si_suffixes() {
+        assert_eq!(si(12_218.0), "12.2K");
+        assert_eq!(si(2.5e6), "2.50M");
+        assert_eq!(si(3.2e9), "3.20B");
+        assert_eq!(si(42.0), "42.0");
+    }
+
+    #[test]
+    fn pct_delta_formats() {
+        assert_eq!(pct_delta(130.0, 100.0), "+30%");
+        assert_eq!(pct_delta(50.0, 100.0), "-50%");
+        assert_eq!(pct_delta(1.0, 0.0), "n/a");
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn row_width_checked() {
+        let mut t = TextTable::new("x", &["a", "b"]);
+        t.row(vec!["only-one".into()]);
+    }
+}

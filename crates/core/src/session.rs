@@ -1,0 +1,124 @@
+//! High-level training sessions.
+
+use crate::config::PicassoConfig;
+use picasso_data::DatasetSpec;
+use picasso_exec::{Framework, ModelKind, RunArtifacts, Strategy, TrainingReport};
+use std::sync::Arc;
+
+/// A configured model + dataset + cluster, ready to run under any
+/// framework.
+#[derive(Debug, Clone)]
+pub struct Session {
+    model: ModelKind,
+    data: Arc<DatasetSpec>,
+    config: PicassoConfig,
+}
+
+impl Session {
+    /// Creates a session for `model` on its Table II default dataset.
+    pub fn new(model: ModelKind, config: PicassoConfig) -> Session {
+        Session {
+            data: model.default_dataset().shared(),
+            model,
+            config,
+        }
+    }
+
+    /// Creates a session with an explicit dataset.
+    pub fn with_dataset(model: ModelKind, data: Arc<DatasetSpec>, config: PicassoConfig) -> Session {
+        Session {
+            model,
+            data,
+            config,
+        }
+    }
+
+    /// The session's dataset.
+    pub fn dataset(&self) -> &Arc<DatasetSpec> {
+        &self.data
+    }
+
+    /// The session's config.
+    pub fn config(&self) -> &PicassoConfig {
+        &self.config
+    }
+
+    /// Trains under full PICASSO.
+    pub fn run_picasso(&self) -> RunArtifacts {
+        picasso_exec::run(
+            self.model,
+            &self.data,
+            Strategy::Hybrid,
+            self.config.optimizations,
+            "PICASSO",
+            &self.config.trainer_options(),
+        )
+    }
+
+    /// Trains under a named framework preset (baselines ignore the
+    /// session's optimization set).
+    pub fn run_framework(&self, framework: Framework) -> RunArtifacts {
+        picasso_exec::train(self.model, &self.data, framework, &self.config.trainer_options())
+    }
+
+    /// Trains with an explicit strategy + optimization combination.
+    pub fn run_custom(
+        &self,
+        strategy: Strategy,
+        optimizations: picasso_exec::Optimizations,
+        label: &str,
+    ) -> RunArtifacts {
+        picasso_exec::run(
+            self.model,
+            &self.data,
+            strategy,
+            optimizations,
+            label,
+            &self.config.trainer_options(),
+        )
+    }
+
+    /// Convenience: just the report of a full PICASSO run.
+    pub fn report(&self) -> TrainingReport {
+        self.run_picasso().report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use picasso_exec::WarmupConfig;
+
+    fn quick() -> PicassoConfig {
+        PicassoConfig {
+            iterations: 3,
+            warmup: WarmupConfig {
+                batches: 4,
+                batch_size: 256,
+                max_vocab: 1000,
+                hot_bytes: 1 << 24,
+                seed: 1,
+            },
+            batch_per_executor: Some(1024),
+            ..PicassoConfig::default()
+        }
+    }
+
+    #[test]
+    fn session_runs_picasso_and_baseline() {
+        let s = Session::new(ModelKind::Dlrm, quick());
+        let p = s.run_picasso();
+        let b = s.run_framework(Framework::TfPs);
+        assert!(p.report.ips_per_node > b.report.ips_per_node);
+        assert_eq!(p.report.model, "DLRM");
+    }
+
+    #[test]
+    fn session_respects_custom_dataset() {
+        let data = DatasetSpec::product1().shared();
+        let s = Session::with_dataset(ModelKind::Lr, data, quick());
+        assert_eq!(s.dataset().name, "product-1");
+        let r = s.report();
+        assert!(r.ips_per_node > 0.0);
+    }
+}

@@ -1,0 +1,150 @@
+//! Empirical frequency statistics over observed ID streams.
+//!
+//! Used to verify that generated workloads reproduce the Fig. 3 skew, and by
+//! the warm-up phase of training to drive packing-shard and cache decisions.
+
+use std::collections::HashMap;
+
+/// Counts occurrences of categorical IDs.
+#[derive(Debug, Clone, Default)]
+pub struct FrequencyStats {
+    counts: HashMap<u64, u64>,
+    total: u64,
+}
+
+impl FrequencyStats {
+    /// Creates an empty counter.
+    pub fn new() -> Self {
+        FrequencyStats::default()
+    }
+
+    /// Records one observation of `id`.
+    #[inline]
+    pub fn record(&mut self, id: u64) {
+        *self.counts.entry(id).or_insert(0) += 1;
+        self.total += 1;
+    }
+
+    /// Records a slice of observations.
+    pub fn record_all(&mut self, ids: &[u64]) {
+        for &id in ids {
+            self.record(id);
+        }
+    }
+
+    /// Total observations recorded.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Number of distinct IDs observed.
+    pub fn distinct(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Count of one ID.
+    pub fn count(&self, id: u64) -> u64 {
+        self.counts.get(&id).copied().unwrap_or(0)
+    }
+
+    /// The `k` most frequent IDs, most frequent first (ties broken by ID for
+    /// determinism).
+    pub fn top_k(&self, k: usize) -> Vec<u64> {
+        let mut items: Vec<(u64, u64)> = self.counts.iter().map(|(&id, &c)| (id, c)).collect();
+        items.sort_unstable_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        items.truncate(k);
+        items.into_iter().map(|(id, _)| id).collect()
+    }
+
+    /// Fraction of observations covered by the top `fraction` of *distinct*
+    /// IDs — the empirical version of Fig. 3's coverage curve.
+    pub fn coverage_of_top(&self, fraction: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&fraction));
+        if self.total == 0 {
+            return 0.0;
+        }
+        let k = ((self.counts.len() as f64 * fraction).floor() as usize).min(self.counts.len());
+        let mut freqs: Vec<u64> = self.counts.values().copied().collect();
+        freqs.sort_unstable_by(|a, b| b.cmp(a));
+        let covered: u64 = freqs[..k].iter().sum();
+        covered as f64 / self.total as f64
+    }
+
+    /// Empirical CDF points `(fraction of distinct IDs, coverage)`.
+    pub fn cdf_points(&self, points: usize) -> Vec<(f64, f64)> {
+        assert!(points >= 2);
+        (0..points)
+            .map(|i| {
+                let f = i as f64 / (points - 1) as f64;
+                (f, self.coverage_of_top(f))
+            })
+            .collect()
+    }
+
+    /// Merges another counter into this one.
+    pub fn merge(&mut self, other: &FrequencyStats) {
+        for (&id, &c) in &other.counts {
+            *self.counts.entry(id).or_insert(0) += c;
+        }
+        self.total += other.total;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counting_and_totals() {
+        let mut s = FrequencyStats::new();
+        s.record_all(&[1, 1, 1, 2, 3]);
+        assert_eq!(s.total(), 5);
+        assert_eq!(s.distinct(), 3);
+        assert_eq!(s.count(1), 3);
+        assert_eq!(s.count(99), 0);
+    }
+
+    #[test]
+    fn top_k_orders_by_frequency_then_id() {
+        let mut s = FrequencyStats::new();
+        s.record_all(&[5, 5, 9, 9, 2]);
+        assert_eq!(s.top_k(2), vec![5, 9], "tie broken by smaller id");
+        assert_eq!(s.top_k(10), vec![5, 9, 2]);
+        assert!(s.top_k(0).is_empty());
+    }
+
+    #[test]
+    fn coverage_of_skewed_stream() {
+        let mut s = FrequencyStats::new();
+        // One id covers 90 of 100 observations; 10 ids cover the rest.
+        for _ in 0..90 {
+            s.record(0);
+        }
+        for id in 1..=10 {
+            s.record(id);
+        }
+        // Top ~9% of distinct ids (1 of 11) covers 90%.
+        let cov = s.coverage_of_top(0.1);
+        assert!((cov - 0.9).abs() < 1e-9, "coverage {cov}");
+        assert!((s.coverage_of_top(1.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = FrequencyStats::new();
+        a.record_all(&[1, 2]);
+        let mut b = FrequencyStats::new();
+        b.record_all(&[2, 3]);
+        a.merge(&b);
+        assert_eq!(a.total(), 4);
+        assert_eq!(a.count(2), 2);
+        assert_eq!(a.distinct(), 3);
+    }
+
+    #[test]
+    fn empty_counter_is_sane() {
+        let s = FrequencyStats::new();
+        assert_eq!(s.coverage_of_top(0.5), 0.0);
+        assert_eq!(s.cdf_points(3).len(), 3);
+    }
+}

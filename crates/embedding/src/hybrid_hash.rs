@@ -1,0 +1,367 @@
+//! HybridHash — the paper's Algorithm 1.
+//!
+//! The embedding hashmap (a sparse structure) lives in *Cold-storage* (DRAM:
+//! large but bandwidth-bound); *Hot-storage* (GPU device memory: fast but
+//! capacity-bound) is used purely as a scratchpad holding the top-k most
+//! frequently queried rows. During `warmup_iters` iterations only the
+//! host-side frequency counter is trained; afterwards every `flush_iters`
+//! iterations the hot set is refreshed from the counter. If at flush time
+//! the entire table fits in Hot-storage, everything is promoted.
+
+use crate::table::EmbeddingTable;
+use std::collections::HashMap;
+
+/// Configuration of a [`HybridHash`].
+#[derive(Debug, Clone)]
+pub struct HybridHashConfig {
+    /// Iterations during which only statistics are collected (the paper uses
+    /// 100 steps in the ablation).
+    pub warmup_iters: u64,
+    /// Refresh the hot set every this many iterations.
+    pub flush_iters: u64,
+    /// Capacity of Hot-storage in bytes (the Table VI sweep varies this from
+    /// 256 MB to 4 GB).
+    pub hot_bytes: u64,
+}
+
+impl Default for HybridHashConfig {
+    fn default() -> Self {
+        HybridHashConfig {
+            warmup_iters: 100,
+            flush_iters: 100,
+            hot_bytes: 1 << 30, // 1 GB, the paper's default
+        }
+    }
+}
+
+/// Cumulative cache statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups served from Hot-storage.
+    pub hot_hits: u64,
+    /// Lookups served from Cold-storage after warm-up.
+    pub cold_hits: u64,
+    /// Lookups during warm-up (always cold).
+    pub warmup_lookups: u64,
+    /// Number of hot-set refreshes performed.
+    pub flushes: u64,
+}
+
+impl CacheStats {
+    /// Post-warm-up hit ratio in `[0, 1]`.
+    pub fn hit_ratio(&self) -> f64 {
+        let total = self.hot_hits + self.cold_hits;
+        if total == 0 {
+            0.0
+        } else {
+            self.hot_hits as f64 / total as f64
+        }
+    }
+}
+
+/// Per-call lookup report (drives the simulator's Gather cost split).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LookupReport {
+    /// IDs served from Hot-storage in this call.
+    pub hot_hits: u64,
+    /// IDs served from Cold-storage in this call.
+    pub cold_hits: u64,
+}
+
+impl LookupReport {
+    /// Hit ratio of this call.
+    pub fn hit_ratio(&self) -> f64 {
+        let total = self.hot_hits + self.cold_hits;
+        if total == 0 {
+            0.0
+        } else {
+            self.hot_hits as f64 / total as f64
+        }
+    }
+}
+
+/// A two-level embedding store per Algorithm 1.
+#[derive(Debug, Clone)]
+pub struct HybridHash {
+    cfg: HybridHashConfig,
+    cold: EmbeddingTable,
+    hot: HashMap<u64, Box<[f32]>>,
+    fcounter: HashMap<u64, u64>,
+    itr: u64,
+    stats: CacheStats,
+}
+
+impl HybridHash {
+    /// Wraps a cold table with a hot cache.
+    pub fn new(cold: EmbeddingTable, cfg: HybridHashConfig) -> Self {
+        assert!(cfg.flush_iters > 0, "flush_iters must be positive");
+        HybridHash {
+            cfg,
+            cold,
+            hot: HashMap::new(),
+            fcounter: HashMap::new(),
+            itr: 0,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Embedding dimension.
+    pub fn dim(&self) -> usize {
+        self.cold.dim()
+    }
+
+    /// Maximum rows Hot-storage can hold.
+    pub fn hot_row_capacity(&self) -> usize {
+        (self.cfg.hot_bytes as usize) / (self.cold.dim() * 4)
+    }
+
+    /// Rows currently resident in Hot-storage.
+    pub fn hot_rows(&self) -> usize {
+        self.hot.len()
+    }
+
+    /// Cumulative statistics.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Current iteration counter.
+    pub fn iteration(&self) -> u64 {
+        self.itr
+    }
+
+    /// Read-only access to the cold table.
+    pub fn cold(&self) -> &EmbeddingTable {
+        &self.cold
+    }
+
+    /// Algorithm 1: queries a batch of IDs, appending `dim` floats per ID to
+    /// `out`, and advances the iteration counter.
+    pub fn lookup_batch(&mut self, ids: &[u64], out: &mut Vec<f32>) -> LookupReport {
+        let mut report = LookupReport::default();
+        self.itr += 1;
+        if self.itr <= self.cfg.warmup_iters {
+            // L9-12: warm-up — count frequencies, serve from cold storage.
+            for &id in ids {
+                *self.fcounter.entry(id).or_insert(0) += 1;
+                self.cold.gather_into(id, out);
+                report.cold_hits += 1;
+            }
+            self.stats.warmup_lookups += ids.len() as u64;
+            if self.itr == self.cfg.warmup_iters {
+                self.flush();
+            }
+            return report;
+        }
+        // L14-21: serve from hot when possible, else cold; keep counting.
+        for &id in ids {
+            if let Some(row) = self.hot.get(&id) {
+                out.extend_from_slice(row);
+                report.hot_hits += 1;
+            } else {
+                self.cold.gather_into(id, out);
+                report.cold_hits += 1;
+            }
+            *self.fcounter.entry(id).or_insert(0) += 1;
+        }
+        self.stats.hot_hits += report.hot_hits;
+        self.stats.cold_hits += report.cold_hits;
+        // L23-26: periodic refresh of the hot set.
+        if (self.itr - self.cfg.warmup_iters).is_multiple_of(self.cfg.flush_iters) {
+            self.flush();
+        }
+        report
+    }
+
+    /// Applies a gradient to the row for `id`, keeping hot and cold copies
+    /// coherent (the hot row is the working copy; cold is written through so
+    /// a later flush cannot resurrect stale values).
+    pub fn apply_gradient(&mut self, id: u64, grad: &[f32], lr: f32) {
+        if let Some(row) = self.hot.get_mut(&id) {
+            for (w, g) in row.iter_mut().zip(grad) {
+                *w -= lr * g;
+            }
+            let row = row.clone();
+            self.cold.put(id, &row);
+        } else {
+            self.cold.apply_gradient(id, grad, lr);
+        }
+    }
+
+    /// Refreshes Hot-storage with the top-k most frequent IDs (L24-25). If
+    /// the whole materialized table fits, promotes everything.
+    fn flush(&mut self) {
+        let capacity = self.hot_row_capacity();
+        if capacity == 0 {
+            return;
+        }
+        self.stats.flushes += 1;
+        let promote_all = self.cold.len() <= capacity;
+        let mut hot_ids: Vec<u64>;
+        if promote_all {
+            hot_ids = self
+                .fcounter
+                .keys()
+                .copied()
+                .take(capacity)
+                .collect();
+        } else {
+            // top-k(FCounter): partial sort by (count desc, id asc).
+            let mut items: Vec<(u64, u64)> =
+                self.fcounter.iter().map(|(&id, &c)| (id, c)).collect();
+            items.sort_unstable_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+            items.truncate(capacity);
+            hot_ids = items.into_iter().map(|(id, _)| id).collect();
+        }
+        hot_ids.sort_unstable();
+        let mut new_hot = HashMap::with_capacity(hot_ids.len());
+        for id in hot_ids {
+            new_hot.insert(id, self.cold.row(id).into());
+        }
+        self.hot = new_hot;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use picasso_data::{IdDistribution, IdSampler};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn cache(dim: usize, hot_bytes: u64, warmup: u64, flush: u64) -> HybridHash {
+        HybridHash::new(
+            EmbeddingTable::new(dim, 7),
+            HybridHashConfig {
+                warmup_iters: warmup,
+                flush_iters: flush,
+                hot_bytes,
+            },
+        )
+    }
+
+    #[test]
+    fn warmup_serves_cold_and_counts() {
+        let mut h = cache(4, 1 << 20, 2, 10);
+        let mut out = Vec::new();
+        let r = h.lookup_batch(&[1, 2, 1], &mut out);
+        assert_eq!(r.cold_hits, 3);
+        assert_eq!(r.hot_hits, 0);
+        assert_eq!(out.len(), 12);
+        assert_eq!(h.stats().warmup_lookups, 3);
+    }
+
+    #[test]
+    fn hot_ids_hit_after_warmup() {
+        let mut h = cache(4, 1 << 20, 1, 100);
+        let mut out = Vec::new();
+        h.lookup_batch(&[5, 5, 6], &mut out); // warm-up ends, flush happens
+        out.clear();
+        let r = h.lookup_batch(&[5, 6, 7], &mut out);
+        // 5 and 6 were counted in warm-up and fit in the hot set; 7 is new.
+        assert_eq!(r.hot_hits, 2);
+        assert_eq!(r.cold_hits, 1);
+    }
+
+    #[test]
+    fn returns_same_values_as_uncached_table() {
+        let mut h = cache(8, 1 << 20, 1, 2);
+        let mut reference = EmbeddingTable::new(8, 7);
+        let ids = [3u64, 1, 4, 1, 5, 9, 2, 6, 5, 3];
+        let mut out = Vec::new();
+        for chunk in ids.chunks(3) {
+            out.clear();
+            h.lookup_batch(chunk, &mut out);
+            let mut want = Vec::new();
+            for &id in chunk {
+                want.extend_from_slice(reference.row(id));
+            }
+            assert_eq!(out, want, "cache must be value-transparent");
+        }
+    }
+
+    #[test]
+    fn capacity_bounds_hot_rows() {
+        // Room for exactly 2 rows of dim 4 (32 bytes).
+        let mut h = cache(4, 32, 1, 1);
+        let mut out = Vec::new();
+        h.lookup_batch(&[1, 1, 1, 2, 2, 3], &mut out);
+        assert!(h.hot_rows() <= 2);
+        out.clear();
+        let r = h.lookup_batch(&[1, 2, 3], &mut out);
+        assert_eq!(r.hot_hits, 2, "the two hottest ids are cached");
+        assert_eq!(r.cold_hits, 1);
+    }
+
+    #[test]
+    fn skewed_stream_reaches_high_hit_ratio() {
+        let sampler = IdSampler::new(10_000, IdDistribution::Zipf { s: 1.2 });
+        let mut rng = StdRng::seed_from_u64(11);
+        // Hot storage for 2000 of 10000 ids (20%).
+        let mut h = cache(4, 2000 * 16, 20, 20);
+        let mut out = Vec::new();
+        let mut ids = Vec::new();
+        for _ in 0..200 {
+            ids.clear();
+            sampler.sample_into(&mut rng, 512, &mut ids);
+            out.clear();
+            h.lookup_batch(&ids, &mut out);
+        }
+        let ratio = h.stats().hit_ratio();
+        assert!(
+            ratio > 0.6,
+            "zipf(1.2) with 20% cache should hit often, got {ratio:.3}"
+        );
+    }
+
+    #[test]
+    fn small_table_promotes_everything() {
+        let mut h = cache(4, 1 << 20, 1, 5);
+        let mut out = Vec::new();
+        h.lookup_batch(&[1, 2, 3], &mut out);
+        out.clear();
+        let r = h.lookup_batch(&[1, 2, 3], &mut out);
+        assert_eq!(r.hot_hits, 3, "entire table fits in hot storage");
+        assert_eq!(h.stats().hit_ratio(), 1.0);
+    }
+
+    #[test]
+    fn gradients_are_coherent_across_flushes() {
+        let mut h = cache(2, 1 << 20, 1, 1);
+        let mut out = Vec::new();
+        h.lookup_batch(&[1], &mut out);
+        // id 1 now hot; update it, then force flushes via more lookups.
+        h.apply_gradient(1, &[1.0, 1.0], 0.1);
+        let mut want = Vec::new();
+        if let Some(r) = h.cold().peek(1) { want.extend_from_slice(r) }
+        for _ in 0..3 {
+            out.clear();
+            h.lookup_batch(&[1], &mut out);
+            assert_eq!(out, want, "updated value must survive flushes");
+        }
+    }
+
+    #[test]
+    fn flush_cadence_matches_config() {
+        let mut h = cache(4, 1 << 20, 2, 3);
+        let mut out = Vec::new();
+        for _ in 0..11 {
+            out.clear();
+            h.lookup_batch(&[1], &mut out);
+        }
+        // Flush at end of warm-up (itr=2) + every 3 iters after (5, 8, 11).
+        assert_eq!(h.stats().flushes, 4);
+    }
+
+    #[test]
+    fn zero_capacity_never_promotes() {
+        let mut h = cache(4, 0, 1, 1);
+        let mut out = Vec::new();
+        for _ in 0..5 {
+            out.clear();
+            let r = h.lookup_batch(&[1, 2], &mut out);
+            assert_eq!(r.hot_hits, 0);
+        }
+        assert_eq!(h.hot_rows(), 0);
+    }
+}

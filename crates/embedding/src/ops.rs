@@ -1,0 +1,315 @@
+//! The sparse embedding operators of the WDL embedding layer (§II-D).
+//!
+//! Real implementations of Unique, Partition, Gather, Shuffle, Stitch and
+//! SegmentReduction over materialized ID streams. Each returns its actual
+//! output *plus* an [`OpCost`] describing the bytes/FLOPs it would move on
+//! the paper's hardware, which the execution engine feeds to the simulator.
+
+use crate::table::ShardedTable;
+use std::collections::HashMap;
+
+/// Abstract cost of one operator invocation.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct OpCost {
+    /// Bytes read from parameter/working memory.
+    pub bytes_read: f64,
+    /// Bytes written to working memory.
+    pub bytes_written: f64,
+    /// Bytes exchanged between workers.
+    pub comm_bytes: f64,
+    /// Floating-point operations.
+    pub flops: f64,
+}
+
+impl OpCost {
+    /// Sums two costs.
+    pub fn merge(self, other: OpCost) -> OpCost {
+        OpCost {
+            bytes_read: self.bytes_read + other.bytes_read,
+            bytes_written: self.bytes_written + other.bytes_written,
+            comm_bytes: self.comm_bytes + other.comm_bytes,
+            flops: self.flops + other.flops,
+        }
+    }
+}
+
+/// Output of [`unique`]: deduplicated IDs plus, for every input position,
+/// the index of its ID in the unique list.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UniqueOutput {
+    /// Deduplicated IDs in first-occurrence order.
+    pub unique_ids: Vec<u64>,
+    /// `inverse[i]` is the position of `ids[i]` in `unique_ids`.
+    pub inverse: Vec<u32>,
+}
+
+/// Eliminates redundant categorical feature IDs (the `Unique` operator).
+pub fn unique(ids: &[u64]) -> (UniqueOutput, OpCost) {
+    let mut index: HashMap<u64, u32> = HashMap::with_capacity(ids.len());
+    let mut unique_ids = Vec::new();
+    let mut inverse = Vec::with_capacity(ids.len());
+    for &id in ids {
+        let next = unique_ids.len() as u32;
+        let entry = *index.entry(id).or_insert_with(|| {
+            unique_ids.push(id);
+            next
+        });
+        inverse.push(entry);
+    }
+    let cost = OpCost {
+        bytes_read: ids.len() as f64 * 8.0,
+        bytes_written: unique_ids.len() as f64 * 8.0 + inverse.len() as f64 * 4.0,
+        ..OpCost::default()
+    };
+    (UniqueOutput { unique_ids, inverse }, cost)
+}
+
+/// Output of [`partition`]: IDs bucketed by owning shard, with bookkeeping
+/// to undo the permutation.
+#[derive(Debug, Clone)]
+pub struct PartitionOutput {
+    /// `parts[s]` holds the IDs owned by shard `s`.
+    pub parts: Vec<Vec<u64>>,
+    /// For each input position, `(shard, index within shard)`.
+    pub origin: Vec<(u32, u32)>,
+}
+
+/// Partitions IDs into per-shard buckets (`Partition`).
+pub fn partition(ids: &[u64], table: &ShardedTable) -> (PartitionOutput, OpCost) {
+    let n = table.shard_count();
+    let mut parts: Vec<Vec<u64>> = vec![Vec::new(); n];
+    let mut origin = Vec::with_capacity(ids.len());
+    for &id in ids {
+        let s = table.shard_of(id);
+        origin.push((s as u32, parts[s].len() as u32));
+        parts[s].push(id);
+    }
+    let cost = OpCost {
+        bytes_read: ids.len() as f64 * 8.0,
+        bytes_written: ids.len() as f64 * 8.0,
+        ..OpCost::default()
+    };
+    (PartitionOutput { parts, origin }, cost)
+}
+
+/// Queries rows from one shard of the table (`Gather`): `dim` floats per ID,
+/// concatenated.
+pub fn gather(table: &mut ShardedTable, shard: usize, ids: &[u64]) -> (Vec<f32>, OpCost) {
+    let dim = table.dim();
+    let mut out = Vec::with_capacity(ids.len() * dim);
+    let t = table.shard_mut(shard);
+    for &id in ids {
+        t.gather_into(id, &mut out);
+    }
+    let bytes = (ids.len() * dim * 4) as f64;
+    (
+        out,
+        OpCost {
+            bytes_read: bytes,
+            bytes_written: bytes,
+            ..OpCost::default()
+        },
+    )
+}
+
+/// Exchanges per-shard gathered rows back to the requesting worker
+/// (`Shuffle`) and stitches them into input order (`Stitch`). This is the
+/// fused `Shuffle&Stitch` kernel of Fig. 7; the communication bytes cover
+/// every row fetched from a remote shard.
+pub fn shuffle_stitch(
+    parts: &PartitionOutput,
+    gathered: &[Vec<f32>],
+    dim: usize,
+    local_shard: usize,
+) -> (Vec<f32>, OpCost) {
+    assert_eq!(parts.parts.len(), gathered.len(), "one buffer per shard");
+    let total: usize = parts.origin.len();
+    let mut out = vec![0.0f32; total * dim];
+    let mut comm_bytes = 0.0;
+    for (i, &(shard, idx)) in parts.origin.iter().enumerate() {
+        let src = &gathered[shard as usize][idx as usize * dim..(idx as usize + 1) * dim];
+        out[i * dim..(i + 1) * dim].copy_from_slice(src);
+        if shard as usize != local_shard {
+            comm_bytes += (dim * 4) as f64;
+        }
+    }
+    let bytes = (total * dim * 4) as f64;
+    (
+        out,
+        OpCost {
+            bytes_read: bytes,
+            bytes_written: bytes,
+            comm_bytes,
+            ..OpCost::default()
+        },
+    )
+}
+
+/// Expands unique-row embeddings back to per-position embeddings using the
+/// inverse mapping from [`unique`].
+pub fn expand_unique(unique_rows: &[f32], inverse: &[u32], dim: usize) -> (Vec<f32>, OpCost) {
+    let mut out = Vec::with_capacity(inverse.len() * dim);
+    for &u in inverse {
+        let u = u as usize;
+        out.extend_from_slice(&unique_rows[u * dim..(u + 1) * dim]);
+    }
+    let bytes = (inverse.len() * dim * 4) as f64;
+    (
+        out,
+        OpCost {
+            bytes_read: bytes,
+            bytes_written: bytes,
+            ..OpCost::default()
+        },
+    )
+}
+
+/// Pooling mode for [`segment_reduce`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Reduction {
+    /// Sum of the segment's rows.
+    Sum,
+    /// Mean of the segment's rows (empty segments produce zeros).
+    Mean,
+}
+
+/// Pools per-position embeddings into one row per segment
+/// (`SegmentReduction`, e.g. summing a user's behaviour sequence).
+pub fn segment_reduce(
+    rows: &[f32],
+    offsets: &[u32],
+    dim: usize,
+    mode: Reduction,
+) -> (Vec<f32>, OpCost) {
+    assert!(!offsets.is_empty(), "offsets must contain at least the end");
+    let segments = offsets.len() - 1;
+    let mut out = vec![0.0f32; segments * dim];
+    let mut flops = 0.0;
+    for s in 0..segments {
+        let (lo, hi) = (offsets[s] as usize, offsets[s + 1] as usize);
+        for r in lo..hi {
+            for j in 0..dim {
+                out[s * dim + j] += rows[r * dim + j];
+            }
+        }
+        flops += ((hi - lo) * dim) as f64;
+        if mode == Reduction::Mean && hi > lo {
+            let inv = 1.0 / (hi - lo) as f32;
+            for j in 0..dim {
+                out[s * dim + j] *= inv;
+            }
+            flops += dim as f64;
+        }
+    }
+    let cost = OpCost {
+        bytes_read: rows.len() as f64 * 4.0,
+        bytes_written: out.len() as f64 * 4.0,
+        flops,
+        ..OpCost::default()
+    };
+    (out, cost)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table::ShardedTable;
+
+    #[test]
+    fn unique_deduplicates_preserving_order() {
+        let (u, cost) = unique(&[5, 3, 5, 7, 3]);
+        assert_eq!(u.unique_ids, vec![5, 3, 7]);
+        assert_eq!(u.inverse, vec![0, 1, 0, 2, 1]);
+        assert!(cost.bytes_read > 0.0);
+    }
+
+    #[test]
+    fn unique_of_empty_is_empty() {
+        let (u, _) = unique(&[]);
+        assert!(u.unique_ids.is_empty());
+        assert!(u.inverse.is_empty());
+    }
+
+    #[test]
+    fn partition_routes_every_id_to_its_shard() {
+        let table = ShardedTable::new(4, 0, 3);
+        let ids: Vec<u64> = (0..100).collect();
+        let (p, _) = partition(&ids, &table);
+        assert_eq!(p.parts.iter().map(Vec::len).sum::<usize>(), 100);
+        for (s, part) in p.parts.iter().enumerate() {
+            assert!(part.iter().all(|&id| table.shard_of(id) == s));
+        }
+        // origin lets us find each id again.
+        for (i, &(s, idx)) in p.origin.iter().enumerate() {
+            assert_eq!(p.parts[s as usize][idx as usize], ids[i]);
+        }
+    }
+
+    #[test]
+    fn full_pipeline_reproduces_direct_lookup() {
+        // unique -> partition -> gather-per-shard -> shuffle&stitch ->
+        // expand must equal looking ids up one by one.
+        let mut table = ShardedTable::new(4, 9, 3);
+        let ids = vec![11u64, 4, 11, 8, 15, 4, 16, 23, 42, 8];
+
+        let (u, _) = unique(&ids);
+        let (parts, _) = partition(&u.unique_ids, &table);
+        let gathered: Vec<Vec<f32>> = (0..3)
+            .map(|s| gather(&mut table, s, &parts.parts[s].clone()).0)
+            .collect();
+        let (stitched, shuffle_cost) = shuffle_stitch(&parts, &gathered, 4, 0);
+        let (expanded, _) = expand_unique(&stitched, &u.inverse, 4);
+
+        let mut want = Vec::new();
+        for &id in &ids {
+            want.extend_from_slice(table.row(id));
+        }
+        assert_eq!(expanded, want);
+        assert!(shuffle_cost.comm_bytes > 0.0, "remote shards cost bytes");
+    }
+
+    #[test]
+    fn shuffle_counts_only_remote_bytes() {
+        let table = ShardedTable::new(2, 1, 2);
+        // Find one local (shard 0) and one remote id.
+        let local = (0..100).find(|&i| table.shard_of(i) == 0).unwrap();
+        let remote = (0..100).find(|&i| table.shard_of(i) == 1).unwrap();
+        let mut t = table.clone();
+        let (parts, _) = partition(&[local, remote], &t);
+        let gathered: Vec<Vec<f32>> = (0..2)
+            .map(|s| gather(&mut t, s, &parts.parts[s].clone()).0)
+            .collect();
+        let (_, cost) = shuffle_stitch(&parts, &gathered, 2, 0);
+        assert_eq!(cost.comm_bytes, 8.0, "one remote row of dim 2 = 8 bytes");
+    }
+
+    #[test]
+    fn segment_reduce_sums_segments() {
+        // 2 segments of dim 2: [1,2]+[3,4] and [5,6].
+        let rows = vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0];
+        let (out, cost) = segment_reduce(&rows, &[0, 2, 3], 2, Reduction::Sum);
+        assert_eq!(out, vec![4.0, 6.0, 5.0, 6.0]);
+        assert!(cost.flops > 0.0);
+    }
+
+    #[test]
+    fn segment_reduce_mean_and_empty_segments() {
+        let rows = vec![2.0, 4.0, 6.0, 8.0];
+        let (out, _) = segment_reduce(&rows, &[0, 2, 2], 2, Reduction::Mean);
+        assert_eq!(out, vec![4.0, 6.0, 0.0, 0.0], "empty segment is zeros");
+    }
+
+    #[test]
+    fn cost_merge_adds_fields() {
+        let a = OpCost {
+            bytes_read: 1.0,
+            bytes_written: 2.0,
+            comm_bytes: 3.0,
+            flops: 4.0,
+        };
+        let b = a;
+        let m = a.merge(b);
+        assert_eq!(m.bytes_read, 2.0);
+        assert_eq!(m.flops, 8.0);
+    }
+}

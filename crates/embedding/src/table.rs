@@ -1,0 +1,231 @@
+//! Embedding tables.
+//!
+//! Industrial WDL systems store embedding parameters in hashmaps so the
+//! table can grow with newly-emerging categorical IDs (§III-B). Rows are
+//! lazily initialized from a deterministic per-table hash so that every
+//! training system variant sees bit-identical initial parameters — the
+//! cache-consistency property tests depend on this.
+
+use picasso_data::splitmix64;
+use std::collections::HashMap;
+
+/// A growable embedding table keyed by categorical ID.
+#[derive(Debug, Clone)]
+pub struct EmbeddingTable {
+    dim: usize,
+    seed: u64,
+    rows: HashMap<u64, Box<[f32]>>,
+}
+
+impl EmbeddingTable {
+    /// Creates an empty table with embedding dimension `dim`.
+    pub fn new(dim: usize, seed: u64) -> Self {
+        assert!(dim > 0, "embedding dimension must be positive");
+        EmbeddingTable {
+            dim,
+            seed,
+            rows: HashMap::new(),
+        }
+    }
+
+    /// Embedding dimension.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of materialized rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether no rows have been materialized.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Bytes of parameter storage currently materialized.
+    pub fn bytes(&self) -> u64 {
+        (self.rows.len() * self.dim * 4) as u64
+    }
+
+    /// The deterministic initial value of `row[j]` for `id`.
+    fn init_value(seed: u64, id: u64, j: usize) -> f32 {
+        let h = splitmix64(seed ^ splitmix64(id.wrapping_add(j as u64) ^ (j as u64) << 32));
+        let unit = (h >> 11) as f64 / (1u64 << 53) as f64;
+        ((unit - 0.5) * 0.2) as f32
+    }
+
+    /// Returns the row for `id`, materializing it on first access.
+    pub fn row(&mut self, id: u64) -> &[f32] {
+        let (dim, seed) = (self.dim, self.seed);
+        self.rows
+            .entry(id)
+            .or_insert_with(|| (0..dim).map(|j| Self::init_value(seed, id, j)).collect())
+    }
+
+    /// Returns the row for `id` without materializing; `None` if absent.
+    pub fn peek(&self, id: u64) -> Option<&[f32]> {
+        self.rows.get(&id).map(|r| r.as_ref())
+    }
+
+    /// Copies the row for `id` into `out`.
+    pub fn gather_into(&mut self, id: u64, out: &mut Vec<f32>) {
+        let row = self.row(id);
+        out.extend_from_slice(row);
+    }
+
+    /// Overwrites the row for `id` (used by cache write-back).
+    pub fn put(&mut self, id: u64, values: &[f32]) {
+        assert_eq!(values.len(), self.dim, "row length must equal dim");
+        self.rows.insert(id, values.into());
+    }
+
+    /// Applies a gradient step `row -= lr * grad` to the row for `id`.
+    pub fn apply_gradient(&mut self, id: u64, grad: &[f32], lr: f32) {
+        assert_eq!(grad.len(), self.dim, "gradient length must equal dim");
+        let (dim, seed) = (self.dim, self.seed);
+        let row = self
+            .rows
+            .entry(id)
+            .or_insert_with(|| (0..dim).map(|j| Self::init_value(seed, id, j)).collect());
+        for (w, g) in row.iter_mut().zip(grad) {
+            *w -= lr * g;
+        }
+    }
+}
+
+/// An embedding table partitioned across `n_shards` workers (the MP layout:
+/// embedding parameters are partitioned across PICASSO-Executors).
+#[derive(Debug, Clone)]
+pub struct ShardedTable {
+    shards: Vec<EmbeddingTable>,
+}
+
+impl ShardedTable {
+    /// Creates a table split over `n_shards` partitions.
+    pub fn new(dim: usize, seed: u64, n_shards: usize) -> Self {
+        assert!(n_shards > 0, "need at least one shard");
+        ShardedTable {
+            shards: (0..n_shards)
+                // Same seed on every shard: the shard of an ID is a pure
+                // function of the ID, so values do not depend on layout.
+                .map(|_| EmbeddingTable::new(dim, seed))
+                .collect(),
+        }
+    }
+
+    /// Number of partitions.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Which shard owns `id`.
+    pub fn shard_of(&self, id: u64) -> usize {
+        (splitmix64(id) % self.shards.len() as u64) as usize
+    }
+
+    /// Mutable access to one shard.
+    pub fn shard_mut(&mut self, s: usize) -> &mut EmbeddingTable {
+        &mut self.shards[s]
+    }
+
+    /// Shared access to one shard.
+    pub fn shard(&self, s: usize) -> &EmbeddingTable {
+        &self.shards[s]
+    }
+
+    /// Looks up `id` on its owning shard.
+    pub fn row(&mut self, id: u64) -> &[f32] {
+        let s = self.shard_of(id);
+        self.shards[s].row(id)
+    }
+
+    /// Embedding dimension.
+    pub fn dim(&self) -> usize {
+        self.shards[0].dim()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rows_are_deterministic() {
+        let mut a = EmbeddingTable::new(8, 42);
+        let mut b = EmbeddingTable::new(8, 42);
+        assert_eq!(a.row(17), b.row(17));
+        let mut c = EmbeddingTable::new(8, 43);
+        assert_ne!(a.row(17), c.row(17), "different seeds differ");
+    }
+
+    #[test]
+    fn rows_are_small_and_varied() {
+        let mut t = EmbeddingTable::new(16, 1);
+        let r = t.row(5).to_vec();
+        assert!(r.iter().all(|v| v.abs() <= 0.1));
+        let distinct = r
+            .iter()
+            .map(|v| v.to_bits())
+            .collect::<std::collections::HashSet<_>>();
+        assert!(distinct.len() > 8, "row values should vary");
+    }
+
+    #[test]
+    fn lazy_materialization() {
+        let mut t = EmbeddingTable::new(4, 0);
+        assert!(t.is_empty());
+        assert!(t.peek(1).is_none());
+        t.row(1);
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.bytes(), 16);
+        assert!(t.peek(1).is_some());
+    }
+
+    #[test]
+    fn gradient_updates_row() {
+        let mut t = EmbeddingTable::new(2, 0);
+        let before = t.row(9).to_vec();
+        t.apply_gradient(9, &[1.0, -1.0], 0.5);
+        let after = t.peek(9).unwrap();
+        assert!((after[0] - (before[0] - 0.5)).abs() < 1e-6);
+        assert!((after[1] - (before[1] + 0.5)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn put_overwrites() {
+        let mut t = EmbeddingTable::new(2, 0);
+        t.put(3, &[1.0, 2.0]);
+        assert_eq!(t.peek(3).unwrap(), &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn shards_partition_ids_consistently() {
+        let mut t = ShardedTable::new(4, 7, 4);
+        assert_eq!(t.shard_count(), 4);
+        let s = t.shard_of(99);
+        assert_eq!(s, t.shard_of(99), "stable mapping");
+        // Value equals an unsharded table's value: layout-independent.
+        let mut plain = EmbeddingTable::new(4, 7);
+        assert_eq!(t.row(99), plain.row(99));
+    }
+
+    #[test]
+    fn shard_distribution_is_roughly_balanced() {
+        let t = ShardedTable::new(4, 0, 8);
+        let mut counts = [0usize; 8];
+        for id in 0..8000 {
+            counts[t.shard_of(id)] += 1;
+        }
+        for &c in &counts {
+            assert!((700..1300).contains(&c), "imbalanced shard: {counts:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "row length must equal dim")]
+    fn put_rejects_wrong_dim() {
+        let mut t = EmbeddingTable::new(3, 0);
+        t.put(0, &[1.0]);
+    }
+}

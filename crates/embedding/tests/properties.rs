@@ -1,0 +1,108 @@
+//! Property tests: cache transparency, operator-pipeline equivalence, and
+//! planner invariants.
+
+use picasso_data::DatasetSpec;
+use picasso_embedding::{
+    expand_unique, gather, partition, shuffle_stitch, unique, EmbeddingTable, HybridHash,
+    HybridHashConfig, PackPlan, PlannerConfig, ShardedTable,
+};
+use proptest::prelude::*;
+
+proptest! {
+    /// HybridHash is value-transparent: any lookup sequence returns exactly
+    /// what an uncached table would, for any cache size / cadence.
+    #[test]
+    fn cache_is_value_transparent(
+        batches in proptest::collection::vec(
+            proptest::collection::vec(0u64..200, 1..40), 1..20),
+        hot_rows in 0usize..64,
+        warmup in 1u64..5,
+        flush in 1u64..5,
+    ) {
+        let dim = 4;
+        let mut cache = HybridHash::new(
+            EmbeddingTable::new(dim, 99),
+            HybridHashConfig {
+                warmup_iters: warmup,
+                flush_iters: flush,
+                hot_bytes: (hot_rows * dim * 4) as u64,
+            },
+        );
+        let mut reference = EmbeddingTable::new(dim, 99);
+        let mut out = Vec::new();
+        for ids in &batches {
+            out.clear();
+            cache.lookup_batch(ids, &mut out);
+            let mut want = Vec::new();
+            for &id in ids {
+                want.extend_from_slice(reference.row(id));
+            }
+            prop_assert_eq!(&out, &want);
+        }
+        // Hot storage never exceeds its capacity.
+        prop_assert!(cache.hot_rows() <= hot_rows);
+    }
+
+    /// The unique/partition/gather/shuffle-stitch/expand pipeline equals a
+    /// direct row-by-row lookup for any id stream and shard count.
+    #[test]
+    fn embedding_pipeline_equivalence(
+        ids in proptest::collection::vec(0u64..500, 1..120),
+        shards in 1usize..6,
+        dim in 1usize..9,
+    ) {
+        let mut table = ShardedTable::new(dim, 3, shards);
+        let (u, _) = unique(&ids);
+        let (parts, _) = partition(&u.unique_ids, &table);
+        let gathered: Vec<Vec<f32>> = (0..shards)
+            .map(|s| {
+                let part = parts.parts[s].clone();
+                gather(&mut table, s, &part).0
+            })
+            .collect();
+        let (stitched, _) = shuffle_stitch(&parts, &gathered, dim, 0);
+        let (expanded, _) = expand_unique(&stitched, &u.inverse, dim);
+
+        let mut want = Vec::with_capacity(ids.len() * dim);
+        for &id in &ids {
+            want.extend_from_slice(table.row(id));
+        }
+        prop_assert_eq!(expanded, want);
+    }
+
+    /// Unique produces a minimal, consistent mapping.
+    #[test]
+    fn unique_is_minimal_and_consistent(ids in proptest::collection::vec(0u64..50, 0..200)) {
+        let (u, _) = unique(&ids);
+        // Every input id maps back through inverse.
+        for (i, &id) in ids.iter().enumerate() {
+            prop_assert_eq!(u.unique_ids[u.inverse[i] as usize], id);
+        }
+        // No duplicates in unique list.
+        let mut sorted = u.unique_ids.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        prop_assert_eq!(sorted.len(), u.unique_ids.len());
+    }
+
+    /// The planner always covers every field exactly once and respects the
+    /// width cap, for any cap.
+    #[test]
+    fn planner_partitions_fields(cap in 1usize..40) {
+        let spec = DatasetSpec::product3();
+        let plan = PackPlan::plan(&spec, &PlannerConfig { max_tables_per_pack: cap });
+        let mut seen = vec![false; spec.fields.len()];
+        for p in &plan.packs {
+            for &f in &p.fields {
+                prop_assert!(!seen[f], "field {f} in two packs");
+                seen[f] = true;
+            }
+        }
+        prop_assert!(seen.iter().all(|&s| s));
+        // Total Eq.1 volume is conserved across shardings of the same spec.
+        let v: f64 = plan.packs.iter().map(|p| p.vparam).sum();
+        let base = PackPlan::plan(&spec, &PlannerConfig::default());
+        let vb: f64 = base.packs.iter().map(|p| p.vparam).sum();
+        prop_assert!((v - vb).abs() < vb * 1e-9 + 1e-9);
+    }
+}

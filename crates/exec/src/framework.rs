@@ -1,0 +1,181 @@
+//! Training-framework presets.
+//!
+//! The paper compares PICASSO against TensorFlow-PS, PyTorch (hybrid with
+//! AllToAll), Horovod (DDP AllReduce), and the in-house XDL (synchronous
+//! PS). Each preset is a distribution strategy plus the set of
+//! graph-optimization passes it applies — PICASSO differs from
+//! "PICASSO(Base)" only by the software-system optimizations, which is what
+//! the Fig. 13 / Table IV ablation isolates.
+
+use crate::strategy::Strategy;
+use serde::{Deserialize, Serialize};
+
+/// Which optimizations a framework applies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Optimizations {
+    /// D-Packing (merge per-table chains into packed operations).
+    pub packing: bool,
+    /// K-Packing (same-resource kernel fusion).
+    pub kernel_packing: bool,
+    /// K-Interleaving (grouped, staggered packed operations).
+    pub k_interleaving: bool,
+    /// D-Interleaving (micro-batch pipelining).
+    pub d_interleaving: bool,
+    /// HybridHash caching.
+    pub caching: bool,
+}
+
+impl Optimizations {
+    /// Everything off (baselines and PICASSO(Base)).
+    pub const NONE: Optimizations = Optimizations {
+        packing: false,
+        kernel_packing: false,
+        k_interleaving: false,
+        d_interleaving: false,
+        caching: false,
+    };
+
+    /// Everything on (full PICASSO).
+    pub const ALL: Optimizations = Optimizations {
+        packing: true,
+        kernel_packing: true,
+        k_interleaving: true,
+        d_interleaving: true,
+        caching: true,
+    };
+
+    /// Full PICASSO minus packing (Table IV "w/o Packing").
+    pub fn without_packing() -> Optimizations {
+        Optimizations {
+            packing: false,
+            kernel_packing: false,
+            ..Optimizations::ALL
+        }
+    }
+
+    /// Full PICASSO minus interleaving (Table IV "w/o Interleaving").
+    pub fn without_interleaving() -> Optimizations {
+        Optimizations {
+            k_interleaving: false,
+            d_interleaving: false,
+            ..Optimizations::ALL
+        }
+    }
+
+    /// Full PICASSO minus caching (Table IV "w/o Caching").
+    pub fn without_caching() -> Optimizations {
+        Optimizations {
+            caching: false,
+            ..Optimizations::ALL
+        }
+    }
+}
+
+/// A named framework preset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Framework {
+    /// TensorFlow 1.15 with one CPU parameter server, asynchronous.
+    TfPs,
+    /// PyTorch 1.8 hybrid: manual table placement + AllToAll.
+    PyTorch,
+    /// Horovod on PyTorch DDP: full replication + AllReduce.
+    Horovod,
+    /// In-house XDL: synchronous PS with a server per four workers.
+    Xdl,
+    /// PICASSO's hybrid strategy without software-system optimizations.
+    PicassoBase,
+    /// Full PICASSO.
+    Picasso,
+}
+
+impl Framework {
+    /// All presets, in comparison order.
+    pub const ALL: [Framework; 6] = [
+        Framework::TfPs,
+        Framework::PyTorch,
+        Framework::Horovod,
+        Framework::Xdl,
+        Framework::PicassoBase,
+        Framework::Picasso,
+    ];
+
+    /// The four frameworks of the public benchmark (Figs. 10-12, Tab. III).
+    pub const BENCHMARK: [Framework; 4] = [
+        Framework::Picasso,
+        Framework::PyTorch,
+        Framework::TfPs,
+        Framework::Horovod,
+    ];
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Framework::TfPs => "TF-PS",
+            Framework::PyTorch => "PyTorch",
+            Framework::Horovod => "Horovod",
+            Framework::Xdl => "XDL",
+            Framework::PicassoBase => "PICASSO(Base)",
+            Framework::Picasso => "PICASSO",
+        }
+    }
+
+    /// The distribution strategy for a cluster of `machines` worker nodes.
+    pub fn strategy(self, machines: usize) -> Strategy {
+        match self {
+            Framework::TfPs => Strategy::PsAsync { servers: 1 },
+            Framework::Xdl => Strategy::PsSync {
+                servers: machines.div_ceil(4),
+            },
+            Framework::PyTorch => Strategy::ModelParallel,
+            Framework::Horovod => Strategy::DataParallel,
+            Framework::PicassoBase | Framework::Picasso => Strategy::Hybrid,
+        }
+    }
+
+    /// The optimizations this preset applies.
+    pub fn optimizations(self) -> Optimizations {
+        match self {
+            Framework::Picasso => Optimizations::ALL,
+            _ => Optimizations::NONE,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn only_picasso_optimizes() {
+        for f in Framework::ALL {
+            let o = f.optimizations();
+            if f == Framework::Picasso {
+                assert_eq!(o, Optimizations::ALL);
+            } else {
+                assert_eq!(o, Optimizations::NONE, "{}", f.name());
+            }
+        }
+    }
+
+    #[test]
+    fn strategies_match_paper_setup() {
+        assert_eq!(Framework::TfPs.strategy(16), Strategy::PsAsync { servers: 1 });
+        assert_eq!(Framework::Xdl.strategy(16), Strategy::PsSync { servers: 4 });
+        assert_eq!(Framework::Horovod.strategy(4), Strategy::DataParallel);
+        assert_eq!(Framework::PyTorch.strategy(4), Strategy::ModelParallel);
+        assert_eq!(Framework::Picasso.strategy(4), Strategy::Hybrid);
+    }
+
+    #[test]
+    fn ablation_configs_differ_from_full() {
+        let all = Optimizations::ALL;
+        assert_ne!(Optimizations::without_packing(), all);
+        assert_ne!(Optimizations::without_interleaving(), all);
+        assert_ne!(Optimizations::without_caching(), all);
+        assert!(!Optimizations::without_packing().packing);
+        assert!(Optimizations::without_packing().caching);
+        assert!(!Optimizations::without_interleaving().d_interleaving);
+        assert!(!Optimizations::without_caching().caching);
+        assert!(Optimizations::without_caching().packing);
+    }
+}

@@ -1,0 +1,36 @@
+//! # picasso-exec
+//!
+//! The distributed execution engine of the PICASSO reproduction: training
+//! strategies (PS / DP / MP / hybrid), collective-communication cost
+//! models, warm-up measurement over real data, the scheduler that lowers
+//! logical WDL graphs onto the simulated cluster, framework presets
+//! (TF-PS, PyTorch, Horovod, XDL, PICASSO), and the end-to-end trainer
+//! that produces the paper's telemetry.
+//!
+//! ```no_run
+//! use picasso_data::DatasetSpec;
+//! use picasso_exec::{train, Framework, ModelKind, TrainerOptions};
+//!
+//! let data = DatasetSpec::criteo().shared();
+//! let run = train(ModelKind::Dlrm, &data, Framework::Picasso, &TrainerOptions::default());
+//! println!("{:.0} instances/sec/node", run.report.ips_per_node);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod collectives;
+pub mod costs;
+pub mod framework;
+pub mod scheduler;
+pub mod strategy;
+pub mod telemetry;
+pub mod trainer;
+pub mod warmup;
+
+pub use framework::{Framework, Optimizations};
+pub use picasso_models::ModelKind;
+pub use scheduler::{simulate, SimConfig, SimulationOutput};
+pub use strategy::{DenseSync, EmbeddingExchange, Strategy};
+pub use telemetry::TrainingReport;
+pub use trainer::{run, train, RunArtifacts, TrainerOptions, MEMORY_AMPLIFICATION};
+pub use warmup::{run_warmup, TableStats, WarmupConfig, WarmupReport};

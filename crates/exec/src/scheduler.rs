@@ -1,0 +1,537 @@
+//! The scheduler: lowers a logical WDL graph onto the simulated cluster.
+//!
+//! For every executor and iteration it emits the embedding chains (gated by
+//! K-interleaving groups), interaction modules, MLP, the backward mirror,
+//! and the strategy's parameter synchronization, wiring dependencies so that
+//! overlap — or the lack of it — emerges from the event engine:
+//!
+//! - chains within one K-group issue together; the next group's stages wait
+//!   for this group's communication step (the Fig. 8c stagger);
+//! - D-interleaving splits each iteration into micro-batches whose compute
+//!   overlaps the next micro-batch's embedding traffic;
+//! - synchronous strategies end each iteration with a global barrier, while
+//!   async PS lets every worker run free;
+//! - data loading for iteration `i+1` prefetches during iteration `i`.
+
+use crate::costs::{self, PlanContext, ResTarget, StageTask};
+use crate::strategy::Strategy;
+use picasso_graph::{OpKind, WdlSpec};
+use picasso_sim::{
+    Cluster, Engine, EngineError, MachineSpec, RunResult, Task, TaskId,
+};
+
+/// Simulation shape.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// Instances per executor per iteration.
+    pub batch_per_executor: usize,
+    /// Iterations to simulate.
+    pub iterations: usize,
+    /// Worker machines.
+    pub machines: usize,
+    /// Machine specification (Table I presets).
+    pub machine: MachineSpec,
+    /// Halve collective payloads (half-precision quantized communication).
+    pub quantized_comm: bool,
+}
+
+impl SimConfig {
+    /// A single EFLOPS node, 6 iterations — the default experiment shape.
+    pub fn eflops(machines: usize, batch: usize) -> SimConfig {
+        SimConfig {
+            batch_per_executor: batch,
+            iterations: 6,
+            machines,
+            machine: MachineSpec::eflops(),
+            quantized_comm: false,
+        }
+    }
+
+    /// A Gn6e node (8 GPUs), 6 iterations.
+    pub fn gn6e(machines: usize, batch: usize) -> SimConfig {
+        SimConfig {
+            batch_per_executor: batch,
+            iterations: 6,
+            machines,
+            machine: MachineSpec::gn6e(),
+            quantized_comm: false,
+        }
+    }
+}
+
+/// A finished simulation plus its shape.
+#[derive(Debug)]
+pub struct SimulationOutput {
+    /// Raw engine trace.
+    pub result: RunResult,
+    /// Instances per executor per iteration.
+    pub batch: usize,
+    /// Iterations simulated.
+    pub iterations: usize,
+    /// Executors (GPU workers).
+    pub executors: usize,
+    /// Worker machines.
+    pub machines: usize,
+}
+
+impl SimulationOutput {
+    /// Training throughput in instances per second per machine (the paper's
+    /// IPS metric).
+    pub fn ips_per_node(&self) -> f64 {
+        let total = (self.batch * self.executors * self.iterations) as f64;
+        total / self.result.makespan.as_secs_f64() / self.machines as f64
+    }
+
+    /// Seconds per iteration.
+    pub fn secs_per_iteration(&self) -> f64 {
+        self.result.makespan.as_secs_f64() / self.iterations as f64
+    }
+}
+
+/// Lowers and runs `spec` under `strategy` on the configured cluster.
+pub fn simulate(
+    spec: &WdlSpec,
+    strategy: Strategy,
+    cfg: &SimConfig,
+) -> Result<SimulationOutput, EngineError> {
+    let mut engine = Engine::new();
+    let cluster = Cluster::build(
+        cfg.machine.clone(),
+        cfg.machines,
+        strategy.server_count(),
+        &mut engine,
+    );
+    let n_exec = cluster.executor_count();
+    let ctx = PlanContext {
+        n_exec,
+        per_node: cfg.machine.gpus_per_node,
+        has_nvlink: cfg.machine.nvlink_bw.is_some(),
+        strategy,
+        comm_scale: if cfg.quantized_comm { 0.5 } else { 1.0 },
+    };
+
+    // Chains ordered into K-interleaving groups.
+    let n_groups = spec.group_count().max(1);
+    let mut groups: Vec<Vec<usize>> = vec![Vec::new(); n_groups];
+    for (i, c) in spec.chains.iter().enumerate() {
+        groups[(c.group as usize).min(n_groups - 1)].push(i);
+    }
+
+    // field -> chain lookup for module dependencies.
+    let max_field = spec
+        .chains
+        .iter()
+        .flat_map(|c| c.fields.iter())
+        .copied()
+        .max()
+        .map(|f| f as usize + 1)
+        .unwrap_or(0);
+    let mut field_chain = vec![usize::MAX; max_field];
+    for (i, c) in spec.chains.iter().enumerate() {
+        for &f in &c.fields {
+            field_chain[f as usize] = i;
+        }
+    }
+    // chain -> consuming modules (for backward deps).
+    let mut chain_consumers: Vec<Vec<usize>> = vec![Vec::new(); spec.chains.len()];
+    let mut module_chains: Vec<Vec<usize>> = Vec::with_capacity(spec.modules.len());
+    for (mi, m) in spec.modules.iter().enumerate() {
+        let mut chains: Vec<usize> = m
+            .input_fields
+            .iter()
+            .map(|&f| field_chain[f as usize])
+            .filter(|&c| c != usize::MAX)
+            .collect();
+        chains.sort_unstable();
+        chains.dedup();
+        for &c in &chains {
+            chain_consumers[c].push(mi);
+        }
+        module_chains.push(chains);
+    }
+
+    let micro = spec.micro_batches.max(1);
+    let sparse_grad_bytes = if matches!(strategy, Strategy::DataParallel) {
+        // Unique rows per iteration ride the allreduce under pure DP.
+        spec.chains
+            .iter()
+            .map(|c| {
+                cfg.batch_per_executor as f64
+                    * c.ids_per_instance
+                    * c.unique_ratio
+                    * c.dim as f64
+                    * 4.0
+            })
+            .sum()
+    } else {
+        0.0
+    };
+
+    let dispatch_secs = cfg.machine.overheads.op_dispatch.as_secs_f64();
+    let add = |engine: &mut Engine,
+                   exec: usize,
+                   st: &StageTask,
+                   deps: &[TaskId],
+                   dispatch_scale: f64|
+     -> Result<TaskId, EngineError> {
+        let h = &cluster.executors[exec];
+        let (resource, server_side) = match st.target {
+            ResTarget::GpuSm => (h.gpu_sm, false),
+            ResTarget::GpuMem => (h.gpu_mem, false),
+            ResTarget::Pcie => (h.pcie, false),
+            ResTarget::Dram => (h.dram, false),
+            ResTarget::Cpu => (h.cpu, false),
+            ResTarget::Nic => (h.nic, false),
+            ResTarget::NvLink => (h.nvlink.unwrap_or(h.nic), false),
+            ResTarget::ServerNic => {
+                let s = exec % cluster.servers.len().max(1);
+                (cluster.servers[s].nic, true)
+            }
+            ResTarget::ServerDram => {
+                let s = exec % cluster.servers.len().max(1);
+                (cluster.servers[s].dram, true)
+            }
+        };
+        // Framework op dispatch: the stage's `launches` graph operations are
+        // scheduled by the executor's launcher threads before the hardware
+        // sees them. This serialized host cost is what packing amortizes —
+        // a packed stage dispatches once for many tables. Server-side work
+        // is dispatched by the server process and skips the worker launcher.
+        let mut stage_deps: Vec<TaskId> = deps.to_vec();
+        if !server_side && st.launches > 0 && dispatch_scale > 0.0 {
+            let mut launch = Task::new(
+                h.launcher,
+                st.launches as f64 * dispatch_secs * dispatch_scale,
+                st.kind.class().category(),
+            );
+            launch.deps.extend_from_slice(deps);
+            stage_deps = vec![engine.add_task(launch)?];
+        }
+        let mut task = Task::new(resource, st.work, st.kind.class().category());
+        if server_side && st.launches > 1 {
+            // Server processes dispatch their own ops; charge the
+            // multiplicity as inflated work on the server resource.
+            let overhead = engine.resource_spec(resource).launch_overhead.as_secs_f64();
+            let rate = engine.resource_spec(resource).rate;
+            task.work += (st.launches - 1) as f64 * overhead * rate;
+        }
+        task.deps = stage_deps;
+        engine.add_task(task)
+    };
+
+    // Per executor: prefetch chain + iteration dependency.
+    let mut prev_load: Vec<Option<TaskId>> = vec![None; n_exec];
+    let mut iter_dep: Vec<Vec<TaskId>> = vec![Vec::new(); n_exec];
+
+    for _iter in 0..cfg.iterations {
+        let mut iter_ends: Vec<TaskId> = Vec::with_capacity(n_exec);
+        for e in 0..n_exec {
+            // Data transmission (prefetched: depends only on the previous
+            // load and the previous-iteration gate, not on compute).
+            let io = StageTask {
+                kind: OpKind::DataLoad,
+                target: ResTarget::Nic,
+                work: cfg.batch_per_executor as f64 * spec.io_bytes_per_instance
+                    / costs::NET_EFF,
+                launches: OpKind::DataLoad.micro_ops(),
+            };
+            let mut io_deps: Vec<TaskId> = prev_load[e].into_iter().collect();
+            io_deps.extend(iter_dep[e].iter().copied());
+            let load = add(&mut engine, e, &io, &io_deps, 1.0)?;
+            prev_load[e] = Some(load);
+
+            let mut bwd_ends: Vec<TaskId> = Vec::new();
+            // D-interleaving pipeline gate: a chain's lookups in micro-batch
+            // m wait for the same chain's communication step in m-1, so
+            // micro-batches stream through the interconnects instead of
+            // bursting all at once.
+            let mut prev_micro_comm: Vec<Option<TaskId>> = vec![None; spec.chains.len()];
+            for m in 0..micro {
+                let b = split_batch(cfg.batch_per_executor, micro, m);
+                if b == 0 {
+                    continue;
+                }
+                // First micro-batch pays full framework dispatch; repeats of
+                // the same operations re-execute through a warm executor.
+                let dispatch_scale = if m == 0 { 1.0 } else { 0.35 };
+                // Embedding layer, group by group.
+                let mut gate: Vec<TaskId> = Vec::new();
+                let mut chain_last: Vec<Option<TaskId>> = vec![None; spec.chains.len()];
+                for group in &groups {
+                    let mut next_gate: Vec<TaskId> = Vec::new();
+                    for &ci in group {
+                        let chain = &spec.chains[ci];
+                        let (stages, comm_idx) = costs::chain_forward(chain, b, &ctx);
+                        let mut first_deps: Vec<TaskId> = vec![load];
+                        first_deps.extend(iter_dep[e].iter().copied());
+                        first_deps.extend(prev_micro_comm[ci]);
+                        let mut prev: Option<TaskId> = None;
+                        let mut comm_task: Option<TaskId> = None;
+                        for (si, st) in stages.iter().enumerate() {
+                            let mut deps: Vec<TaskId> = match prev {
+                                Some(p) => vec![p],
+                                None => first_deps.clone(),
+                            };
+                            // K-interleaving (Fig. 8c): only the
+                            // *communication* step is ordered behind the
+                            // previous group's communication — other stages
+                            // of different groups overlap freely, but the
+                            // interconnect sees paced, not bursty, arrivals.
+                            if si == comm_idx && !chain.interleave_excluded {
+                                deps.extend(gate.iter().copied());
+                            }
+                            let t = add(&mut engine, e, st, &deps, dispatch_scale)?;
+                            if si == comm_idx {
+                                comm_task = Some(t);
+                                if !chain.interleave_excluded {
+                                    next_gate.push(t);
+                                }
+                            }
+                            prev = Some(t);
+                        }
+                        chain_last[ci] = prev;
+                        prev_micro_comm[ci] = comm_task.or(prev);
+                    }
+                    if !next_gate.is_empty() {
+                        gate = next_gate;
+                    }
+                }
+
+                // Interaction modules.
+                let mut module_fwd: Vec<TaskId> = Vec::with_capacity(spec.modules.len());
+                for (mi, module) in spec.modules.iter().enumerate() {
+                    let mut deps: Vec<TaskId> = module_chains[mi]
+                        .iter()
+                        .filter_map(|&c| chain_last[c])
+                        .collect();
+                    if deps.is_empty() {
+                        deps.push(load);
+                        deps.extend(iter_dep[e].iter().copied());
+                    }
+                    module_fwd.push(add(&mut engine, e, &costs::module_forward(module, b), &deps, dispatch_scale)?);
+                }
+
+                // MLP forward + backward.
+                let mlp_deps: Vec<TaskId> = if module_fwd.is_empty() {
+                    chain_last.iter().filter_map(|&t| t).collect()
+                } else {
+                    module_fwd.clone()
+                };
+                let fwd = add(&mut engine, e, &costs::mlp_forward(&spec.mlp, b), &mlp_deps, dispatch_scale)?;
+                let bwd = add(&mut engine, e, &costs::mlp_backward(&spec.mlp, b), &[fwd], dispatch_scale)?;
+
+                // Module backward.
+                let mut module_bwd: Vec<TaskId> = Vec::with_capacity(spec.modules.len());
+                for module in &spec.modules {
+                    module_bwd.push(add(
+                        &mut engine,
+                        e,
+                        &costs::module_backward(module, b),
+                        &[bwd],
+                        dispatch_scale,
+                    )?);
+                }
+
+                // Embedding backward per chain.
+                for (ci, chain) in spec.chains.iter().enumerate() {
+                    let deps: Vec<TaskId> = if chain_consumers[ci].is_empty() {
+                        vec![bwd]
+                    } else {
+                        chain_consumers[ci].iter().map(|&mi| module_bwd[mi]).collect()
+                    };
+                    let mut prev: Option<TaskId> = None;
+                    for st in costs::chain_backward(chain, b, &ctx) {
+                        let d: Vec<TaskId> = match prev {
+                            Some(p) => vec![p],
+                            None => deps.clone(),
+                        };
+                        prev = Some(add(&mut engine, e, &st, &d, dispatch_scale)?);
+                    }
+                    if let Some(p) = prev {
+                        bwd_ends.push(p);
+                    }
+                }
+                bwd_ends.push(bwd);
+                bwd_ends.extend(module_bwd);
+            }
+
+            // Dense parameter synchronization once per iteration.
+            let mut prev: Option<TaskId> = None;
+            for st in costs::dense_sync_stages(spec.dense_params(), sparse_grad_bytes, &ctx) {
+                let deps: Vec<TaskId> = match prev {
+                    Some(p) => vec![p],
+                    None => bwd_ends.clone(),
+                };
+                prev = Some(add(&mut engine, e, &st, &deps, 1.0)?);
+            }
+            iter_ends.push(prev.unwrap_or_else(|| *bwd_ends.last().expect("nonempty iteration")));
+        }
+
+        // Iteration boundary: synchronous strategies join all executors.
+        if strategy.is_async() {
+            for (e, &end) in iter_ends.iter().enumerate() {
+                iter_dep[e] = vec![end];
+            }
+        } else {
+            let barrier = StageTask {
+                kind: OpKind::Sync,
+                target: ResTarget::Cpu,
+                work: 1.0,
+                launches: 1,
+            };
+            let b = add(&mut engine, 0, &barrier, &iter_ends, 1.0)?;
+            for dep in iter_dep.iter_mut() {
+                *dep = vec![b];
+            }
+        }
+    }
+
+    let result = engine.run()?;
+    Ok(SimulationOutput {
+        result,
+        batch: cfg.batch_per_executor,
+        iterations: cfg.iterations,
+        executors: n_exec,
+        machines: cfg.machines,
+    })
+}
+
+/// Splits `batch` into `micro` near-equal parts; part `m` gets the
+/// remainder-adjusted share.
+fn split_batch(batch: usize, micro: usize, m: usize) -> usize {
+    let base = batch / micro;
+    let rem = batch % micro;
+    base + usize::from(m < rem)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use picasso_data::DatasetSpec;
+    use picasso_models::ModelKind;
+    use picasso_sim::TaskCategory;
+
+    fn quick_cfg() -> SimConfig {
+        SimConfig {
+            batch_per_executor: 1024,
+            iterations: 3,
+            machines: 2,
+            machine: MachineSpec::eflops(),
+            quantized_comm: false,
+        }
+    }
+
+    #[test]
+    fn split_batch_conserves_instances() {
+        for batch in [10usize, 17, 1000] {
+            for micro in 1..=7 {
+                let total: usize = (0..micro).map(|m| split_batch(batch, micro, m)).sum();
+                assert_eq!(total, batch);
+            }
+        }
+    }
+
+    #[test]
+    fn dlrm_simulates_end_to_end() {
+        let data = DatasetSpec::criteo();
+        let spec = ModelKind::Dlrm.build(&data);
+        let out = simulate(&spec, Strategy::Hybrid, &quick_cfg()).unwrap();
+        assert!(out.result.makespan.as_secs_f64() > 0.0);
+        assert!(out.ips_per_node() > 0.0);
+        assert_eq!(out.executors, 2);
+        // Every category of work exists in the trace.
+        for cat in [
+            TaskCategory::DataIo,
+            TaskCategory::Memory,
+            TaskCategory::Communication,
+            TaskCategory::Computation,
+        ] {
+            assert!(
+                out.result.records.iter().any(|r| r.category == cat),
+                "missing {cat}"
+            );
+        }
+    }
+
+    #[test]
+    fn ps_uses_server_resources() {
+        let data = DatasetSpec::criteo();
+        let spec = ModelKind::Dlrm.build(&data);
+        let out = simulate(&spec, Strategy::PsAsync { servers: 1 }, &quick_cfg()).unwrap();
+        // Server node exists beyond the 2 worker machines; its NIC is busy.
+        let server_busy: f64 = out
+            .result
+            .resources
+            .iter()
+            .filter(|r| r.spec.name.starts_with("ps0/"))
+            .map(|r| r.busy.as_secs_f64())
+            .sum();
+        assert!(server_busy > 0.0, "PS server should carry load");
+    }
+
+    #[test]
+    fn async_ps_is_faster_than_sync_ps_per_iteration() {
+        let data = DatasetSpec::criteo();
+        let spec = ModelKind::Dlrm.build(&data);
+        let a = simulate(&spec, Strategy::PsAsync { servers: 1 }, &quick_cfg()).unwrap();
+        let s = simulate(&spec, Strategy::PsSync { servers: 1 }, &quick_cfg()).unwrap();
+        assert!(
+            a.result.makespan <= s.result.makespan,
+            "removing the barrier cannot slow things down"
+        );
+    }
+
+    #[test]
+    fn hybrid_beats_ps_on_throughput() {
+        // At production batch sizes the PS servers congest; collectives win.
+        let data = DatasetSpec::criteo();
+        let spec = ModelKind::Dlrm.build(&data);
+        let mut cfg = quick_cfg();
+        cfg.batch_per_executor = 8192;
+        cfg.machines = 4;
+        let hybrid = simulate(&spec, Strategy::Hybrid, &cfg).unwrap();
+        let ps = simulate(&spec, Strategy::PsAsync { servers: 1 }, &cfg).unwrap();
+        assert!(
+            hybrid.ips_per_node() > ps.ips_per_node(),
+            "hybrid {} <= ps {}",
+            hybrid.ips_per_node(),
+            ps.ips_per_node()
+        );
+    }
+
+    #[test]
+    fn micro_batching_overlaps_phases() {
+        let data = DatasetSpec::alibaba();
+        let mut spec = ModelKind::Din.build(&data);
+        let mut cfg = quick_cfg();
+        cfg.batch_per_executor = 4096;
+        let serial = simulate(&spec, Strategy::Hybrid, &cfg).unwrap();
+        spec.micro_batches = 2;
+        let pipelined = simulate(&spec, Strategy::Hybrid, &cfg).unwrap();
+        // On an unpacked graph the re-dispatch cost can offset part of the
+        // overlap, but pipelining must not be catastrophic.
+        assert!(
+            pipelined.result.makespan.as_secs_f64() < serial.result.makespan.as_secs_f64() * 1.15,
+            "pipelining should not hurt badly: {} vs {}",
+            pipelined.result.makespan,
+            serial.result.makespan
+        );
+    }
+
+    #[test]
+    fn more_executors_increase_cluster_throughput() {
+        let data = DatasetSpec::criteo();
+        let spec = ModelKind::Dlrm.build(&data);
+        let mut cfg = quick_cfg();
+        cfg.machines = 1;
+        let one = simulate(&spec, Strategy::Hybrid, &cfg).unwrap();
+        cfg.machines = 4;
+        let four = simulate(&spec, Strategy::Hybrid, &cfg).unwrap();
+        let total_one = one.ips_per_node() * 1.0;
+        let total_four = four.ips_per_node() * 4.0;
+        assert!(
+            total_four > 2.0 * total_one,
+            "scaling out should help: 1 node {total_one}, 4 nodes {total_four}"
+        );
+    }
+}

@@ -1,0 +1,148 @@
+//! Distributed training strategies (§II-C, §III-A).
+
+use serde::{Deserialize, Serialize};
+
+/// How embedding parameters are exchanged each iteration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum EmbeddingExchange {
+    /// Pulled from / pushed to parameter-server nodes.
+    ParameterServer,
+    /// Partitioned across executors, exchanged via AllToAllv.
+    AllToAll,
+    /// Fully replicated: lookups are local, gradients AllReduced.
+    Replicated,
+}
+
+/// How dense (interaction + MLP) parameters are kept in sync.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DenseSync {
+    /// Pulled/pushed through parameter servers.
+    ParameterServer,
+    /// Ring AllReduce across executors.
+    AllReduce,
+}
+
+/// A distributed training strategy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Strategy {
+    /// Asynchronous parameter server (the industry de-facto baseline):
+    /// workers pull parameters, compute, and push gradients with no global
+    /// barrier.
+    PsAsync {
+        /// Number of CPU server nodes.
+        servers: usize,
+    },
+    /// Synchronous parameter server (in-house XDL style).
+    PsSync {
+        /// Number of CPU server nodes.
+        servers: usize,
+    },
+    /// Pure data parallelism (Horovod/DDP): everything replicated,
+    /// gradients — including sparse embedding gradients — AllReduced.
+    DataParallel,
+    /// Pure model parallelism (PyTorch + AllToAll): embedding tables
+    /// manually placed across devices, activations exchanged via AllToAllv,
+    /// dense parameters replicated and AllReduced.
+    ModelParallel,
+    /// PICASSO's hybrid (Fig. 6): embeddings model-parallel via AllToAllv,
+    /// dense layers data-parallel via AllReduce.
+    Hybrid,
+}
+
+impl Strategy {
+    /// Parameter-server node count required (0 for serverless strategies).
+    pub fn server_count(self) -> usize {
+        match self {
+            Strategy::PsAsync { servers } | Strategy::PsSync { servers } => servers,
+            _ => 0,
+        }
+    }
+
+    /// Whether workers proceed without a global iteration barrier.
+    pub fn is_async(self) -> bool {
+        matches!(self, Strategy::PsAsync { .. })
+    }
+
+    /// Embedding-parameter exchange mechanism.
+    pub fn embedding_exchange(self) -> EmbeddingExchange {
+        match self {
+            Strategy::PsAsync { .. } | Strategy::PsSync { .. } => {
+                EmbeddingExchange::ParameterServer
+            }
+            Strategy::DataParallel => EmbeddingExchange::Replicated,
+            Strategy::ModelParallel | Strategy::Hybrid => EmbeddingExchange::AllToAll,
+        }
+    }
+
+    /// Dense-parameter synchronization mechanism.
+    pub fn dense_sync(self) -> DenseSync {
+        match self {
+            Strategy::PsAsync { .. } | Strategy::PsSync { .. } => DenseSync::ParameterServer,
+            _ => DenseSync::AllReduce,
+        }
+    }
+
+    /// Whether NVLink can be used for collective exchange (PS traffic goes
+    /// through server NICs and cannot ride device interconnects; the paper
+    /// notes NVLink does not work in TF-PS mode).
+    pub fn uses_nvlink(self) -> bool {
+        !matches!(self, Strategy::PsAsync { .. } | Strategy::PsSync { .. })
+    }
+
+    /// Load-imbalance factor on embedding exchange: manual per-table GPU
+    /// placement (PyTorch MP) leaves the busiest device with more traffic
+    /// than the hash-sharded layouts.
+    pub fn shuffle_imbalance(self) -> f64 {
+        match self {
+            Strategy::ModelParallel => 1.3,
+            _ => 1.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ps_strategies_use_servers() {
+        assert_eq!(Strategy::PsAsync { servers: 2 }.server_count(), 2);
+        assert_eq!(Strategy::Hybrid.server_count(), 0);
+        assert!(Strategy::PsAsync { servers: 1 }.is_async());
+        assert!(!Strategy::PsSync { servers: 1 }.is_async());
+    }
+
+    #[test]
+    fn exchange_mechanisms_match_paper() {
+        assert_eq!(
+            Strategy::Hybrid.embedding_exchange(),
+            EmbeddingExchange::AllToAll
+        );
+        assert_eq!(
+            Strategy::DataParallel.embedding_exchange(),
+            EmbeddingExchange::Replicated
+        );
+        assert_eq!(
+            Strategy::PsAsync { servers: 1 }.embedding_exchange(),
+            EmbeddingExchange::ParameterServer
+        );
+        assert_eq!(Strategy::Hybrid.dense_sync(), DenseSync::AllReduce);
+        assert_eq!(
+            Strategy::PsSync { servers: 4 }.dense_sync(),
+            DenseSync::ParameterServer
+        );
+    }
+
+    #[test]
+    fn nvlink_disabled_under_ps() {
+        assert!(!Strategy::PsAsync { servers: 1 }.uses_nvlink());
+        assert!(Strategy::ModelParallel.uses_nvlink());
+        assert!(Strategy::Hybrid.uses_nvlink());
+    }
+
+    #[test]
+    fn manual_placement_is_imbalanced() {
+        assert!(Strategy::ModelParallel.shuffle_imbalance() > 1.0);
+        assert_eq!(Strategy::Hybrid.shuffle_imbalance(), 1.0);
+    }
+}

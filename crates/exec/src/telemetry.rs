@@ -1,0 +1,197 @@
+//! Training-run telemetry: the DCGM-style measurements the paper reports.
+
+use crate::scheduler::SimulationOutput;
+use picasso_graph::GraphStats;
+use picasso_sim::{RunAnalysis, ResourceKind, SimDuration, TaskCategory};
+use std::collections::BTreeMap;
+
+/// All metrics of one training run (one framework x model x cluster).
+#[derive(Debug, Clone)]
+pub struct TrainingReport {
+    /// Framework preset name.
+    pub framework: String,
+    /// Model name.
+    pub model: String,
+    /// Instances per second per machine.
+    pub ips_per_node: f64,
+    /// Seconds per training iteration.
+    pub secs_per_iteration: f64,
+    /// Instances per executor per iteration.
+    pub batch_per_executor: usize,
+    /// D-interleaving micro-batches in effect.
+    pub micro_batches: usize,
+    /// K-interleaving groups in effect.
+    pub groups: usize,
+    /// Mean GPU SM utilization in percent (DCGM-style).
+    pub sm_util_pct: f64,
+    /// GPU SM utilization CDF points `(utilization, fraction)` (Fig. 11).
+    pub sm_util_cdf: Vec<(f64, f64)>,
+    /// Mean PCIe bandwidth in GB/s (Fig. 12 / Table IV).
+    pub pcie_gbps: f64,
+    /// Mean NVLink bandwidth in GB/s (Fig. 12).
+    pub nvlink_gbps: f64,
+    /// Mean network bandwidth in Gbit/s (Table IV "Comm.").
+    pub network_gbps: f64,
+    /// Exposed-time fraction of the makespan per category (Fig. 5).
+    pub exposed: BTreeMap<TaskCategory, f64>,
+    /// Busy-time fraction per category (may overlap).
+    pub busy: BTreeMap<TaskCategory, f64>,
+    /// Graph operation statistics (Table V).
+    pub op_stats: GraphStats,
+    /// Measured HybridHash hit ratio (0 when caching is off).
+    pub cache_hit_ratio: f64,
+    /// Makespan attribution along the engine's critical path, per resource
+    /// kind in seconds — names the bottleneck.
+    pub critical_path_secs: Vec<(ResourceKind, f64)>,
+    /// Executors in the run.
+    pub executors: usize,
+    /// Worker machines in the run.
+    pub machines: usize,
+}
+
+impl TrainingReport {
+    /// Builds the report from a finished simulation.
+    pub fn from_simulation(
+        framework: impl Into<String>,
+        model: impl Into<String>,
+        out: &SimulationOutput,
+        op_stats: GraphStats,
+        micro_batches: usize,
+        groups: usize,
+        cache_hit_ratio: f64,
+    ) -> TrainingReport {
+        let analysis = RunAnalysis::new(&out.result);
+        // Sample at 10 ms like DCGM, but never coarser than ~1/50th of the
+        // run so short simulations still produce a usable CDF.
+        let makespan_ns = out.result.makespan.as_nanos();
+        let bucket = SimDuration::from_nanos((makespan_ns / 200).clamp(20_000, 10_000_000));
+        let sm = analysis.utilization_avg(ResourceKind::GpuSm, bucket);
+        let pcie = analysis.bandwidth(ResourceKind::Pcie, bucket);
+        let nvlink = analysis.bandwidth(ResourceKind::NvLink, bucket);
+        let net = analysis.bandwidth(ResourceKind::Network, bucket);
+        let breakdown = analysis.breakdown();
+
+        let per_exec = out.executors.max(1) as f64;
+        let per_node = out.machines.max(1) as f64;
+        let mut exposed = BTreeMap::new();
+        let mut busy = BTreeMap::new();
+        for cat in TaskCategory::ALL {
+            exposed.insert(cat, breakdown.exposed_fraction(cat));
+            let b = breakdown.busy.get(&cat).copied().unwrap_or(SimDuration::ZERO);
+            busy.insert(
+                cat,
+                b.as_secs_f64() / out.result.makespan.as_secs_f64().max(1e-12),
+            );
+        }
+
+        let critical_path_secs = out
+            .result
+            .critical_path_by_kind()
+            .into_iter()
+            .map(|(k, d)| (k, d.as_secs_f64()))
+            .collect();
+        TrainingReport {
+            framework: framework.into(),
+            model: model.into(),
+            ips_per_node: out.ips_per_node(),
+            secs_per_iteration: out.secs_per_iteration(),
+            batch_per_executor: out.batch,
+            micro_batches,
+            groups,
+            sm_util_pct: sm.mean() * 100.0,
+            sm_util_cdf: sm.cdf().into_iter().map(|(u, f)| (u * 100.0, f)).collect(),
+            pcie_gbps: pcie.mean() / per_exec / 1e9,
+            nvlink_gbps: nvlink.mean() / per_node / 1e9,
+            network_gbps: net.mean() / per_node * 8.0 / 1e9,
+            exposed,
+            busy,
+            op_stats,
+            cache_hit_ratio,
+            critical_path_secs,
+            executors: out.executors,
+            machines: out.machines,
+        }
+    }
+
+    /// The resource kind that dominates the critical path (the bottleneck).
+    pub fn bottleneck(&self) -> Option<ResourceKind> {
+        self.critical_path_secs
+            .iter()
+            .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite seconds"))
+            .map(|&(k, _)| k)
+    }
+
+    /// GPU-core-hours to process `instances` at this throughput with
+    /// `gpus_total` devices (the Fig. 10 / Table X walltime metric).
+    pub fn gpu_core_hours(&self, instances: f64) -> f64 {
+        let cluster_ips = self.ips_per_node * self.machines as f64;
+        let hours = instances / cluster_ips / 3600.0;
+        hours * self.executors as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheduler::{simulate, SimConfig};
+    use crate::strategy::Strategy;
+    use picasso_data::DatasetSpec;
+    use picasso_graph::graph_stats;
+    use picasso_models::ModelKind;
+    use picasso_sim::MachineSpec;
+
+    fn report() -> TrainingReport {
+        let data = DatasetSpec::criteo();
+        let spec = ModelKind::Dlrm.build(&data);
+        let cfg = SimConfig {
+            batch_per_executor: 2048,
+            iterations: 3,
+            machines: 1,
+            machine: MachineSpec::eflops(),
+            quantized_comm: false,
+        };
+        let out = simulate(&spec, Strategy::Hybrid, &cfg).unwrap();
+        TrainingReport::from_simulation("test", "DLRM", &out, graph_stats(&spec), 1, 1, 0.0)
+    }
+
+    #[test]
+    fn report_fields_are_sane() {
+        let r = report();
+        assert!(r.ips_per_node > 0.0);
+        assert!(r.secs_per_iteration > 0.0);
+        assert!((0.0..=100.0).contains(&r.sm_util_pct), "{}", r.sm_util_pct);
+        assert!(!r.sm_util_cdf.is_empty());
+        assert!(r.pcie_gbps >= 0.0);
+        assert!(r.network_gbps >= 0.0);
+        let exposed_total: f64 = r.exposed.values().sum();
+        assert!(exposed_total <= 1.0 + 1e-9, "exposures partition the makespan");
+    }
+
+    #[test]
+    fn gpu_core_hours_scale_with_instances() {
+        let r = report();
+        let h1 = r.gpu_core_hours(1e9);
+        let h2 = r.gpu_core_hours(2e9);
+        assert!((h2 / h1 - 2.0).abs() < 1e-9);
+        assert!(h1 > 0.0);
+    }
+
+    #[test]
+    fn bottleneck_is_reported() {
+        let r = report();
+        assert!(!r.critical_path_secs.is_empty());
+        assert!(r.bottleneck().is_some());
+        let total: f64 = r.critical_path_secs.iter().map(|&(_, s)| s).sum();
+        assert!(total > 0.0 && total <= r.secs_per_iteration * 3.0 * 1.01);
+    }
+
+    #[test]
+    fn cdf_is_normalized() {
+        let r = report();
+        let last = r.sm_util_cdf.last().unwrap();
+        assert!((last.1 - 1.0).abs() < 1e-9);
+        for w in r.sm_util_cdf.windows(2) {
+            assert!(w[1].0 >= w[0].0);
+        }
+    }
+}

@@ -1,0 +1,437 @@
+//! The end-to-end training pipeline: warm-up on real data, optimization
+//! passes, batch sizing, simulation, and reporting.
+
+use crate::framework::{Framework, Optimizations};
+use crate::scheduler::{simulate, SimConfig};
+use crate::strategy::Strategy;
+use crate::telemetry::TrainingReport;
+use crate::warmup::{run_warmup, WarmupConfig, WarmupReport};
+use picasso_data::DatasetSpec;
+use picasso_embedding::{PackPlan, PlannerConfig};
+use picasso_graph::{d_interleaving, d_packing, k_interleaving, k_packing, graph_stats, Layer, WdlSpec};
+use picasso_models::ModelKind;
+use picasso_sim::MachineSpec;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Memory amplification of framework execution over the analytic
+/// feature-map volume: retained per-op activations, gradient buffers,
+/// allocator fragmentation and workspace. Applied when deriving the largest
+/// feasible batch from GPU memory (Eq. 2's device-memory case).
+pub const MEMORY_AMPLIFICATION: f64 = 16.0;
+
+/// Pipeline-depth window used to derive the Eq. 3 group capacity: a group
+/// should occupy its tightest resource for at most this long.
+const GROUP_WINDOW_SECS: f64 = 0.002;
+
+/// Options for one training run.
+#[derive(Debug, Clone)]
+pub struct TrainerOptions {
+    /// Worker machines.
+    pub machines: usize,
+    /// Machine preset.
+    pub machine: MachineSpec,
+    /// Iterations to simulate.
+    pub iterations: usize,
+    /// Fixed per-executor batch; `None` derives it from GPU memory.
+    pub batch_per_executor: Option<usize>,
+    /// Fixed micro-batch count; `None` uses the compute-intensity heuristic.
+    pub micro_batches: Option<usize>,
+    /// Fixed K-interleaving group count; `None` derives it from Eq. 3.
+    pub groups: Option<usize>,
+    /// HybridHash Hot-storage budget in bytes.
+    pub hot_bytes: u64,
+    /// Warm-up measurement configuration.
+    pub warmup: WarmupConfig,
+    /// Upper bound on the derived batch size.
+    pub max_batch: usize,
+    /// Embedding tables excluded from K-interleaving control dependencies
+    /// (the paper's *preset excluded embedding*: outputs that feed no
+    /// concatenation can advance their downstream freely, §III-C).
+    pub excluded_tables: Vec<usize>,
+    /// Quantize collective communication to half precision (§V's
+    /// "quantitative communication" extension; orthogonal to the PICASSO
+    /// optimizations and off by default because it is precision-lossy).
+    pub quantized_comm: bool,
+}
+
+impl Default for TrainerOptions {
+    fn default() -> Self {
+        TrainerOptions {
+            machines: 1,
+            machine: MachineSpec::eflops(),
+            iterations: 6,
+            batch_per_executor: None,
+            micro_batches: None,
+            groups: None,
+            hot_bytes: 1 << 30,
+            warmup: WarmupConfig::default(),
+            max_batch: 65_536,
+            excluded_tables: Vec::new(),
+            quantized_comm: false,
+        }
+    }
+}
+
+/// Everything a run produced: the report plus the optimized spec and
+/// warm-up measurements (for experiments that inspect them).
+#[derive(Debug)]
+pub struct RunArtifacts {
+    /// The telemetry report.
+    pub report: TrainingReport,
+    /// The spec after all passes.
+    pub spec: WdlSpec,
+    /// Warm-up measurements.
+    pub warmup: WarmupReport,
+}
+
+/// Runs `model` on `data` under a named framework preset.
+pub fn train(
+    model: ModelKind,
+    data: &Arc<DatasetSpec>,
+    framework: Framework,
+    opts: &TrainerOptions,
+) -> RunArtifacts {
+    let strategy = framework.strategy(opts.machines);
+    run(
+        model,
+        data,
+        strategy,
+        framework.optimizations(),
+        framework.name(),
+        opts,
+    )
+}
+
+/// Runs `model` with an explicit strategy and optimization set (used by the
+/// Table IV ablation and the Fig. 14 sweeps).
+pub fn run(
+    model: ModelKind,
+    data: &Arc<DatasetSpec>,
+    strategy: Strategy,
+    optimizations: Optimizations,
+    label: &str,
+    opts: &TrainerOptions,
+) -> RunArtifacts {
+    let mut spec = model.build(data);
+
+    // Warm-up on real batches: per-table ID masses for the packing planner
+    // and coverage verification. (Dedup and hit ratios at the *training*
+    // batch size are set analytically below, because working-vocabulary
+    // clamping would distort them at production vocabulary scales — see
+    // DESIGN.md.)
+    let mut wcfg = opts.warmup.clone();
+    wcfg.hot_bytes = if optimizations.caching { opts.hot_bytes } else { 0 };
+    let warmup = run_warmup(data, &wcfg);
+
+    // D-Packing / K-Packing.
+    if optimizations.packing {
+        let plan = PackPlan::with_loads(
+            data,
+            &PlannerConfig::default(),
+            &warmup.table_loads(),
+            warmup.total_ids,
+        );
+        let mut table_to_pack: BTreeMap<usize, usize> = BTreeMap::new();
+        for (p, pack) in plan.packs.iter().enumerate() {
+            for &t in &pack.tables {
+                table_to_pack.insert(t, p);
+            }
+        }
+        spec = d_packing::apply(&spec, &table_to_pack);
+    }
+    if optimizations.kernel_packing {
+        spec = k_packing::apply(&spec);
+    }
+
+    // Batch sizing (Eq. 2's device-memory case).
+    let resident = spec.dense_params() * 4.0 * 3.0; // params + grads + slots
+    let hot = if optimizations.caching { opts.hot_bytes as f64 } else { 0.0 };
+    let base_batch = d_interleaving::memory_bound_batch(
+        opts.machine.gpu.mem_capacity as f64,
+        hot,
+        resident,
+        spec.feature_map_bytes_per_instance() * MEMORY_AMPLIFICATION,
+    )
+    .clamp(256, opts.max_batch);
+
+    // Interleaving.
+    let micro = if optimizations.d_interleaving {
+        opts.micro_batches.unwrap_or_else(|| default_micro_batches(&spec))
+    } else {
+        1
+    };
+    let groups = if optimizations.k_interleaving {
+        opts.groups
+            .unwrap_or_else(|| auto_groups(&spec, &opts.machine, base_batch))
+    } else {
+        1
+    };
+    if groups > 1 {
+        k_interleaving::apply(&mut spec, groups);
+    }
+    if micro > 1 {
+        d_interleaving::apply(&mut spec, micro, Layer::Embedding);
+    }
+    if !opts.excluded_tables.is_empty() {
+        for chain in &mut spec.chains {
+            if chain.tables.iter().any(|t| opts.excluded_tables.contains(t)) {
+                chain.interleave_excluded = true;
+            }
+        }
+    }
+
+    let batch = opts.batch_per_executor.unwrap_or_else(|| {
+        if micro > 1 {
+            ((base_batch as f64 * micro as f64 * 0.9) as usize).min(opts.max_batch)
+        } else {
+            base_batch
+        }
+    });
+
+    // Analytic dedup and cache-hit ratios at the actual lookup granularity
+    // (one micro-batch) over the *real* vocabulary sizes and skews.
+    let hit = apply_analytic_ratios(
+        &mut spec,
+        data,
+        batch.div_ceil(micro),
+        if optimizations.caching { opts.hot_bytes as f64 } else { 0.0 },
+        &warmup,
+    );
+
+    let cfg = SimConfig {
+        batch_per_executor: batch,
+        iterations: opts.iterations,
+        machines: opts.machines,
+        machine: opts.machine.clone(),
+        quantized_comm: opts.quantized_comm,
+    };
+    let out = simulate(&spec, strategy, &cfg).expect("lowering produced an acyclic task graph");
+    let report = TrainingReport::from_simulation(
+        label,
+        spec.name.clone(),
+        &out,
+        graph_stats(&spec),
+        micro,
+        groups,
+        hit,
+    );
+    RunArtifacts {
+        report,
+        spec,
+        warmup,
+    }
+}
+
+/// Sets every chain's `unique_ratio` and `cache_hit_ratio` from the
+/// analytic Zipf models at the real vocabulary scale, and returns the
+/// ID-mass-weighted overall hit ratio.
+///
+/// - Dedup: `expected_unique_ratio(vocab, s, ids per lookup)` where a lookup
+///   covers one micro-batch of one table.
+/// - Cache: HybridHash converges to holding the top-k rows, so the hit
+///   ratio is the analytic frequency mass of the `k` rows the table's share
+///   of Hot-storage can hold (the per-table share follows the warm-up ID
+///   masses, mirroring how the planner splits the budget).
+fn apply_analytic_ratios(
+    spec: &mut WdlSpec,
+    data: &DatasetSpec,
+    micro_batch: usize,
+    hot_bytes: f64,
+    warmup: &WarmupReport,
+) -> f64 {
+    use picasso_data::distribution::{coverage_top_k, expected_unique_ratio};
+    // Per-table aggregates from the dataset.
+    let mut table_vocab: BTreeMap<usize, u64> = BTreeMap::new();
+    let mut table_skew: BTreeMap<usize, f64> = BTreeMap::new();
+    let mut table_ids: BTreeMap<usize, f64> = BTreeMap::new();
+    let mut table_dim: BTreeMap<usize, usize> = BTreeMap::new();
+    for f in &data.fields {
+        table_vocab.insert(f.table_group, f.vocab);
+        table_skew.insert(f.table_group, f.dist.exponent());
+        table_dim.insert(f.table_group, f.dim);
+        *table_ids.entry(f.table_group).or_insert(0.0) += f.avg_ids;
+    }
+    let mut overall_hit = 0.0;
+    for chain in &mut spec.chains {
+        let mut unique = 0.0;
+        let mut hit = 0.0;
+        let mut weight = 0.0;
+        for &t in &chain.tables {
+            let ids = table_ids[&t] * micro_batch as f64;
+            let vocab = table_vocab[&t];
+            let s = table_skew[&t];
+            let u = expected_unique_ratio(vocab, s, ids);
+            let mass = warmup.tables.get(&t).map(|ts| ts.id_mass).unwrap_or(0.0);
+            let h = if hot_bytes > 0.0 {
+                let rows = hot_bytes * mass / (table_dim[&t] as f64 * 4.0);
+                coverage_top_k(vocab, s, rows)
+            } else {
+                0.0
+            };
+            unique += u * ids;
+            hit += h * ids;
+            weight += ids;
+            overall_hit += h * mass;
+        }
+        if weight > 0.0 {
+            chain.unique_ratio = unique / weight;
+            chain.cache_hit_ratio = hit / weight;
+        }
+    }
+    overall_hit
+}
+
+/// Micro-batch heuristic: compute-heavy models pipeline deeper (the Fig. 14
+/// observation that CAN and MMoE profit from more micro-batches), but
+/// fragmentary graphs (packing disabled) cap the depth — each extra
+/// micro-batch re-dispatches every chain's operations, and with hundreds of
+/// unpacked chains the framework dispatch cost outweighs the overlap.
+fn default_micro_batches(spec: &WdlSpec) -> usize {
+    let flops = spec.dense_flops_per_instance();
+    let by_compute = if flops > 5e6 {
+        4
+    } else if flops > 5e5 {
+        3
+    } else {
+        2
+    };
+    if spec.chains.len() > 64 {
+        by_compute.min(2)
+    } else {
+        by_compute
+    }
+}
+
+/// Eq. 3-derived group count for the machine's interconnect bounds.
+fn auto_groups(spec: &WdlSpec, machine: &MachineSpec, batch: usize) -> usize {
+    // Params one group may process per pipeline window on its tightest
+    // resource (network and PCIe both move ~4 bytes per parameter).
+    let capacity_batch = k_interleaving::eq3_capacity(&[
+        (machine.nic_bw * GROUP_WINDOW_SECS, 4.0),
+        (machine.pcie_bw * GROUP_WINDOW_SECS, 4.0),
+    ]);
+    let capacity_per_instance = capacity_batch / batch.max(1) as f64;
+    k_interleaving::auto_group_count(spec, capacity_per_instance).clamp(1, 11)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_opts() -> TrainerOptions {
+        TrainerOptions {
+            iterations: 3,
+            warmup: WarmupConfig {
+                batches: 4,
+                batch_size: 256,
+                max_vocab: 2000,
+                hot_bytes: 1 << 26,
+                seed: 3,
+            },
+            max_batch: 8192,
+            ..TrainerOptions::default()
+        }
+    }
+
+    #[test]
+    fn picasso_beats_every_baseline_on_dlrm() {
+        let data = DatasetSpec::criteo().shared();
+        let opts = quick_opts();
+        let picasso = train(ModelKind::Dlrm, &data, Framework::Picasso, &opts);
+        for baseline in [Framework::TfPs, Framework::Horovod, Framework::PyTorch] {
+            let b = train(ModelKind::Dlrm, &data, baseline, &opts);
+            assert!(
+                picasso.report.ips_per_node > b.report.ips_per_node,
+                "PICASSO {} <= {} {}",
+                picasso.report.ips_per_node,
+                baseline.name(),
+                b.report.ips_per_node
+            );
+        }
+    }
+
+    #[test]
+    fn packing_reduces_chain_count() {
+        let data = DatasetSpec::product1().shared();
+        let opts = quick_opts();
+        let full = train(ModelKind::WideDeep, &data, Framework::Picasso, &opts);
+        let base = train(ModelKind::WideDeep, &data, Framework::PicassoBase, &opts);
+        assert!(full.spec.chains.len() < base.spec.chains.len() / 3);
+        assert!(
+            full.report.op_stats.total_ops < base.report.op_stats.total_ops / 2,
+            "packed {} vs baseline {}",
+            full.report.op_stats.total_ops,
+            base.report.op_stats.total_ops
+        );
+    }
+
+    #[test]
+    fn ablation_every_optimization_contributes() {
+        let data = DatasetSpec::product1().shared();
+        let opts = quick_opts();
+        let full = run(
+            ModelKind::WideDeep,
+            &data,
+            Strategy::Hybrid,
+            Optimizations::ALL,
+            "full",
+            &opts,
+        );
+        for (label, o) in [
+            ("w/o packing", Optimizations::without_packing()),
+            ("w/o interleaving", Optimizations::without_interleaving()),
+            ("w/o caching", Optimizations::without_caching()),
+        ] {
+            let r = run(ModelKind::WideDeep, &data, Strategy::Hybrid, o, label, &opts);
+            assert!(
+                r.report.ips_per_node <= full.report.ips_per_node * 1.03,
+                "{label}: {} > full {}",
+                r.report.ips_per_node,
+                full.report.ips_per_node
+            );
+        }
+    }
+
+    #[test]
+    fn caching_improves_cache_hit_and_batch_accounting() {
+        let data = DatasetSpec::alibaba().shared();
+        let opts = quick_opts();
+        let with = train(ModelKind::Din, &data, Framework::Picasso, &opts);
+        assert!(with.report.cache_hit_ratio > 0.0);
+        let without = run(
+            ModelKind::Din,
+            &data,
+            Strategy::Hybrid,
+            Optimizations::without_caching(),
+            "w/o caching",
+            &opts,
+        );
+        assert_eq!(without.report.cache_hit_ratio, 0.0);
+    }
+
+    #[test]
+    fn explicit_knobs_are_respected() {
+        let data = DatasetSpec::criteo().shared();
+        let mut opts = quick_opts();
+        opts.batch_per_executor = Some(1000);
+        opts.micro_batches = Some(5);
+        opts.groups = Some(3);
+        let r = train(ModelKind::DeepFm, &data, Framework::Picasso, &opts);
+        assert_eq!(r.report.batch_per_executor, 1000);
+        assert_eq!(r.report.micro_batches, 5);
+        assert_eq!(r.report.groups, 3);
+        assert_eq!(r.spec.micro_batches, 5);
+    }
+
+    #[test]
+    fn picasso_batch_exceeds_baseline_batch() {
+        // The Table VII pattern: micro-batching lets PICASSO run larger
+        // effective batches within the same device memory.
+        let data = DatasetSpec::criteo().shared();
+        let opts = quick_opts();
+        let p = train(ModelKind::Dlrm, &data, Framework::Picasso, &opts);
+        let b = train(ModelKind::Dlrm, &data, Framework::PicassoBase, &opts);
+        assert!(p.report.batch_per_executor >= b.report.batch_per_executor);
+    }
+}

@@ -1,0 +1,267 @@
+//! Warm-up measurement over real data.
+//!
+//! The paper's optimizations are parameterized by statistics collected
+//! during warm-up iterations (§III-B, §III-D): ID frequencies drive the
+//! Eq. 1 pack sharding, deduplication rates size the Unique outputs, and
+//! HybridHash hit ratios split Gather traffic between Hot- and
+//! Cold-storage. This module runs actual batches through the real embedding
+//! substrate and reports those statistics.
+
+use picasso_data::{BatchGenerator, DatasetSpec, FrequencyStats};
+use picasso_embedding::{EmbeddingTable, HybridHash, HybridHashConfig, TableLoad};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Warm-up configuration.
+#[derive(Debug, Clone)]
+pub struct WarmupConfig {
+    /// Batches to run (first half trains the frequency counters, second
+    /// half measures hit ratios).
+    pub batches: usize,
+    /// Instances per warm-up batch.
+    pub batch_size: usize,
+    /// Working-vocabulary clamp for materialized IDs.
+    pub max_vocab: u64,
+    /// Total Hot-storage budget in bytes (split across tables by observed
+    /// ID mass); `0` disables the cache measurement.
+    pub hot_bytes: u64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for WarmupConfig {
+    fn default() -> Self {
+        WarmupConfig {
+            batches: 8,
+            batch_size: 1024,
+            max_vocab: 20_000,
+            hot_bytes: 1 << 30,
+            seed: 0xC0FFEE,
+        }
+    }
+}
+
+/// Measured statistics of one embedding table.
+#[derive(Debug, Clone, Copy)]
+pub struct TableStats {
+    /// Fraction of a batch's IDs remaining after `Unique`.
+    pub unique_ratio: f64,
+    /// HybridHash hit ratio after warm-up (0.0 when caching disabled).
+    pub hit_ratio: f64,
+    /// Share of all observed categorical IDs hitting this table.
+    pub id_mass: f64,
+    /// Embedding dimension.
+    pub dim: usize,
+}
+
+/// The warm-up report.
+#[derive(Debug, Clone)]
+pub struct WarmupReport {
+    /// Per-table measurements.
+    pub tables: BTreeMap<usize, TableStats>,
+    /// Total categorical IDs observed (Eq. 1's `N`).
+    pub total_ids: u64,
+    /// Empirical coverage of the top 20% of distinct IDs (Fig. 3's
+    /// headline statistic), ID-mass-weighted across tables.
+    pub coverage_top20: f64,
+    /// Aggregate hit ratio across tables, ID-mass-weighted.
+    pub overall_hit_ratio: f64,
+}
+
+impl WarmupReport {
+    /// Per-table Eq. 1 loads for the D-packing planner.
+    pub fn table_loads(&self) -> BTreeMap<usize, TableLoad> {
+        self.tables
+            .iter()
+            .map(|(&t, s)| {
+                (
+                    t,
+                    TableLoad {
+                        dim: s.dim,
+                        freq_mass: s.id_mass,
+                    },
+                )
+            })
+            .collect()
+    }
+}
+
+/// Measurement dimension used for cache simulation: hit ratios depend on
+/// *row* capacity, so tables are measured at a small dimension with the
+/// byte budget rescaled to preserve row counts.
+const MEASURE_DIM: usize = 8;
+
+/// Runs the warm-up over `data`.
+pub fn run_warmup(data: &Arc<DatasetSpec>, cfg: &WarmupConfig) -> WarmupReport {
+    assert!(cfg.batches >= 2, "need at least two warm-up batches");
+    let mut gen = BatchGenerator::with_max_vocab(Arc::clone(data), cfg.seed, cfg.max_vocab);
+
+    // Table -> (dim, per-batch id streams).
+    let mut table_dim: BTreeMap<usize, usize> = BTreeMap::new();
+    for f in &data.fields {
+        table_dim.insert(f.table_group, f.dim);
+    }
+    let mut freq: BTreeMap<usize, FrequencyStats> = BTreeMap::new();
+    let mut unique_accum: BTreeMap<usize, (u64, u64)> = BTreeMap::new(); // (unique, total)
+    let mut batches_ids: Vec<BTreeMap<usize, Vec<u64>>> = Vec::with_capacity(cfg.batches);
+
+    for _ in 0..cfg.batches {
+        let batch = gen.next_batch(cfg.batch_size);
+        let mut per_table: BTreeMap<usize, Vec<u64>> = BTreeMap::new();
+        for fb in &batch.fields {
+            let table = data.fields[fb.field].table_group;
+            per_table.entry(table).or_default().extend_from_slice(&fb.ids);
+        }
+        for (&table, ids) in &per_table {
+            freq.entry(table).or_default().record_all(ids);
+            let (u, _) = picasso_embedding::unique(ids);
+            let e = unique_accum.entry(table).or_insert((0, 0));
+            e.0 += u.unique_ids.len() as u64;
+            e.1 += ids.len() as u64;
+        }
+        batches_ids.push(per_table);
+    }
+
+    let total_ids: u64 = freq.values().map(|f| f.total()).sum();
+
+    // Cache measurement: per-table HybridHash with budget split by mass,
+    // warm on the first half of the batches, measured on the second half.
+    let mut hit: BTreeMap<usize, f64> = BTreeMap::new();
+    if cfg.hot_bytes > 0 {
+        let warm = cfg.batches / 2;
+        for (&table, stats) in &freq {
+            let mass = stats.total() as f64 / total_ids as f64;
+            let dim = table_dim[&table];
+            let budget = cfg.hot_bytes as f64 * mass;
+            let rows = budget / (dim as f64 * 4.0);
+            let measure_bytes = (rows * (MEASURE_DIM * 4) as f64) as u64;
+            let mut cache = HybridHash::new(
+                EmbeddingTable::new(MEASURE_DIM, table as u64),
+                HybridHashConfig {
+                    warmup_iters: warm as u64,
+                    flush_iters: cfg.batches as u64,
+                    hot_bytes: measure_bytes,
+                },
+            );
+            let mut out = Vec::new();
+            for b in &batches_ids {
+                if let Some(ids) = b.get(&table) {
+                    out.clear();
+                    cache.lookup_batch(ids, &mut out);
+                }
+            }
+            hit.insert(table, cache.stats().hit_ratio());
+        }
+    }
+
+    let mut tables = BTreeMap::new();
+    let mut coverage = 0.0;
+    let mut overall_hit = 0.0;
+    for (&table, stats) in &freq {
+        let mass = stats.total() as f64 / total_ids as f64;
+        let (u, t) = unique_accum[&table];
+        let table_stats = TableStats {
+            unique_ratio: if t == 0 { 1.0 } else { u as f64 / t as f64 },
+            hit_ratio: hit.get(&table).copied().unwrap_or(0.0),
+            id_mass: mass,
+            dim: table_dim[&table],
+        };
+        coverage += stats.coverage_of_top(0.2) * mass;
+        overall_hit += table_stats.hit_ratio * mass;
+        tables.insert(table, table_stats);
+    }
+
+    WarmupReport {
+        tables,
+        total_ids,
+        coverage_top20: coverage,
+        overall_hit_ratio: overall_hit,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_cfg() -> WarmupConfig {
+        WarmupConfig {
+            batches: 6,
+            batch_size: 256,
+            max_vocab: 2000,
+            hot_bytes: 1 << 22,
+            seed: 7,
+        }
+    }
+
+    #[test]
+    fn warmup_measures_every_table() {
+        let data = DatasetSpec::criteo().shared();
+        let r = run_warmup(&data, &small_cfg());
+        assert_eq!(r.tables.len(), 26);
+        assert!(r.total_ids > 0);
+        let mass: f64 = r.tables.values().map(|t| t.id_mass).sum();
+        assert!((mass - 1.0).abs() < 1e-9, "masses sum to 1, got {mass}");
+    }
+
+    #[test]
+    fn unique_ratio_is_a_ratio() {
+        let data = DatasetSpec::criteo().shared();
+        let r = run_warmup(&data, &small_cfg());
+        for (t, s) in &r.tables {
+            assert!(
+                s.unique_ratio > 0.0 && s.unique_ratio <= 1.0,
+                "table {t}: {}",
+                s.unique_ratio
+            );
+        }
+        // Zipf-skewed batches of 256 from a 2000-vocab must deduplicate some.
+        let avg: f64 =
+            r.tables.values().map(|s| s.unique_ratio).sum::<f64>() / r.tables.len() as f64;
+        assert!(avg < 0.999, "expected some dedup, got {avg}");
+    }
+
+    #[test]
+    fn skewed_data_hits_cache() {
+        let data = DatasetSpec::alibaba().shared();
+        let mut cfg = small_cfg();
+        cfg.hot_bytes = 64 << 20;
+        let r = run_warmup(&data, &cfg);
+        assert!(
+            r.overall_hit_ratio > 0.2,
+            "zipf(1.2) should exceed the paper's 20% target, got {}",
+            r.overall_hit_ratio
+        );
+        assert!(r.coverage_top20 > 0.5, "Fig. 3 skew, got {}", r.coverage_top20);
+    }
+
+    #[test]
+    fn disabling_cache_zeroes_hit_ratios() {
+        let data = DatasetSpec::criteo().shared();
+        let mut cfg = small_cfg();
+        cfg.hot_bytes = 0;
+        let r = run_warmup(&data, &cfg);
+        assert!(r.tables.values().all(|t| t.hit_ratio == 0.0));
+        assert_eq!(r.overall_hit_ratio, 0.0);
+    }
+
+    #[test]
+    fn bigger_cache_hits_more() {
+        let data = DatasetSpec::criteo().shared();
+        let mut small = small_cfg();
+        small.hot_bytes = 1 << 20;
+        let mut large = small_cfg();
+        large.hot_bytes = 256 << 20;
+        let rs = run_warmup(&data, &small);
+        let rl = run_warmup(&data, &large);
+        assert!(rl.overall_hit_ratio >= rs.overall_hit_ratio);
+    }
+
+    #[test]
+    fn table_loads_feed_the_planner() {
+        let data = DatasetSpec::criteo().shared();
+        let r = run_warmup(&data, &small_cfg());
+        let loads = r.table_loads();
+        assert_eq!(loads.len(), 26);
+        assert!(loads.values().all(|l| l.dim == 128));
+    }
+}

@@ -1,0 +1,123 @@
+//! Property tests of the stage-cost planners.
+
+use picasso_exec::costs::{chain_backward, chain_forward, PlanContext, ResTarget};
+use picasso_exec::Strategy as TrainStrategy;
+use picasso_graph::EmbeddingChain;
+use proptest::prelude::*;
+
+fn chain_strategy() -> impl Strategy<Value = EmbeddingChain> {
+    (
+        1usize..256,
+        1.0f64..64.0,
+        0.05f64..1.0,
+        0.0f64..1.0,
+        proptest::bool::ANY,
+        proptest::bool::ANY,
+    )
+        .prop_map(|(dim, ids, unique, hit, fuse_up, fuse_ss)| {
+            let mut c = EmbeddingChain::for_table(0, dim, vec![0], ids);
+            c.unique_ratio = unique;
+            c.cache_hit_ratio = hit;
+            c.fused_unique_partition = fuse_up;
+            c.fused_shuffle_stitch = fuse_ss;
+            c
+        })
+}
+
+fn ctx(n: usize) -> PlanContext {
+    PlanContext::new(n, 1, false, TrainStrategy::Hybrid)
+}
+
+proptest! {
+    /// All stage work is finite, non-negative, and scales linearly with the
+    /// batch size.
+    #[test]
+    fn work_scales_linearly_with_batch(chain in chain_strategy(), n in 1usize..16) {
+        let (one, _) = chain_forward(&chain, 1000, &ctx(n));
+        let (two, _) = chain_forward(&chain, 2000, &ctx(n));
+        prop_assert_eq!(one.len(), two.len());
+        for (a, b) in one.iter().zip(&two) {
+            prop_assert!(a.work.is_finite() && a.work >= 0.0);
+            prop_assert!(
+                (b.work - 2.0 * a.work).abs() <= a.work * 1e-6 + 1e-6,
+                "{:?}: {} vs {}", a.kind, a.work, b.work
+            );
+        }
+    }
+
+    /// A single executor never produces network traffic, forward or
+    /// backward.
+    #[test]
+    fn single_executor_is_network_silent(chain in chain_strategy()) {
+        let (fwd, _) = chain_forward(&chain, 512, &ctx(1));
+        let bwd = chain_backward(&chain, 512, &ctx(1));
+        for st in fwd.iter().chain(&bwd) {
+            if st.target == ResTarget::Nic || st.target == ResTarget::NvLink {
+                prop_assert_eq!(st.work, 0.0, "{:?} moved bytes with n=1", st.kind);
+            }
+        }
+    }
+
+    /// Fusion reduces total launches, never total byte volume by more than
+    /// the pass-combination saving.
+    #[test]
+    fn fusion_cuts_launches_not_volume(chain in chain_strategy(), n in 2usize..8) {
+        let mut unfused = chain.clone();
+        unfused.fused_unique_partition = false;
+        unfused.fused_shuffle_stitch = false;
+        let mut fused = chain.clone();
+        fused.fused_unique_partition = true;
+        fused.fused_shuffle_stitch = true;
+        let (u, _) = chain_forward(&unfused, 512, &ctx(n));
+        let (f, _) = chain_forward(&fused, 512, &ctx(n));
+        let launches = |v: &[picasso_exec::costs::StageTask]| -> u64 {
+            v.iter().map(|s| s.launches as u64).sum()
+        };
+        prop_assert!(launches(&f) < launches(&u));
+        // Communication bytes are identical: fusion does not drop data.
+        let comm = |v: &[picasso_exec::costs::StageTask]| -> f64 {
+            v.iter()
+                .filter(|s| s.target == ResTarget::Nic || s.target == ResTarget::NvLink)
+                .map(|s| s.work)
+                .sum()
+        };
+        prop_assert!((comm(&f) - comm(&u)).abs() < 1e-6);
+    }
+
+    /// Higher cache hit ratios monotonically reduce PCIe traffic.
+    #[test]
+    fn cache_hits_reduce_pcie(chain in chain_strategy(), n in 1usize..8) {
+        let mut cold = chain.clone();
+        cold.cache_hit_ratio = 0.0;
+        let mut warm = chain.clone();
+        warm.cache_hit_ratio = 0.9;
+        let pcie = |c: &EmbeddingChain| -> f64 {
+            chain_forward(c, 512, &ctx(n))
+                .0
+                .iter()
+                .filter(|s| s.target == ResTarget::Pcie)
+                .map(|s| s.work)
+                .sum()
+        };
+        prop_assert!(pcie(&warm) <= pcie(&cold) + 1e-9);
+        prop_assert!(pcie(&warm) < pcie(&cold) * 0.2 + 1e-6);
+    }
+
+    /// More executors strictly increase the remote share (up to the
+    /// asymptote) and never change local memory volumes.
+    #[test]
+    fn remote_share_grows_with_cluster(chain in chain_strategy()) {
+        let comm = |n: usize| -> f64 {
+            chain_forward(&chain, 512, &ctx(n))
+                .0
+                .iter()
+                .filter(|s| s.target == ResTarget::Nic)
+                .map(|s| s.work)
+                .sum()
+        };
+        let c2 = comm(2);
+        let c8 = comm(8);
+        prop_assert!(c8 >= c2, "remote share must grow: {c2} -> {c8}");
+        prop_assert!(c8 <= c2 * 2.0, "bounded by the (n-1)/n asymptote");
+    }
+}

@@ -1,0 +1,133 @@
+//! Property tests of the execution engine: scheduling invariants that must
+//! hold for any model shape, strategy, and cluster size.
+
+use picasso_exec::{simulate, SimConfig, Strategy as TrainStrategy};
+use picasso_graph::{EmbeddingChain, InteractionModule, Layer, MlpSpec, ModuleKind, WdlSpec};
+use picasso_sim::MachineSpec;
+use proptest::prelude::*;
+
+fn small_spec_strategy() -> impl Strategy<Value = WdlSpec> {
+    (1usize..12, 1usize..4, 1usize..4).prop_map(|(n_tables, n_modules, micro)| {
+        let chains: Vec<EmbeddingChain> = (0..n_tables)
+            .map(|t| {
+                let mut c =
+                    EmbeddingChain::for_table(t, 8, vec![t as u32], 1.0 + (t % 3) as f64);
+                c.unique_ratio = 0.5;
+                c.group = (t % 2) as u32;
+                c
+            })
+            .collect();
+        let modules: Vec<InteractionModule> = (0..n_modules)
+            .map(|m| InteractionModule {
+                kind: ModuleKind::DnnTower,
+                input_fields: (0..n_tables as u32).filter(|f| *f as usize % n_modules == m).collect(),
+                flops_per_instance: 1e4,
+                bytes_per_instance: 64.0,
+                params: 1e3,
+                output_width: 16,
+                micro_ops_forward: 12,
+            })
+            .collect();
+        WdlSpec {
+            name: "prop".into(),
+            io_bytes_per_instance: 100.0,
+            chains,
+            modules,
+            mlp: MlpSpec::new(16, vec![8, 1]),
+            micro_batches: micro,
+            interleave_from: Layer::Embedding,
+        }
+    })
+}
+
+fn strategy_from(idx: usize) -> TrainStrategy {
+    match idx % 5 {
+        0 => TrainStrategy::Hybrid,
+        1 => TrainStrategy::ModelParallel,
+        2 => TrainStrategy::DataParallel,
+        3 => TrainStrategy::PsAsync { servers: 1 },
+        _ => TrainStrategy::PsSync { servers: 1 },
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every (spec, strategy, cluster) combination lowers to an acyclic
+    /// graph that completes, with positive throughput.
+    #[test]
+    fn every_combination_simulates(
+        spec in small_spec_strategy(),
+        strat_idx in 0usize..5,
+        machines in 1usize..4,
+    ) {
+        let cfg = SimConfig {
+            batch_per_executor: 512,
+            iterations: 2,
+            machines,
+            machine: MachineSpec::eflops(),
+            quantized_comm: false,
+        };
+        let out = simulate(&spec, strategy_from(strat_idx), &cfg).unwrap();
+        prop_assert!(out.result.makespan.as_secs_f64() > 0.0);
+        prop_assert!(out.ips_per_node().is_finite() && out.ips_per_node() > 0.0);
+        prop_assert_eq!(out.executors, machines);
+    }
+
+    /// More iterations cannot reduce total simulated time, and per-iteration
+    /// time stays roughly stable (steady-state pipeline).
+    #[test]
+    fn iterations_scale_linearly(spec in small_spec_strategy()) {
+        let mk = |iters: usize| SimConfig {
+            batch_per_executor: 512,
+            iterations: iters,
+            machines: 2,
+            machine: MachineSpec::eflops(),
+            quantized_comm: false,
+        };
+        let two = simulate(&spec, TrainStrategy::Hybrid, &mk(2)).unwrap();
+        let six = simulate(&spec, TrainStrategy::Hybrid, &mk(6)).unwrap();
+        prop_assert!(six.result.makespan >= two.result.makespan);
+        let ratio = six.secs_per_iteration() / two.secs_per_iteration();
+        prop_assert!(
+            (0.5..=1.5).contains(&ratio),
+            "per-iteration time should be stable, ratio {ratio}"
+        );
+    }
+
+    /// Larger batches cannot lower per-iteration throughput below a smaller
+    /// batch's (work scales, overheads amortize).
+    #[test]
+    fn bigger_batches_amortize_overheads(spec in small_spec_strategy()) {
+        let mk = |batch: usize| SimConfig {
+            batch_per_executor: batch,
+            iterations: 2,
+            machines: 1,
+            machine: MachineSpec::eflops(),
+            quantized_comm: false,
+        };
+        let small = simulate(&spec, TrainStrategy::Hybrid, &mk(256)).unwrap();
+        let large = simulate(&spec, TrainStrategy::Hybrid, &mk(4096)).unwrap();
+        prop_assert!(
+            large.ips_per_node() >= small.ips_per_node() * 0.9,
+            "batch 4096 {} vs 256 {}",
+            large.ips_per_node(),
+            small.ips_per_node()
+        );
+    }
+
+    /// The async strategy is never slower than its synchronous twin.
+    #[test]
+    fn async_never_slower_than_sync(spec in small_spec_strategy(), machines in 1usize..4) {
+        let cfg = SimConfig {
+            batch_per_executor: 512,
+            iterations: 3,
+            machines,
+            machine: MachineSpec::eflops(),
+            quantized_comm: false,
+        };
+        let sync = simulate(&spec, TrainStrategy::PsSync { servers: 1 }, &cfg).unwrap();
+        let asyn = simulate(&spec, TrainStrategy::PsAsync { servers: 1 }, &cfg).unwrap();
+        prop_assert!(asyn.result.makespan <= sync.result.makespan);
+    }
+}

@@ -1,0 +1,21 @@
+//! # picasso-graph
+//!
+//! Logical WDL training graphs and the PICASSO optimization passes.
+//!
+//! A [`WdlSpec`] describes one model's per-iteration work — embedding lookup
+//! chains, feature-interaction modules, and the MLP — normalized per
+//! training instance. The passes in [`passes`] implement the paper's
+//! packing and interleaving transformations, and [`stats::graph_stats`]
+//! reproduces the Table V operation accounting.
+
+#![warn(missing_docs)]
+
+pub mod ops;
+pub mod passes;
+pub mod spec;
+pub mod stats;
+
+pub use ops::{OpClass, OpKind};
+pub use passes::{d_interleaving, d_packing, k_interleaving, k_packing};
+pub use spec::{EmbeddingChain, InteractionModule, Layer, MlpSpec, ModuleKind, WdlSpec};
+pub use stats::{graph_stats, GraphStats};

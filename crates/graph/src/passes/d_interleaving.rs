@@ -1,0 +1,115 @@
+//! D-Interleaving (§III-C): micro-batch pipelining.
+//!
+//! Large batches are desirable for accuracy and throughput but blow through
+//! GPU device memory (feature maps scale with batch size). D-interleaving
+//! slices the batch into micro-batches from a chosen layer onward and
+//! pipelines them, amortizing peak memory (Fig. 8a) or overlapping the whole
+//! iteration (Fig. 8b). The micro-batch size comes from Eq. 2.
+
+use crate::spec::{Layer, WdlSpec};
+
+/// Eq. 2: `BS_micro = min_op (RBound_op / RInstance_op)` — the largest
+/// micro-batch no operator's dominant resource can be bounded by. Each entry
+/// is `(RBound, RInstance)`: the resource's bound value and the per-instance
+/// cost on it.
+pub fn eq2_micro_batch(ops: &[(f64, f64)]) -> f64 {
+    ops.iter()
+        .filter(|&&(_, r_inst)| r_inst > 0.0)
+        .map(|&(r_bound, r_inst)| r_bound / r_inst)
+        .fold(f64::INFINITY, f64::min)
+}
+
+/// Enables D-interleaving on `spec` with `micro_batches` slices starting at
+/// `from` (Fig. 8a: `Layer::Mlp`; Fig. 8b: `Layer::Embedding`).
+pub fn apply(spec: &mut WdlSpec, micro_batches: usize, from: Layer) {
+    assert!(micro_batches >= 1, "micro_batches must be >= 1");
+    spec.micro_batches = micro_batches;
+    spec.interleave_from = from;
+}
+
+/// Derives the micro-batch count for a target `batch` size from the Eq. 2
+/// estimate: `ceil(batch / BS_micro)`, at least 1.
+pub fn micro_batch_count(batch: usize, bs_micro: f64) -> usize {
+    if !bs_micro.is_finite() || bs_micro <= 0.0 {
+        return 1;
+    }
+    (batch as f64 / bs_micro).ceil().max(1.0) as usize
+}
+
+/// The largest batch that fits GPU device memory (the Eq. 2 special case
+/// used across the experiments): feature-map bytes per instance against the
+/// memory left after parameters and Hot-storage.
+pub fn memory_bound_batch(
+    gpu_mem_bytes: f64,
+    hot_storage_bytes: f64,
+    resident_bytes: f64,
+    feature_map_bytes_per_instance: f64,
+) -> usize {
+    let available = gpu_mem_bytes - hot_storage_bytes - resident_bytes;
+    if available <= 0.0 || feature_map_bytes_per_instance <= 0.0 {
+        return 0;
+    }
+    (available / feature_map_bytes_per_instance).floor() as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{EmbeddingChain, MlpSpec};
+
+    fn spec() -> WdlSpec {
+        WdlSpec {
+            name: "t".into(),
+            io_bytes_per_instance: 1.0,
+            chains: vec![EmbeddingChain::for_table(0, 8, vec![0], 1.0)],
+            modules: vec![],
+            mlp: MlpSpec::new(8, vec![1]),
+            micro_batches: 1,
+            interleave_from: Layer::Embedding,
+        }
+    }
+
+    #[test]
+    fn eq2_takes_tightest_bound() {
+        // GPU mem: 32 GB bound, 1 MB per instance => 32768 instances.
+        // PCIe-ish: 1e9 bound, 1e6 per instance => 1000 instances.
+        let bs = eq2_micro_batch(&[(32e9, 1e6), (1e9, 1e6)]);
+        assert_eq!(bs, 1000.0);
+        assert_eq!(eq2_micro_batch(&[(1.0, 0.0)]), f64::INFINITY);
+    }
+
+    #[test]
+    fn apply_sets_fields() {
+        let mut s = spec();
+        apply(&mut s, 4, Layer::Mlp);
+        assert_eq!(s.micro_batches, 4);
+        assert_eq!(s.interleave_from, Layer::Mlp);
+        s.validate().unwrap();
+    }
+
+    #[test]
+    fn micro_batch_count_rounds_up() {
+        assert_eq!(micro_batch_count(1000, 300.0), 4);
+        assert_eq!(micro_batch_count(1000, 1000.0), 1);
+        assert_eq!(micro_batch_count(1000, f64::INFINITY), 1);
+        assert_eq!(micro_batch_count(1000, 0.0), 1);
+    }
+
+    #[test]
+    fn memory_bound_batch_accounts_for_cache() {
+        // 32 GB GPU, 1 GB cache, 2 GB resident, 1 MB/instance.
+        let b = memory_bound_batch(32e9, 1e9, 2e9, 1e6);
+        assert_eq!(b, 29000);
+        // Bigger cache shrinks the feasible batch — the Table VI effect.
+        let b2 = memory_bound_batch(32e9, 4e9, 2e9, 1e6);
+        assert!(b2 < b);
+        assert_eq!(memory_bound_batch(1e9, 2e9, 0.0, 1e6), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "micro_batches must be >= 1")]
+    fn zero_micro_batches_rejected() {
+        let mut s = spec();
+        apply(&mut s, 0, Layer::Mlp);
+    }
+}

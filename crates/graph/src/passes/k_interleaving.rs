@@ -1,0 +1,194 @@
+//! K-Interleaving (§III-C): partition packed embedding operations into
+//! groups that execute in a staggered pipeline.
+//!
+//! Chains are ordered by *downstream affinity* — the first interaction
+//! module that consumes their output — and split into groups whose processed
+//! parameter volume respects the Eq. 3 capacity. The execution engine then
+//! chains control dependencies between consecutive groups so that group
+//! `g+1`'s communication overlaps group `g`'s downstream compute, diffusing
+//! the pulse-like resource usage of the unoptimized graph.
+
+use crate::spec::WdlSpec;
+
+/// Eq. 3: `Capacity_g = min_op (RBound_op / RParam_op)` — the parameter
+/// volume one interleaving group may process without being bounded by any
+/// single resource. Each entry is `(RBound, RParam)` for one operator class:
+/// the bound value of its dominant resource and the per-parameter cost on
+/// that resource.
+pub fn eq3_capacity(ops: &[(f64, f64)]) -> f64 {
+    ops.iter()
+        .filter(|&&(_, r_param)| r_param > 0.0)
+        .map(|&(r_bound, r_param)| r_bound / r_param)
+        .fold(f64::INFINITY, f64::min)
+}
+
+/// Assigns the spec's chains to `n_groups` interleaving groups.
+///
+/// Chains are sorted by the smallest module index consuming any of their
+/// fields (so a group's outputs feed a compact set of modules and its
+/// downstream compute can start as soon as the group lands), then split into
+/// contiguous groups balanced by embedding byte volume. Excluded chains
+/// (`interleave_excluded`) stay in group 0 with no ordering constraint.
+pub fn apply(spec: &mut WdlSpec, n_groups: usize) {
+    assert!(n_groups >= 1, "need at least one group");
+    // Affinity: first consuming module per field.
+    let affinity = |chain_fields: &[u32]| -> usize {
+        spec.modules
+            .iter()
+            .position(|m| m.input_fields.iter().any(|f| chain_fields.contains(f)))
+            .unwrap_or(usize::MAX)
+    };
+    let mut order: Vec<usize> = (0..spec.chains.len())
+        .filter(|&i| !spec.chains[i].interleave_excluded)
+        .collect();
+    order.sort_by_key(|&i| (affinity(&spec.chains[i].fields), i));
+
+    let total_bytes: f64 = order
+        .iter()
+        .map(|&i| spec.chains[i].embedding_bytes_per_instance())
+        .sum();
+    let per_group = total_bytes / n_groups as f64;
+
+    let mut group = 0u32;
+    let mut acc = 0.0;
+    for &i in &order {
+        spec.chains[i].group = group;
+        acc += spec.chains[i].embedding_bytes_per_instance();
+        if acc >= per_group * (group + 1) as f64 && (group as usize) < n_groups - 1 {
+            group += 1;
+        }
+    }
+    for c in spec.chains.iter_mut().filter(|c| c.interleave_excluded) {
+        c.group = 0;
+    }
+}
+
+/// Chooses a group count from the Eq. 3 capacity: enough groups that no
+/// group processes more than `capacity` parameters per instance, bounded by
+/// the number of chains.
+pub fn auto_group_count(spec: &WdlSpec, capacity: f64) -> usize {
+    if capacity <= 0.0 || !capacity.is_finite() {
+        return 1;
+    }
+    let total_params_per_instance: f64 = spec
+        .chains
+        .iter()
+        .filter(|c| !c.interleave_excluded)
+        .map(|c| c.ids_per_instance * c.dim as f64)
+        .sum();
+    let wanted = (total_params_per_instance / capacity).ceil() as usize;
+    wanted.clamp(1, spec.chains.len().max(1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{EmbeddingChain, InteractionModule, Layer, MlpSpec, ModuleKind};
+
+    fn spec(n_chains: usize) -> WdlSpec {
+        let chains: Vec<EmbeddingChain> = (0..n_chains)
+            .map(|t| EmbeddingChain::for_table(t, 8, vec![t as u32], 1.0))
+            .collect();
+        // Two modules, each consuming half the fields.
+        let half = n_chains / 2;
+        let modules = vec![
+            InteractionModule {
+                kind: ModuleKind::Attention,
+                input_fields: (0..half as u32).collect(),
+                flops_per_instance: 10.0,
+                bytes_per_instance: 8.0,
+                params: 4.0,
+                output_width: 8,
+                micro_ops_forward: 10,
+            },
+            InteractionModule {
+                kind: ModuleKind::Gru,
+                input_fields: (half as u32..n_chains as u32).collect(),
+                flops_per_instance: 10.0,
+                bytes_per_instance: 8.0,
+                params: 4.0,
+                output_width: 8,
+                micro_ops_forward: 10,
+            },
+        ];
+        WdlSpec {
+            name: "t".into(),
+            io_bytes_per_instance: 1.0,
+            chains,
+            modules,
+            mlp: MlpSpec::new(16, vec![1]),
+            micro_batches: 1,
+            interleave_from: Layer::Embedding,
+        }
+    }
+
+    #[test]
+    fn eq3_takes_the_tightest_bound() {
+        // PCIe: 16e9 B/s bound, 4 bytes/param => 4e9 params.
+        // Network: 4e9 B/s bound, 8 bytes/param => 5e8 params.
+        let cap = eq3_capacity(&[(16e9, 4.0), (4e9, 8.0)]);
+        assert_eq!(cap, 5e8);
+        assert_eq!(eq3_capacity(&[(1.0, 0.0)]), f64::INFINITY);
+    }
+
+    #[test]
+    fn groups_are_contiguous_over_module_affinity() {
+        let mut s = spec(8);
+        apply(&mut s, 2);
+        assert_eq!(s.group_count(), 2);
+        // Chains feeding module 0 (fields 0..4) land in group 0; module 1's
+        // in group 1 — downstream compute of group 0 can start early.
+        for c in &s.chains {
+            let g_expected = if c.fields[0] < 4 { 0 } else { 1 };
+            assert_eq!(c.group, g_expected, "chain fields {:?}", c.fields);
+        }
+    }
+
+    #[test]
+    fn group_volumes_are_balanced() {
+        let mut s = spec(12);
+        apply(&mut s, 3);
+        let mut vol = [0.0f64; 3];
+        for c in &s.chains {
+            vol[c.group as usize] += c.embedding_bytes_per_instance();
+        }
+        let total: f64 = vol.iter().sum();
+        for v in vol {
+            assert!(v > total / 6.0, "unbalanced groups: {vol:?}");
+        }
+    }
+
+    #[test]
+    fn one_group_means_no_interleaving() {
+        let mut s = spec(6);
+        apply(&mut s, 1);
+        assert!(s.chains.iter().all(|c| c.group == 0));
+        assert_eq!(s.group_count(), 1);
+    }
+
+    #[test]
+    fn excluded_chains_stay_in_group_zero() {
+        let mut s = spec(8);
+        s.chains[7].interleave_excluded = true;
+        apply(&mut s, 4);
+        assert_eq!(s.chains[7].group, 0);
+    }
+
+    #[test]
+    fn auto_group_count_scales_with_volume() {
+        let s = spec(10); // 10 chains x 1 id x dim 8 = 80 params/instance
+        assert_eq!(auto_group_count(&s, 40.0), 2);
+        assert_eq!(auto_group_count(&s, 8.0), 10);
+        assert_eq!(auto_group_count(&s, 1.0), 10, "clamped to chain count");
+        assert_eq!(auto_group_count(&s, f64::INFINITY), 1);
+        assert_eq!(auto_group_count(&s, 0.0), 1);
+    }
+
+    #[test]
+    fn more_groups_than_chains_is_clamped_by_assignment() {
+        let mut s = spec(2);
+        apply(&mut s, 8);
+        // Only 2 chains exist; group ids stay dense and small.
+        assert!(s.group_count() <= 2);
+    }
+}

@@ -1,0 +1,16 @@
+//! The PICASSO graph-optimization passes (§III-B, §III-C).
+//!
+//! Each pass transforms a [`crate::spec::WdlSpec`]:
+//!
+//! - [`d_packing`] merges per-table embedding chains into packed operations
+//!   according to a planner-provided table-to-pack assignment.
+//! - [`k_packing`] fuses same-resource-class kernels (`Unique`+`Partition`,
+//!   `Shuffle`+`Stitch`, dense module kernels).
+//! - [`k_interleaving`] assigns chains to staggered execution groups sized
+//!   by Eq. 3.
+//! - [`d_interleaving`] enables micro-batch pipelining sized by Eq. 2.
+
+pub mod d_interleaving;
+pub mod d_packing;
+pub mod k_interleaving;
+pub mod k_packing;

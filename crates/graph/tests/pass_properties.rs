@@ -1,0 +1,146 @@
+//! Property tests of the PICASSO graph passes.
+
+use picasso_graph::{
+    d_interleaving, d_packing, graph_stats, k_interleaving, k_packing, EmbeddingChain,
+    InteractionModule, Layer, MlpSpec, ModuleKind, WdlSpec,
+};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+/// Random spec: `n_tables` tables with dims from a small set, fields 1:1
+/// with tables, and a couple of modules over field ranges.
+fn spec_strategy() -> impl Strategy<Value = WdlSpec> {
+    (2usize..40, proptest::collection::vec(0usize..4, 2..40)).prop_map(|(n_modules_seed, dims)| {
+        let dim_of = |i: usize| [4usize, 8, 16, 32][dims[i % dims.len()]];
+        let n = dims.len();
+        let chains: Vec<EmbeddingChain> = (0..n)
+            .map(|t| {
+                let mut c = EmbeddingChain::for_table(
+                    t,
+                    dim_of(t),
+                    vec![t as u32],
+                    1.0 + (t % 5) as f64,
+                );
+                c.unique_ratio = 0.3 + 0.1 * (t % 7) as f64;
+                c
+            })
+            .collect();
+        let n_modules = 1 + n_modules_seed % 5;
+        let modules: Vec<InteractionModule> = (0..n_modules)
+            .map(|m| {
+                let fields: Vec<u32> = (0..n as u32).filter(|f| (*f as usize) % n_modules == m).collect();
+                InteractionModule {
+                    kind: ModuleKind::Attention,
+                    input_fields: fields,
+                    flops_per_instance: 100.0 * (m + 1) as f64,
+                    bytes_per_instance: 16.0,
+                    params: 8.0,
+                    output_width: 8,
+                    micro_ops_forward: 10 + m as u32,
+                }
+            })
+            .collect();
+        WdlSpec {
+            name: "prop".into(),
+            io_bytes_per_instance: 64.0,
+            chains,
+            modules,
+            mlp: MlpSpec::new(64, vec![32, 1]),
+            micro_batches: 1,
+            interleave_from: Layer::Embedding,
+        }
+    })
+}
+
+/// A pack assignment grouping tables by dim (what the planner guarantees).
+fn assignment_for(spec: &WdlSpec, shards_per_dim: usize) -> BTreeMap<usize, usize> {
+    let mut next_pack: BTreeMap<(usize, usize), usize> = BTreeMap::new();
+    let mut out = BTreeMap::new();
+    let mut counter = 0usize;
+    for (i, c) in spec.chains.iter().enumerate() {
+        let key = (c.dim, i % shards_per_dim);
+        let pack = *next_pack.entry(key).or_insert_with(|| {
+            let p = counter;
+            counter += 1;
+            p
+        });
+        out.insert(c.tables[0], pack);
+    }
+    out
+}
+
+proptest! {
+    /// D-packing preserves fields, ID volume, and embedding bytes exactly.
+    #[test]
+    fn d_packing_conserves_volume(spec in spec_strategy(), shards in 1usize..4) {
+        let assign = assignment_for(&spec, shards);
+        let packed = d_packing::apply(&spec, &assign);
+        packed.validate().unwrap();
+        let fields = |s: &WdlSpec| {
+            let mut v: Vec<u32> = s.chains.iter().flat_map(|c| c.fields.clone()).collect();
+            v.sort_unstable();
+            v
+        };
+        prop_assert_eq!(fields(&spec), fields(&packed));
+        let vol = |s: &WdlSpec| s.embedding_bytes_per_instance();
+        prop_assert!((vol(&spec) - vol(&packed)).abs() < 1e-9);
+        let ids = |s: &WdlSpec| s.chains.iter().map(|c| c.ids_per_instance).sum::<f64>();
+        prop_assert!((ids(&spec) - ids(&packed)).abs() < 1e-9);
+        prop_assert!(packed.chains.len() <= spec.chains.len());
+    }
+
+    /// D-packing + K-packing never increase the operation count, and the
+    /// reduction grows with consolidation.
+    #[test]
+    fn packing_monotonically_reduces_ops(spec in spec_strategy()) {
+        let base_ops = graph_stats(&spec).total_ops;
+        let coarse = k_packing::apply(&d_packing::apply(&spec, &assignment_for(&spec, 1)));
+        let fine = k_packing::apply(&d_packing::apply(&spec, &assignment_for(&spec, 3)));
+        let coarse_ops = graph_stats(&coarse).total_ops;
+        let fine_ops = graph_stats(&fine).total_ops;
+        prop_assert!(coarse_ops <= base_ops);
+        prop_assert!(fine_ops <= base_ops);
+        prop_assert!(coarse_ops <= fine_ops, "fewer packs => fewer ops");
+    }
+
+    /// K-interleaving assigns every chain a group < n_groups and leaves
+    /// all volume fields untouched.
+    #[test]
+    fn k_interleaving_only_touches_groups(spec in spec_strategy(), n_groups in 1usize..8) {
+        let mut out = spec.clone();
+        k_interleaving::apply(&mut out, n_groups);
+        prop_assert!(out.group_count() <= n_groups);
+        for (a, b) in spec.chains.iter().zip(&out.chains) {
+            prop_assert_eq!(&a.fields, &b.fields);
+            prop_assert_eq!(a.ids_per_instance, b.ids_per_instance);
+            prop_assert_eq!(a.unique_ratio, b.unique_ratio);
+            prop_assert!((b.group as usize) < n_groups);
+        }
+        out.validate().unwrap();
+    }
+
+    /// Group ids are dense: every group below group_count is nonempty.
+    #[test]
+    fn k_interleaving_groups_are_dense(spec in spec_strategy(), n_groups in 1usize..8) {
+        let mut out = spec.clone();
+        k_interleaving::apply(&mut out, n_groups);
+        let gc = out.group_count();
+        for g in 0..gc {
+            prop_assert!(
+                out.chains.iter().any(|c| c.group as usize == g),
+                "group {g} of {gc} is empty"
+            );
+        }
+    }
+
+    /// Eq. 2 and Eq. 3 are monotone in their bounds.
+    #[test]
+    fn capacity_formulas_are_monotone(bound in 1.0f64..1e12, cost in 1.0f64..1e6) {
+        let base = d_interleaving::eq2_micro_batch(&[(bound, cost)]);
+        let looser = d_interleaving::eq2_micro_batch(&[(bound * 2.0, cost)]);
+        prop_assert!(looser >= base);
+        let cap = k_interleaving::eq3_capacity(&[(bound, cost)]);
+        let tighter = k_interleaving::eq3_capacity(&[(bound, cost * 2.0)]);
+        prop_assert!(tighter <= cap);
+    }
+}

@@ -1,0 +1,53 @@
+//! ATBRG \[39\]: adaptive target-behaviour relational graph network.
+//!
+//! Graph sampling and relational aggregation over user behaviours — heavy
+//! irregular memory access with modest dense compute, and the smallest
+//! feasible batch size in Table VII.
+
+use crate::modules;
+use crate::zoo::{assemble, tables, width_of, all_fields};
+use picasso_data::DatasetSpec;
+use picasso_graph::{MlpSpec, WdlSpec};
+
+/// Builds the unoptimized ATBRG graph.
+pub fn build(data: &DatasetSpec) -> WdlSpec {
+    let ts = tables(data);
+    let mut modules_v = Vec::new();
+    // One relational aggregation per behaviour sequence, sampling ~50
+    // neighbours around the target.
+    for t in ts.iter().filter(|t| t.is_sequence()) {
+        modules_v.push(modules::graph_agg(t.fields.clone(), t.dim, 50));
+    }
+    if modules_v.is_empty() {
+        // Datasets without sequences still get one aggregation over all
+        // fields (graph built from co-occurrence).
+        let fields = all_fields(data);
+        let dim = ts.first().map(|t| t.dim).unwrap_or(16);
+        modules_v.push(modules::graph_agg(fields, dim, 50));
+    }
+    let base_fields: Vec<u32> = ts
+        .iter()
+        .filter(|t| !t.is_sequence())
+        .flat_map(|t| t.fields.clone())
+        .collect();
+    let agg_width: usize = modules_v.iter().map(|m| m.output_width).sum();
+    let tower_width = width_of(data, &base_fields).max(1);
+    if !base_fields.is_empty() {
+        modules_v.push(modules::dnn_tower(base_fields, tower_width, &[512, 128]));
+    }
+    let mlp_input = agg_width + 128;
+    assemble("ATBRG", data, modules_v, MlpSpec::new(mlp_input, vec![200, 80, 1]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn atbrg_builds_aggregators_per_sequence() {
+        let spec = build(&DatasetSpec::product2());
+        // 30 sequence tables + 1 base tower.
+        assert_eq!(spec.modules.len(), 31);
+        spec.validate().unwrap();
+    }
+}

@@ -1,0 +1,80 @@
+//! CAN \[8\]: feature co-action network — the paper's communication-intensive
+//! representative (Fig. 5).
+//!
+//! CAN multiplies feature interactions: every behaviour sequence co-acts
+//! with several target features through micro-MLPs whose weights come from
+//! the embeddings themselves, on top of a DIN-style attention backbone.
+//! With 1,834 feature fields over 364 tables the embedding exchange
+//! dominates, which is why the paper reports ~60-70% communication time.
+
+use crate::modules;
+use crate::zoo::{assemble, tables, width_of};
+use picasso_data::DatasetSpec;
+use picasso_graph::{MlpSpec, WdlSpec};
+
+/// Number of target features each behaviour sequence co-acts with.
+const CO_ACTION_TARGETS: usize = 3;
+
+/// Co-action micro-MLP width (sliced from the embedding, bounded).
+const CO_ACTION_DIM: usize = 16;
+
+/// Builds the unoptimized CAN graph.
+pub fn build(data: &DatasetSpec) -> WdlSpec {
+    let ts = tables(data);
+    let base: Vec<&crate::zoo::TableInfo> = ts.iter().filter(|t| !t.is_sequence()).collect();
+    let seqs: Vec<&crate::zoo::TableInfo> = ts.iter().filter(|t| t.is_sequence()).collect();
+    let mut mods = Vec::new();
+    let mut width = 0;
+
+    for (i, seq) in seqs.iter().enumerate() {
+        // Attention backbone per sequence.
+        let a = modules::attention(seq.fields.clone(), seq.dim, seq.seq_len());
+        width += a.output_width;
+        mods.push(a);
+        // Co-action units against a rotating set of target features.
+        for k in 0..CO_ACTION_TARGETS {
+            if base.is_empty() {
+                break;
+            }
+            let target = base[(i * CO_ACTION_TARGETS + k) % base.len()];
+            let mut fields = seq.fields.clone();
+            fields.extend_from_slice(&target.fields);
+            let m = modules::co_action(fields, CO_ACTION_DIM.min(seq.dim.max(4)), seq.seq_len());
+            width += m.output_width;
+            mods.push(m);
+        }
+    }
+    let base_fields: Vec<u32> = base.iter().flat_map(|t| t.fields.clone()).collect();
+    if !base_fields.is_empty() {
+        let w = width_of(data, &base_fields);
+        let tower = modules::dnn_tower(base_fields, w, &[512, 256]);
+        width += tower.output_width;
+        mods.push(tower);
+    }
+    assemble("CAN", data, mods, MlpSpec::new(width.max(1), vec![512, 256, 1]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn can_on_product2_has_many_modules() {
+        let spec = build(&DatasetSpec::product2());
+        // 30 sequences x (1 attention + 3 co-action) + 1 base tower.
+        assert_eq!(spec.modules.len(), 30 * 4 + 1);
+        assert_eq!(spec.chains.len(), 364);
+        spec.validate().unwrap();
+    }
+
+    #[test]
+    fn can_moves_lots_of_embedding_bytes() {
+        let spec = build(&DatasetSpec::product2());
+        // Communication-intensive: far more embedding bytes per instance
+        // than W&D on Product-1.
+        let wd = crate::zoo::wide_deep::build(&DatasetSpec::product1());
+        assert!(
+            spec.embedding_bytes_per_instance() > 2.0 * wd.embedding_bytes_per_instance()
+        );
+    }
+}

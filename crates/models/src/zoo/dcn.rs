@@ -1,0 +1,34 @@
+//! DCN \[37\]: Deep & Cross Network — explicit bounded-degree crosses plus a
+//! deep tower.
+
+use crate::modules;
+use crate::zoo::{all_fields, assemble, width_of};
+use picasso_data::DatasetSpec;
+use picasso_graph::{MlpSpec, WdlSpec};
+
+/// Builds the unoptimized DCN graph (3 cross layers).
+pub fn build(data: &DatasetSpec) -> WdlSpec {
+    let fields = all_fields(data);
+    let width = width_of(data, &fields);
+    let cross = modules::cross(fields.clone(), width, 3);
+    let deep = modules::dnn_tower(fields, width, &[1024, 512]);
+    let mlp_input = cross.output_width + deep.output_width;
+    assemble(
+        "DCN",
+        data,
+        vec![cross, deep],
+        MlpSpec::new(mlp_input, vec![256, 1]),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dcn_has_cross_and_deep() {
+        let spec = build(&DatasetSpec::product2());
+        assert_eq!(spec.modules.len(), 2);
+        spec.validate().unwrap();
+    }
+}

@@ -1,0 +1,36 @@
+//! DeepFM \[3\]: factorization machine plus deep network sharing embeddings.
+
+use crate::modules;
+use crate::zoo::{all_fields, assemble, tables, width_of};
+use picasso_data::DatasetSpec;
+use picasso_graph::{MlpSpec, WdlSpec};
+
+/// Builds the unoptimized DeepFM graph.
+pub fn build(data: &DatasetSpec) -> WdlSpec {
+    let fields = all_fields(data);
+    let n = tables(data).len();
+    let dim = data.fields.first().map(|f| f.dim).unwrap_or(16);
+    let fm = modules::fm(fields.clone(), n, dim);
+    let width = width_of(data, &fields);
+    let deep = modules::dnn_tower(fields, width, &[400, 400, 400]);
+    let mlp_input = fm.output_width + deep.output_width;
+    assemble(
+        "DeepFM",
+        data,
+        vec![fm, deep],
+        MlpSpec::new(mlp_input, vec![64, 1]),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deepfm_shares_embeddings_between_parts() {
+        let spec = build(&DatasetSpec::criteo());
+        assert_eq!(spec.modules.len(), 2);
+        assert_eq!(spec.modules[0].input_fields, spec.modules[1].input_fields);
+        spec.validate().unwrap();
+    }
+}

@@ -1,0 +1,54 @@
+//! DIEN \[5\]: Deep Interest Evolution Network — a GRU interest extractor
+//! feeding attentional interest evolution per behaviour sequence.
+//!
+//! The recurrence launches kernels per sequence step, making DIEN the most
+//! fragmentary compute workload in the public benchmarks.
+
+use crate::modules;
+use crate::zoo::{assemble, tables, width_of};
+use picasso_data::DatasetSpec;
+use picasso_graph::{MlpSpec, WdlSpec};
+
+/// Builds the unoptimized DIEN graph.
+pub fn build(data: &DatasetSpec) -> WdlSpec {
+    let ts = tables(data);
+    let mut mods = Vec::new();
+    let mut width = 0;
+    for t in ts.iter().filter(|t| t.is_sequence()) {
+        let g = modules::gru(t.fields.clone(), t.dim, t.seq_len());
+        let a = modules::attention(t.fields.clone(), t.dim, t.seq_len());
+        width += g.output_width + a.output_width;
+        mods.push(g);
+        mods.push(a);
+    }
+    let base_fields: Vec<u32> = ts
+        .iter()
+        .filter(|t| !t.is_sequence())
+        .flat_map(|t| t.fields.clone())
+        .collect();
+    if !base_fields.is_empty() {
+        let w = width_of(data, &base_fields);
+        let tower = modules::dnn_tower(base_fields, w, &[512, 200]);
+        width += tower.output_width;
+        mods.push(tower);
+    }
+    assemble("DIEN", data, mods, MlpSpec::new(width, vec![200, 80, 1]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use picasso_graph::graph_stats;
+
+    #[test]
+    fn dien_is_more_fragmentary_than_din() {
+        let data = DatasetSpec::alibaba();
+        let dien = build(&data);
+        let din = crate::zoo::din::build(&data);
+        assert!(
+            graph_stats(&dien).module_ops > 2 * graph_stats(&din).module_ops,
+            "GRU recurrence multiplies kernel launches"
+        );
+        dien.validate().unwrap();
+    }
+}

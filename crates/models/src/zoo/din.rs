@@ -1,0 +1,50 @@
+//! DIN \[4\]: Deep Interest Network — target attention over each behaviour
+//! sequence plus a deep tower over the base profile features.
+
+use crate::modules;
+use crate::zoo::{assemble, tables, width_of};
+use picasso_data::DatasetSpec;
+use picasso_graph::{MlpSpec, WdlSpec};
+
+/// Builds the unoptimized DIN graph.
+pub fn build(data: &DatasetSpec) -> WdlSpec {
+    let ts = tables(data);
+    let mut mods = Vec::new();
+    let mut attn_width = 0;
+    for t in ts.iter().filter(|t| t.is_sequence()) {
+        let m = modules::attention(t.fields.clone(), t.dim, t.seq_len());
+        attn_width += m.output_width;
+        mods.push(m);
+    }
+    let base_fields: Vec<u32> = ts
+        .iter()
+        .filter(|t| !t.is_sequence())
+        .flat_map(|t| t.fields.clone())
+        .collect();
+    let mut tower_width = 0;
+    if !base_fields.is_empty() {
+        tower_width = 200;
+        let w = width_of(data, &base_fields);
+        mods.push(modules::dnn_tower(base_fields, w, &[512, tower_width]));
+    }
+    assemble(
+        "DIN",
+        data,
+        mods,
+        MlpSpec::new(attn_width + tower_width, vec![200, 80, 1]),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn din_on_alibaba_attends_12_sequences() {
+        let spec = build(&DatasetSpec::alibaba());
+        // 12 attention modules + 1 base tower.
+        assert_eq!(spec.modules.len(), 13);
+        assert_eq!(spec.chains.len(), 19);
+        spec.validate().unwrap();
+    }
+}

@@ -1,0 +1,42 @@
+//! DLRM \[23\]: Facebook's deep learning recommendation model (MLPerf
+//! benchmark). Dense bottom MLP, pairwise dot-product feature interaction,
+//! deep top MLP.
+
+use crate::modules;
+use crate::zoo::{all_fields, assemble, tables, representative_fields};
+use picasso_data::DatasetSpec;
+use picasso_graph::{MlpSpec, WdlSpec};
+
+/// Builds the unoptimized DLRM graph.
+pub fn build(data: &DatasetSpec) -> WdlSpec {
+    let ts = tables(data);
+    let dim = ts.first().map(|t| t.dim).unwrap_or(128);
+    let n = ts.len();
+    // Bottom MLP embeds the dense features into the interaction space.
+    let bottom = modules::dnn_tower(Vec::new(), data.numeric.max(1), &[512, 256, dim]);
+    // Pairwise dot interaction over all table embeddings + bottom output.
+    let dot = modules::fm(all_fields(data), n + 1, dim);
+    let reps = representative_fields(&ts);
+    let post = modules::dnn_tower(reps, (n + 1) * (n + 2) / 2, &[1024, 512]);
+    let mlp_input = post.output_width;
+    assemble(
+        "DLRM",
+        data,
+        vec![bottom, dot, post],
+        MlpSpec::new(mlp_input, vec![256, 1]),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dlrm_on_criteo_has_26_chains() {
+        let spec = build(&DatasetSpec::criteo());
+        assert_eq!(spec.chains.len(), 26);
+        assert_eq!(spec.modules.len(), 3);
+        assert!(spec.dense_flops_per_instance() > 1e6);
+        spec.validate().unwrap();
+    }
+}

@@ -1,0 +1,47 @@
+//! DSIN \[40\]: Deep Session Interest Network — sessions encoded by
+//! Transformer blocks with bias, then attention-aggregated.
+
+use crate::modules;
+use crate::zoo::{assemble, tables, width_of};
+use picasso_data::DatasetSpec;
+use picasso_graph::{MlpSpec, WdlSpec};
+
+/// Builds the unoptimized DSIN graph (each behaviour sequence treated as a
+/// session stack).
+pub fn build(data: &DatasetSpec) -> WdlSpec {
+    let ts = tables(data);
+    let mut mods = Vec::new();
+    let mut width = 0;
+    for t in ts.iter().filter(|t| t.is_sequence()) {
+        let tr = modules::transformer(t.fields.clone(), t.dim, t.seq_len());
+        let a = modules::attention(t.fields.clone(), t.dim, t.seq_len());
+        width += tr.output_width + a.output_width;
+        mods.push(tr);
+        mods.push(a);
+    }
+    let base_fields: Vec<u32> = ts
+        .iter()
+        .filter(|t| !t.is_sequence())
+        .flat_map(|t| t.fields.clone())
+        .collect();
+    if !base_fields.is_empty() {
+        let w = width_of(data, &base_fields);
+        let tower = modules::dnn_tower(base_fields, w, &[512, 200]);
+        width += tower.output_width;
+        mods.push(tower);
+    }
+    assemble("DSIN", data, mods, MlpSpec::new(width, vec![200, 80, 1]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dsin_builds_transformers() {
+        let spec = build(&DatasetSpec::product2());
+        // 30 sequences x (transformer + attention) + base tower.
+        assert_eq!(spec.modules.len(), 61);
+        spec.validate().unwrap();
+    }
+}

@@ -1,0 +1,31 @@
+//! LR: piece-wise linear logistic regression \[35\].
+//!
+//! The shallowest model in the zoo: a single wide linear term over every
+//! feature embedding, no deep interaction. I/O and embedding dominated —
+//! exactly the workload whose GPU utilization Fig. 1 shows lowest.
+
+use crate::modules;
+use crate::zoo::{all_fields, assemble, width_of};
+use picasso_data::DatasetSpec;
+use picasso_graph::{MlpSpec, WdlSpec};
+
+/// Builds the unoptimized LR graph.
+pub fn build(data: &DatasetSpec) -> WdlSpec {
+    let fields = all_fields(data);
+    let width = width_of(data, &fields);
+    let wide = modules::linear(fields, width);
+    assemble("LR", data, vec![wide], MlpSpec::new(1, vec![1]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lr_is_shallow() {
+        let spec = build(&DatasetSpec::product1());
+        assert_eq!(spec.modules.len(), 1);
+        assert!(spec.dense_flops_per_instance() < 1e5, "LR has almost no compute");
+        spec.validate().unwrap();
+    }
+}

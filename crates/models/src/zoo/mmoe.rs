@@ -1,0 +1,82 @@
+//! MMoE \[24\] variant: 71 experts at the MLP, derived from canonical DIN —
+//! the paper's computation-intensive representative (Fig. 5), serving
+//! scenario-aware CTR prediction.
+
+use crate::modules;
+use crate::zoo::{assemble, tables, width_of};
+use picasso_data::DatasetSpec;
+use picasso_graph::{MlpSpec, WdlSpec};
+
+/// Expert count from §II-D.
+pub const EXPERTS: usize = 71;
+
+/// Task (gate) count.
+pub const TASKS: usize = 3;
+
+/// Builds the unoptimized MMoE graph.
+pub fn build(data: &DatasetSpec) -> WdlSpec {
+    let ts = tables(data);
+    let mut mods = Vec::new();
+    // DIN backbone: attention per behaviour sequence.
+    let mut attn_width = 0;
+    for t in ts.iter().filter(|t| t.is_sequence()) {
+        let a = modules::attention(t.fields.clone(), t.dim, t.seq_len());
+        attn_width += a.output_width;
+        mods.push(a);
+    }
+    let base_fields: Vec<u32> = ts
+        .iter()
+        .filter(|t| !t.is_sequence())
+        .flat_map(|t| t.fields.clone())
+        .collect();
+    let base_width = width_of(data, &base_fields);
+    // Shared bottom tower compresses the concatenated representation
+    // before the experts (keeping dense parameters MoE-shaped rather than
+    // exploding with the input width).
+    let bottom = modules::dnn_tower(base_fields.clone(), attn_width + base_width, &[1024, 512]);
+    let expert_input = bottom.output_width;
+    mods.push(bottom);
+    // 71 experts over the shared representation.
+    let mut expert_width = 0;
+    for _ in 0..EXPERTS {
+        let e = modules::expert(base_fields.clone(), expert_input, &[1024, 512]);
+        expert_width = e.output_width;
+        mods.push(e);
+    }
+    for _ in 0..TASKS {
+        mods.push(modules::gate(base_fields.clone(), expert_input, EXPERTS));
+    }
+    assemble(
+        "MMoE",
+        data,
+        mods,
+        MlpSpec::new(expert_width * TASKS, vec![128, TASKS]),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mmoe_has_71_experts() {
+        let spec = build(&DatasetSpec::product3());
+        let experts = spec
+            .modules
+            .iter()
+            .filter(|m| m.kind == picasso_graph::ModuleKind::Expert)
+            .count();
+        assert_eq!(experts, EXPERTS);
+        spec.validate().unwrap();
+    }
+
+    #[test]
+    fn mmoe_is_compute_dominant() {
+        let spec = build(&DatasetSpec::product3());
+        let wd = crate::zoo::wide_deep::build(&DatasetSpec::product1());
+        assert!(
+            spec.dense_flops_per_instance() > 5.0 * wd.dense_flops_per_instance(),
+            "71 experts dwarf W&D compute"
+        );
+    }
+}

@@ -1,0 +1,41 @@
+//! STAR \[25\]: star-topology adaptive recommender for multi-domain CTR.
+//!
+//! A shared centred tower plus per-domain towers whose weights multiply the
+//! shared ones, with a domain gate — multi-scenario serving in one model.
+
+use crate::modules;
+use crate::zoo::{all_fields, assemble, width_of};
+use picasso_data::DatasetSpec;
+use picasso_graph::{MlpSpec, WdlSpec};
+
+/// Number of business domains sharing the model.
+const DOMAINS: usize = 4;
+
+/// Builds the unoptimized STAR graph.
+pub fn build(data: &DatasetSpec) -> WdlSpec {
+    let fields = all_fields(data);
+    let width = width_of(data, &fields);
+    let mut mods = Vec::new();
+    let shared = modules::dnn_tower(fields.clone(), width, &[1024, 512, 256]);
+    let out_w = shared.output_width;
+    mods.push(shared);
+    for _ in 0..DOMAINS {
+        mods.push(modules::dnn_tower(fields.clone(), width, &[1024, 512, 256]));
+    }
+    mods.push(modules::gate(fields, width, DOMAINS + 1));
+    assemble("STAR", data, mods, MlpSpec::new(out_w, vec![128, 1]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn star_replicates_towers_per_domain() {
+        let spec = build(&DatasetSpec::product2());
+        assert_eq!(spec.modules.len(), DOMAINS + 2);
+        // Each domain tower carries full parameters: heavy dense part.
+        assert!(spec.dense_params() > 1e7);
+        spec.validate().unwrap();
+    }
+}

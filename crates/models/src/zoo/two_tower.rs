@@ -1,0 +1,38 @@
+//! TwoTowerDNN \[36\]: user tower and item tower trained for retrieval.
+
+use crate::modules;
+use crate::zoo::{assemble, tables, width_of};
+use picasso_data::DatasetSpec;
+use picasso_graph::{MlpSpec, WdlSpec};
+
+/// Builds the unoptimized two-tower graph: tables are split evenly between
+/// the user and item towers.
+pub fn build(data: &DatasetSpec) -> WdlSpec {
+    let ts = tables(data);
+    let half = ts.len() / 2;
+    let user_fields: Vec<u32> = ts[..half].iter().flat_map(|t| t.fields.clone()).collect();
+    let item_fields: Vec<u32> = ts[half..].iter().flat_map(|t| t.fields.clone()).collect();
+    let user = modules::dnn_tower(user_fields.clone(), width_of(data, &user_fields), &[512, 128]);
+    let item = modules::dnn_tower(item_fields.clone(), width_of(data, &item_fields), &[512, 128]);
+    let mlp_input = user.output_width + item.output_width;
+    assemble(
+        "TwoTowerDNN",
+        data,
+        vec![user, item],
+        MlpSpec::new(mlp_input, vec![64, 1]),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn towers_split_fields() {
+        let spec = build(&DatasetSpec::product2());
+        assert_eq!(spec.modules.len(), 2);
+        let total_inputs: usize = spec.modules.iter().map(|m| m.input_fields.len()).sum();
+        assert_eq!(total_inputs, DatasetSpec::product2().fields.len());
+        spec.validate().unwrap();
+    }
+}

@@ -1,0 +1,39 @@
+//! Wide & Deep \[2\]: a wide linear term plus a deep DNN tower.
+//!
+//! The paper's I/O-&-memory-intensive representative (Fig. 5): hundreds of
+//! feature fields feed a comparatively small dense part, so exposed data
+//! transmission and embedding lookup dominate the iteration.
+
+use crate::modules;
+use crate::zoo::{all_fields, assemble, width_of};
+use picasso_data::DatasetSpec;
+use picasso_graph::{MlpSpec, WdlSpec};
+
+/// Builds the unoptimized Wide & Deep graph.
+pub fn build(data: &DatasetSpec) -> WdlSpec {
+    let fields = all_fields(data);
+    let width = width_of(data, &fields);
+    let wide = modules::linear(fields.clone(), width);
+    let deep = modules::dnn_tower(fields, width, &[512, 256]);
+    let mlp_input = 1 + deep.output_width;
+    assemble(
+        "W&D",
+        data,
+        vec![wide, deep],
+        MlpSpec::new(mlp_input, vec![64, 1]),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wd_has_wide_and_deep_parts() {
+        let spec = build(&DatasetSpec::product1());
+        assert_eq!(spec.modules.len(), 2);
+        assert!(spec.dense_params() > 1e6, "deep tower carries parameters");
+        assert_eq!(spec.chains.len(), 204);
+        spec.validate().unwrap();
+    }
+}

@@ -1,0 +1,37 @@
+//! xDeepFM \[38\]: compressed interaction network (CIN) plus deep tower —
+//! the heaviest explicit-interaction model in the zoo.
+
+use crate::modules;
+use crate::zoo::{all_fields, assemble, tables, width_of};
+use picasso_data::DatasetSpec;
+use picasso_graph::{MlpSpec, WdlSpec};
+
+/// Builds the unoptimized xDeepFM graph (3 CIN layers of 100 maps).
+pub fn build(data: &DatasetSpec) -> WdlSpec {
+    let fields = all_fields(data);
+    let ts = tables(data);
+    let dim = ts.first().map(|t| t.dim).unwrap_or(16);
+    let cin = modules::cin(fields.clone(), ts.len(), dim, 3, 100);
+    let width = width_of(data, &fields);
+    let deep = modules::dnn_tower(fields, width, &[400, 400]);
+    let mlp_input = cin.output_width + deep.output_width;
+    assemble(
+        "xDeepFM",
+        data,
+        vec![cin, deep],
+        MlpSpec::new(mlp_input, vec![64, 1]),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn xdeepfm_is_compute_heavy() {
+        let spec = build(&DatasetSpec::criteo());
+        let dcn = crate::zoo::dcn::build(&DatasetSpec::criteo());
+        assert!(spec.dense_flops_per_instance() > dcn.dense_flops_per_instance());
+        spec.validate().unwrap();
+    }
+}

@@ -1,0 +1,52 @@
+//! # picasso-sim
+//!
+//! A deterministic discrete-event simulator of heterogeneous GPU-centric
+//! training clusters — the hardware substrate underneath the PICASSO
+//! reproduction.
+//!
+//! The paper evaluates on clusters of NVIDIA V100 machines (Table I). This
+//! crate substitutes those testbeds with an event-driven model in which every
+//! hardware component (GPU SMs, HBM, DRAM, PCIe, NVLink, NIC, host CPU) is a
+//! rate server with per-operation launch overhead. All of PICASSO's headline
+//! effects are *scheduling* effects — launch-overhead amortization (packing),
+//! cross-resource overlap (interleaving), and service-rate selection
+//! (caching) — so they emerge from the engine rather than being hard-coded.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use picasso_sim::{Engine, Task, TaskCategory, ResourceKind, ResourceSpec};
+//!
+//! let mut engine = Engine::new();
+//! let net = engine.add_resource(ResourceSpec::new("nic", ResourceKind::Network, 1e9, 0));
+//! let gpu = engine.add_resource(ResourceSpec::new("gpu", ResourceKind::GpuSm, 1e12, 0));
+//! let shuffle = engine
+//!     .add_task(Task::new(net, 4e6, TaskCategory::Communication))
+//!     .unwrap();
+//! let matmul = engine
+//!     .add_task(Task::new(gpu, 1e9, TaskCategory::Computation).after([shuffle]))
+//!     .unwrap();
+//! let result = engine.run().unwrap();
+//! assert!(result.record(matmul).start >= result.record(shuffle).end);
+//! ```
+
+#![warn(missing_docs)]
+// Numeric kernels index several parallel buffers at once; indexed loops
+// are clearer than nested zips there.
+#![allow(clippy::needless_range_loop)]
+
+pub mod engine;
+pub mod intervals;
+pub mod metrics;
+pub mod resource;
+pub mod time;
+pub mod topology;
+pub mod trace;
+
+pub use engine::{Binding, Engine, EngineError, RunResult, Task, TaskCategory, TaskId, TaskRecord};
+pub use intervals::IntervalSet;
+pub use metrics::{BandwidthTimeline, Breakdown, RunAnalysis, UtilizationTimeline};
+pub use resource::{CongestionSpec, ResourceId, ResourceKind, ResourceSpec};
+pub use time::{SimDuration, SimTime};
+pub use trace::to_chrome_trace;
+pub use topology::{Cluster, ExecutorHandles, GpuSpec, MachineSpec, OverheadSpec, ServerHandles};

@@ -1,0 +1,366 @@
+//! DCGM-style measurement of a finished run.
+//!
+//! The paper inspects GPU SM utilization and PCIe/NVLink bandwidth at a
+//! 10-millisecond granularity (Figs. 11 and 12) and reports worker-side time
+//! breakdowns (Fig. 5). This module derives all of those from the raw task
+//! records produced by the engine.
+
+use crate::engine::{RunResult, TaskCategory};
+use crate::intervals::IntervalSet;
+use crate::resource::ResourceKind;
+use crate::time::{SimDuration, SimTime};
+use std::collections::BTreeMap;
+
+/// Bucketed utilization samples for one resource kind.
+#[derive(Debug, Clone)]
+pub struct UtilizationTimeline {
+    /// Bucket width.
+    pub bucket: SimDuration,
+    /// Per-bucket busy fraction in `[0, 1]` (union over channels/devices).
+    pub samples: Vec<f64>,
+}
+
+impl UtilizationTimeline {
+    /// Mean utilization over all buckets.
+    pub fn mean(&self) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.samples.iter().sum::<f64>() / self.samples.len() as f64
+    }
+
+    /// Empirical CDF as `(value, cumulative fraction)` points, sorted by value.
+    pub fn cdf(&self) -> Vec<(f64, f64)> {
+        let mut v = self.samples.clone();
+        v.sort_by(|a, b| a.partial_cmp(b).expect("utilization samples are finite"));
+        let n = v.len();
+        v.into_iter()
+            .enumerate()
+            .map(|(i, x)| (x, (i + 1) as f64 / n as f64))
+            .collect()
+    }
+
+    /// Fraction of buckets with utilization below `threshold`.
+    pub fn fraction_below(&self, threshold: f64) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.samples.iter().filter(|&&s| s < threshold).count() as f64 / self.samples.len() as f64
+    }
+}
+
+/// Bucketed throughput samples (bytes/s) for one resource kind.
+#[derive(Debug, Clone)]
+pub struct BandwidthTimeline {
+    /// Bucket width.
+    pub bucket: SimDuration,
+    /// Per-bucket average bandwidth in bytes per second.
+    pub samples: Vec<f64>,
+}
+
+impl BandwidthTimeline {
+    /// Mean bandwidth over all buckets, bytes/s.
+    pub fn mean(&self) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.samples.iter().sum::<f64>() / self.samples.len() as f64
+    }
+
+    /// Peak bucket bandwidth, bytes/s.
+    pub fn peak(&self) -> f64 {
+        self.samples.iter().copied().fold(0.0, f64::max)
+    }
+}
+
+/// Worker-side time breakdown by task category (Fig. 5).
+///
+/// `exposed` counts, per category, the time during which *only* that category
+/// was active — the period when the operation blocks all the others, per the
+/// paper's definition — plus the share of fully-idle gaps attributed nowhere.
+#[derive(Debug, Clone)]
+pub struct Breakdown {
+    /// Total busy (possibly overlapped) time per category.
+    pub busy: BTreeMap<TaskCategory, SimDuration>,
+    /// Exposed (blocking) time per category.
+    pub exposed: BTreeMap<TaskCategory, SimDuration>,
+    /// Run makespan.
+    pub makespan: SimTime,
+}
+
+impl Breakdown {
+    /// Exposed fraction of the makespan for a category.
+    pub fn exposed_fraction(&self, cat: TaskCategory) -> f64 {
+        if self.makespan == SimTime::ZERO {
+            return 0.0;
+        }
+        self.exposed
+            .get(&cat)
+            .map(|d| d.as_secs_f64() / self.makespan.as_secs_f64())
+            .unwrap_or(0.0)
+    }
+}
+
+/// Analyzes a finished [`RunResult`].
+#[derive(Debug)]
+pub struct RunAnalysis<'a> {
+    result: &'a RunResult,
+}
+
+impl<'a> RunAnalysis<'a> {
+    /// Wraps a run result for analysis.
+    pub fn new(result: &'a RunResult) -> Self {
+        RunAnalysis { result }
+    }
+
+    /// Union busy intervals of all resources of a given kind.
+    pub fn busy_intervals(&self, kind: ResourceKind) -> IntervalSet {
+        let spans = self
+            .result
+            .records
+            .iter()
+            .filter(|r| self.result.resources[r.resource.0].spec.kind == kind)
+            .map(|r| (r.start, r.end))
+            .collect();
+        IntervalSet::from_spans(spans)
+    }
+
+    /// Union busy intervals of all tasks of a given category.
+    pub fn category_intervals(&self, cat: TaskCategory) -> IntervalSet {
+        let spans = self
+            .result
+            .records
+            .iter()
+            .filter(|r| r.category == cat)
+            .map(|r| (r.start, r.end))
+            .collect();
+        IntervalSet::from_spans(spans)
+    }
+
+    /// Average utilization timeline across all resources of a kind: each
+    /// bucket is the mean busy fraction of the individual devices (what
+    /// DCGM reports when averaging over GPUs). Use this for multi-executor
+    /// clusters; [`RunAnalysis::utilization`] unions all devices instead.
+    pub fn utilization_avg(&self, kind: ResourceKind, bucket: SimDuration) -> UtilizationTimeline {
+        assert!(bucket.as_nanos() > 0, "bucket must be nonzero");
+        let per_resource: Vec<IntervalSet> = self
+            .result
+            .resources
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| r.spec.kind == kind)
+            .map(|(i, _)| {
+                IntervalSet::from_spans(
+                    self.result
+                        .records
+                        .iter()
+                        .filter(|rec| rec.resource.0 == i)
+                        .map(|rec| (rec.start, rec.end))
+                        .collect(),
+                )
+            })
+            .collect();
+        let makespan = self.result.makespan;
+        let n_buckets = makespan.as_nanos().div_ceil(bucket.as_nanos());
+        let mut samples = Vec::with_capacity(n_buckets as usize);
+        let n = per_resource.len().max(1) as f64;
+        for b in 0..n_buckets {
+            let s = SimTime(b * bucket.as_nanos());
+            let e = SimTime(((b + 1) * bucket.as_nanos()).min(makespan.as_nanos()));
+            let width = e - s;
+            if width == SimDuration::ZERO {
+                break;
+            }
+            let busy: f64 = per_resource
+                .iter()
+                .map(|set| set.overlap_with(s, e).as_secs_f64())
+                .sum();
+            samples.push(busy / (width.as_secs_f64() * n));
+        }
+        UtilizationTimeline { bucket, samples }
+    }
+
+    /// Utilization timeline of a resource kind, sampled in `bucket` windows
+    /// (the paper uses 10 ms).
+    pub fn utilization(&self, kind: ResourceKind, bucket: SimDuration) -> UtilizationTimeline {
+        assert!(bucket.as_nanos() > 0, "bucket must be nonzero");
+        let busy = self.busy_intervals(kind);
+        let makespan = self.result.makespan;
+        let n_buckets = makespan.as_nanos().div_ceil(bucket.as_nanos());
+        let mut samples = Vec::with_capacity(n_buckets as usize);
+        for b in 0..n_buckets {
+            let s = SimTime(b * bucket.as_nanos());
+            let e = SimTime(((b + 1) * bucket.as_nanos()).min(makespan.as_nanos()));
+            let width = e - s;
+            if width == SimDuration::ZERO {
+                break;
+            }
+            let overlap = busy.overlap_with(s, e);
+            samples.push(overlap.as_secs_f64() / width.as_secs_f64());
+        }
+        UtilizationTimeline { bucket, samples }
+    }
+
+    /// Bandwidth timeline of a resource kind: bytes served per bucket,
+    /// attributing each task's bytes uniformly over its service interval.
+    pub fn bandwidth(&self, kind: ResourceKind, bucket: SimDuration) -> BandwidthTimeline {
+        assert!(bucket.as_nanos() > 0, "bucket must be nonzero");
+        let makespan = self.result.makespan;
+        let n_buckets =
+            makespan.as_nanos().div_ceil(bucket.as_nanos()) as usize;
+        let mut bytes = vec![0.0f64; n_buckets];
+        for r in &self.result.records {
+            if self.result.resources[r.resource.0].spec.kind != kind {
+                continue;
+            }
+            let dur = (r.end - r.start).as_secs_f64();
+            if dur <= 0.0 || r.work <= 0.0 {
+                continue;
+            }
+            let rate = r.work / dur;
+            let first = (r.start.as_nanos() / bucket.as_nanos()) as usize;
+            let last = ((r.end.as_nanos().saturating_sub(1)) / bucket.as_nanos()) as usize;
+            for b in first..=last.min(n_buckets.saturating_sub(1)) {
+                let bs = SimTime(b as u64 * bucket.as_nanos());
+                let be = SimTime((b as u64 + 1) * bucket.as_nanos());
+                let lo = bs.max(r.start);
+                let hi = be.min(r.end);
+                if hi > lo {
+                    bytes[b] += rate * (hi - lo).as_secs_f64();
+                }
+            }
+        }
+        let bucket_secs = bucket.as_secs_f64();
+        BandwidthTimeline {
+            bucket,
+            samples: bytes.into_iter().map(|b| b / bucket_secs).collect(),
+        }
+    }
+
+    /// Worker-side breakdown by category (Fig. 5): busy and exposed time.
+    pub fn breakdown(&self) -> Breakdown {
+        let mut busy = BTreeMap::new();
+        let mut sets: BTreeMap<TaskCategory, IntervalSet> = BTreeMap::new();
+        for cat in TaskCategory::ALL {
+            let set = self.category_intervals(cat);
+            busy.insert(cat, set.measure());
+            sets.insert(cat, set);
+        }
+        let mut exposed = BTreeMap::new();
+        for cat in TaskCategory::ALL {
+            let mut others = IntervalSet::new();
+            for (other_cat, set) in &sets {
+                if *other_cat != cat {
+                    others = others.union(set);
+                }
+            }
+            exposed.insert(cat, sets[&cat].subtract(&others).measure());
+        }
+        Breakdown {
+            busy,
+            exposed,
+            makespan: self.result.makespan,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{Engine, Task};
+    use crate::resource::ResourceSpec;
+
+    fn two_phase_run() -> RunResult {
+        // A communication phase [0, 1ms] followed by a compute phase [1, 2ms]:
+        // the classic pulse-like pattern PICASSO's interleaving diffuses.
+        let mut e = Engine::new();
+        let g = e.add_resource(ResourceSpec::new("gpu", ResourceKind::GpuSm, 1e9, 0));
+        let nw = e.add_resource(ResourceSpec::new("net", ResourceKind::Network, 1e9, 0));
+        let comm = e
+            .add_task(Task::new(nw, 1e6, TaskCategory::Communication))
+            .unwrap();
+        e.add_task(Task::new(g, 1e6, TaskCategory::Computation).after([comm]))
+            .unwrap();
+        e.run().unwrap()
+    }
+
+    #[test]
+    fn utilization_shows_pulse() {
+        let r = two_phase_run();
+        let a = RunAnalysis::new(&r);
+        let u = a.utilization(ResourceKind::GpuSm, SimDuration::from_micros(100));
+        assert_eq!(u.samples.len(), 20);
+        // GPU idle in first 10 buckets, busy in last 10.
+        assert!(u.samples[..10].iter().all(|&s| s == 0.0));
+        assert!(u.samples[10..].iter().all(|&s| (s - 1.0).abs() < 1e-9));
+        assert!((u.mean() - 0.5).abs() < 1e-9);
+        assert!((u.fraction_below(0.5) - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cdf_is_monotone_and_complete() {
+        let r = two_phase_run();
+        let a = RunAnalysis::new(&r);
+        let u = a.utilization(ResourceKind::GpuSm, SimDuration::from_micros(100));
+        let cdf = u.cdf();
+        assert_eq!(cdf.len(), 20);
+        for w in cdf.windows(2) {
+            assert!(w[0].0 <= w[1].0);
+            assert!(w[0].1 <= w[1].1);
+        }
+        assert!((cdf.last().unwrap().1 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bandwidth_attributes_bytes_to_buckets() {
+        let r = two_phase_run();
+        let a = RunAnalysis::new(&r);
+        let bw = a.bandwidth(ResourceKind::Network, SimDuration::from_micros(500));
+        // 1e6 bytes in the first 1 ms: both first two 0.5 ms buckets at 1 GB/s.
+        assert!((bw.samples[0] - 1e9).abs() < 1.0);
+        assert!((bw.samples[1] - 1e9).abs() < 1.0);
+        assert!(bw.samples[2] < 1.0);
+        assert!((bw.peak() - 1e9).abs() < 1.0);
+        // Total bytes conserved.
+        let total: f64 = bw.samples.iter().sum::<f64>() * 500e-6;
+        assert!((total - 1e6).abs() < 1.0);
+    }
+
+    #[test]
+    fn breakdown_exposes_serial_phases() {
+        let r = two_phase_run();
+        let b = RunAnalysis::new(&r).breakdown();
+        // Fully serial: each phase is 100% exposed, 50% of the makespan.
+        assert!((b.exposed_fraction(TaskCategory::Communication) - 0.5).abs() < 1e-9);
+        assert!((b.exposed_fraction(TaskCategory::Computation) - 0.5).abs() < 1e-9);
+        assert_eq!(b.busy[&TaskCategory::Communication], SimDuration::from_millis(1));
+    }
+
+    #[test]
+    fn utilization_avg_averages_over_devices() {
+        // Two GPUs: one busy the whole run, one idle -> avg 50%, union 100%.
+        let mut e = Engine::new();
+        let g0 = e.add_resource(ResourceSpec::new("gpu0", ResourceKind::GpuSm, 1e9, 0));
+        let _g1 = e.add_resource(ResourceSpec::new("gpu1", ResourceKind::GpuSm, 1e9, 0));
+        e.add_task(Task::new(g0, 1e6, TaskCategory::Computation)).unwrap();
+        let r = e.run().unwrap();
+        let a = RunAnalysis::new(&r);
+        let avg = a.utilization_avg(ResourceKind::GpuSm, SimDuration::from_micros(100));
+        let union = a.utilization(ResourceKind::GpuSm, SimDuration::from_micros(100));
+        assert!((avg.mean() - 0.5).abs() < 1e-9, "avg {}", avg.mean());
+        assert!((union.mean() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn overlapped_phases_have_no_exposure() {
+        let mut e = Engine::new();
+        let g = e.add_resource(ResourceSpec::new("gpu", ResourceKind::GpuSm, 1e9, 0));
+        let nw = e.add_resource(ResourceSpec::new("net", ResourceKind::Network, 1e9, 0));
+        e.add_task(Task::new(nw, 1e6, TaskCategory::Communication)).unwrap();
+        e.add_task(Task::new(g, 1e6, TaskCategory::Computation)).unwrap();
+        let r = e.run().unwrap();
+        let b = RunAnalysis::new(&r).breakdown();
+        assert_eq!(b.exposed[&TaskCategory::Communication], SimDuration::ZERO);
+        assert_eq!(b.exposed[&TaskCategory::Computation], SimDuration::ZERO);
+    }
+}

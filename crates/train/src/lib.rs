@@ -1,0 +1,36 @@
+//! # picasso-train
+//!
+//! A real (CPU) trainer with manual backpropagation, used to reproduce the
+//! Table III accuracy experiment: the same CTR models trained under
+//! synchronous semantics (PICASSO / PyTorch / Horovod) versus asynchronous
+//! stale-gradient parameter-server semantics (TF-PS), with AUC measured on
+//! held-out synthetic click data whose ground truth comes from a hidden
+//! logistic model.
+//!
+//! ```
+//! use picasso_train::{auc_datasets, train_ctr, TrainConfig, Variant};
+//!
+//! let data = auc_datasets::criteo_like();
+//! let cfg = TrainConfig { steps: 40, ..TrainConfig::default() };
+//! let out = train_ctr(Variant::Deep, &data, &cfg);
+//! assert!(out.auc > 0.5);
+//! ```
+
+#![warn(missing_docs)]
+// Numeric kernels index several parallel buffers at once; indexed loops
+// are clearer than nested zips there.
+#![allow(clippy::needless_range_loop)]
+
+pub mod metrics;
+pub mod models;
+pub mod nn;
+pub mod optimizer;
+pub mod tensor;
+pub mod trainer;
+
+pub use metrics::auc;
+pub use models::{CtrModel, StepStats, Variant, EMB_DIM};
+pub use nn::{bce_with_logits, predict, BatchNorm, Linear};
+pub use optimizer::{Adagrad, Lamb, StalenessQueue};
+pub use tensor::Matrix;
+pub use trainer::{auc_datasets, train_ctr, SyncMode, TrainConfig, TrainOutcome};

@@ -1,0 +1,237 @@
+//! Optimizers and the asynchronous-staleness model.
+
+use crate::tensor::Matrix;
+use std::collections::VecDeque;
+
+/// Adagrad state for one dense parameter matrix + bias.
+#[derive(Debug, Clone)]
+pub struct Adagrad {
+    lr: f32,
+    eps: f32,
+    acc_w: Matrix,
+    acc_b: Vec<f32>,
+}
+
+impl Adagrad {
+    /// Creates state for a `rows x cols` weight and `cols` bias.
+    pub fn new(rows: usize, cols: usize, lr: f32) -> Adagrad {
+        Adagrad {
+            lr,
+            eps: 1e-8,
+            acc_w: Matrix::zeros(rows, cols),
+            acc_b: vec![0.0; cols],
+        }
+    }
+
+    /// Applies one accumulated gradient to the parameters.
+    pub fn step(&mut self, w: &mut Matrix, b: &mut [f32], dw: &Matrix, db: &[f32]) {
+        for i in 0..w.as_slice().len() {
+            let g = dw.as_slice()[i];
+            self.acc_w.as_mut_slice()[i] += g * g;
+            let denom = (self.acc_w.as_slice()[i]).sqrt() + self.eps;
+            w.as_mut_slice()[i] -= self.lr * g / denom;
+        }
+        for i in 0..b.len() {
+            let g = db[i];
+            self.acc_b[i] += g * g;
+            b[i] -= self.lr * g / (self.acc_b[i].sqrt() + self.eps);
+        }
+    }
+}
+
+/// A delay line modelling asynchronous-PS gradient staleness: gradients
+/// computed at step `t` are applied at step `t + staleness`, so parameters
+/// they were computed against are stale by then. `staleness = 0` degrades
+/// to synchronous training.
+#[derive(Debug)]
+pub struct StalenessQueue<G> {
+    staleness: usize,
+    queue: VecDeque<G>,
+}
+
+impl<G> StalenessQueue<G> {
+    /// Creates a queue with the given delay.
+    pub fn new(staleness: usize) -> Self {
+        StalenessQueue {
+            staleness,
+            queue: VecDeque::new(),
+        }
+    }
+
+    /// Pushes this step's gradient and returns the gradient due for
+    /// application now (if any).
+    pub fn exchange(&mut self, grad: G) -> Option<G> {
+        self.queue.push_back(grad);
+        if self.queue.len() > self.staleness {
+            self.queue.pop_front()
+        } else {
+            None
+        }
+    }
+
+    /// Drains any still-queued gradients (applied at the end of training).
+    pub fn drain(&mut self) -> impl Iterator<Item = G> + '_ {
+        self.queue.drain(..)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn adagrad_decreases_effective_lr() {
+        let mut w = Matrix::from_vec(1, 1, vec![1.0]);
+        let mut b = vec![0.0];
+        let mut opt = Adagrad::new(1, 1, 0.1);
+        let g = Matrix::from_vec(1, 1, vec![1.0]);
+        opt.step(&mut w, &mut b, &g, &[1.0]);
+        let first_step = 1.0 - w.get(0, 0);
+        opt.step(&mut w, &mut b, &g, &[1.0]);
+        let second_step = (1.0 - first_step) - w.get(0, 0);
+        assert!(first_step > 0.0);
+        assert!(second_step < first_step, "accumulated curvature shrinks steps");
+        assert!(b[0] < 0.0);
+    }
+
+    #[test]
+    fn zero_staleness_is_synchronous() {
+        let mut q = StalenessQueue::new(0);
+        assert_eq!(q.exchange(1), Some(1));
+        assert_eq!(q.exchange(2), Some(2));
+    }
+
+    #[test]
+    fn staleness_delays_gradients() {
+        let mut q = StalenessQueue::new(2);
+        assert_eq!(q.exchange(1), None);
+        assert_eq!(q.exchange(2), None);
+        assert_eq!(q.exchange(3), Some(1));
+        assert_eq!(q.exchange(4), Some(2));
+        let rest: Vec<_> = q.drain().collect();
+        assert_eq!(rest, vec![3, 4]);
+    }
+}
+
+/// LAMB (Layer-wise Adaptive Moments for Batch training): the paper's
+/// discussion notes that super-large-batch WDL training pairs with the Lamb
+/// optimizer. Adam-style moments with a layer-wise trust ratio
+/// `|w| / |update|` that rescales each layer's step.
+#[derive(Debug, Clone)]
+pub struct Lamb {
+    lr: f32,
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    weight_decay: f32,
+    step: i32,
+    m_w: Matrix,
+    v_w: Matrix,
+    m_b: Vec<f32>,
+    v_b: Vec<f32>,
+}
+
+impl Lamb {
+    /// Creates LAMB state for a `rows x cols` weight and `cols` bias.
+    pub fn new(rows: usize, cols: usize, lr: f32) -> Lamb {
+        Lamb {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-6,
+            weight_decay: 0.01,
+            step: 0,
+            m_w: Matrix::zeros(rows, cols),
+            v_w: Matrix::zeros(rows, cols),
+            m_b: vec![0.0; cols],
+            v_b: vec![0.0; cols],
+        }
+    }
+
+    /// Applies one LAMB update.
+    pub fn step(&mut self, w: &mut Matrix, b: &mut [f32], dw: &Matrix, db: &[f32]) {
+        self.step += 1;
+        let bc1 = 1.0 - self.beta1.powi(self.step);
+        let bc2 = 1.0 - self.beta2.powi(self.step);
+
+        // Weight matrix: compute the layer-wise trust ratio.
+        let mut update = vec![0.0f32; w.as_slice().len()];
+        for i in 0..update.len() {
+            let g = dw.as_slice()[i];
+            self.m_w.as_mut_slice()[i] = self.beta1 * self.m_w.as_slice()[i] + (1.0 - self.beta1) * g;
+            self.v_w.as_mut_slice()[i] =
+                self.beta2 * self.v_w.as_slice()[i] + (1.0 - self.beta2) * g * g;
+            let m_hat = self.m_w.as_slice()[i] / bc1;
+            let v_hat = self.v_w.as_slice()[i] / bc2;
+            update[i] = m_hat / (v_hat.sqrt() + self.eps) + self.weight_decay * w.as_slice()[i];
+        }
+        let w_norm: f32 = w.as_slice().iter().map(|x| x * x).sum::<f32>().sqrt();
+        let u_norm: f32 = update.iter().map(|x| x * x).sum::<f32>().sqrt();
+        let trust = if w_norm > 0.0 && u_norm > 0.0 {
+            w_norm / u_norm
+        } else {
+            1.0
+        };
+        for (wi, u) in w.as_mut_slice().iter_mut().zip(&update) {
+            *wi -= self.lr * trust * u;
+        }
+
+        // Bias: plain Adam step (no decay, trust 1).
+        for i in 0..b.len() {
+            let g = db[i];
+            self.m_b[i] = self.beta1 * self.m_b[i] + (1.0 - self.beta1) * g;
+            self.v_b[i] = self.beta2 * self.v_b[i] + (1.0 - self.beta2) * g * g;
+            let m_hat = self.m_b[i] / bc1;
+            let v_hat = self.v_b[i] / bc2;
+            b[i] -= self.lr * m_hat / (v_hat.sqrt() + self.eps);
+        }
+    }
+}
+
+#[cfg(test)]
+mod lamb_tests {
+    use super::*;
+
+    #[test]
+    fn lamb_descends_a_quadratic() {
+        // Minimize 0.5*(w-3)^2 starting at w=0.
+        let mut w = Matrix::from_vec(1, 1, vec![0.0]);
+        let mut b = vec![0.0];
+        let mut opt = Lamb::new(1, 1, 0.05);
+        for _ in 0..400 {
+            let g = Matrix::from_vec(1, 1, vec![w.get(0, 0) - 3.0]);
+            opt.step(&mut w, &mut b, &g, &[0.0]);
+        }
+        let wv = w.get(0, 0);
+        assert!((wv - 3.0).abs() < 0.5, "w should approach 3, got {wv}");
+    }
+
+    #[test]
+    fn trust_ratio_scales_with_weight_norm() {
+        // Two identical gradients; the layer with bigger weights takes a
+        // proportionally bigger step (that is the point of LAMB).
+        let mut small = Matrix::from_vec(1, 1, vec![0.1]);
+        let mut large = Matrix::from_vec(1, 1, vec![10.0]);
+        let mut bs = vec![0.0];
+        let mut bl = vec![0.0];
+        let g = Matrix::from_vec(1, 1, vec![1.0]);
+        let mut o1 = Lamb::new(1, 1, 0.01);
+        let mut o2 = Lamb::new(1, 1, 0.01);
+        let s0 = small.get(0, 0);
+        let l0 = large.get(0, 0);
+        o1.step(&mut small, &mut bs, &g, &[0.0]);
+        o2.step(&mut large, &mut bl, &g, &[0.0]);
+        let ds = (s0 - small.get(0, 0)).abs();
+        let dl = (l0 - large.get(0, 0)).abs();
+        assert!(dl > 10.0 * ds, "large layer step {dl} vs small {ds}");
+    }
+
+    #[test]
+    fn bias_updates_without_decay() {
+        let mut w = Matrix::from_vec(1, 1, vec![1.0]);
+        let mut b = vec![1.0];
+        let mut opt = Lamb::new(1, 1, 0.1);
+        opt.step(&mut w, &mut b, &Matrix::zeros(1, 1), &[1.0]);
+        assert!(b[0] < 1.0, "bias moves against its gradient");
+    }
+}

@@ -1,0 +1,31 @@
+//! The Table IV ablation: remove packing / interleaving / caching one at a
+//! time from full PICASSO and watch the throughput drop.
+//!
+//! ```text
+//! cargo run --release --example ablation_study [wd|can|mmoe]
+//! ```
+
+use picasso::experiments::{tab04_ablation, Scale};
+use picasso::ModelKind;
+
+fn main() {
+    let kind = match std::env::args().nth(1).as_deref() {
+        Some("can") => ModelKind::Can,
+        Some("mmoe") => ModelKind::MMoe,
+        _ => ModelKind::WideDeep,
+    };
+    println!("ablating {} on the EFLOPS cluster ...\n", kind.name());
+    let rows = tab04_ablation::ablate(kind, Scale::Quick);
+    let full = rows[0].report.ips_per_node;
+    println!("  {:<18} {:>10} {:>8} {:>12} {:>9}", "config", "IPS", "delta", "PCIe GB/s", "SM util");
+    for row in &rows {
+        println!(
+            "  {:<18} {:>10.0} {:>7.0}% {:>12.2} {:>8.0}%",
+            row.label,
+            row.report.ips_per_node,
+            (row.report.ips_per_node / full - 1.0) * 100.0,
+            row.report.pcie_gbps,
+            row.report.sm_util_pct,
+        );
+    }
+}

@@ -1,0 +1,41 @@
+//! Quickstart: train one model under PICASSO and a baseline, and print the
+//! headline comparison.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use picasso::{Framework, ModelKind, PicassoConfig, Session};
+
+fn main() {
+    // DLRM on the Criteo-shaped benchmark dataset, one EFLOPS node.
+    let config = PicassoConfig::new().iterations(4);
+    let session = Session::new(ModelKind::Dlrm, config);
+
+    println!("training DLRM under full PICASSO ...");
+    let picasso = session.run_picasso();
+    println!("training DLRM under asynchronous TF-PS ...");
+    let baseline = session.run_framework(Framework::TfPs);
+
+    let p = &picasso.report;
+    let b = &baseline.report;
+    println!();
+    println!("                      PICASSO      TF-PS");
+    println!("  IPS / node        {:>9.0}  {:>9.0}", p.ips_per_node, b.ips_per_node);
+    println!("  GPU SM util       {:>8.0}%  {:>8.0}%", p.sm_util_pct, b.sm_util_pct);
+    println!("  PCIe GB/s         {:>9.2}  {:>9.2}", p.pcie_gbps, b.pcie_gbps);
+    println!("  batch/executor    {:>9}  {:>9}", p.batch_per_executor, b.batch_per_executor);
+    println!("  graph operations  {:>9}  {:>9}", p.op_stats.total_ops, b.op_stats.total_ops);
+    println!();
+    println!(
+        "  speedup: {:.1}x   (packing to {} chains, {} groups, {} micro-batches, {:.0}% cache hits)",
+        p.ips_per_node / b.ips_per_node,
+        picasso.spec.chains.len(),
+        p.groups,
+        p.micro_batches,
+        p.cache_hit_ratio * 100.0,
+    );
+    if let (Some(pb), Some(bb)) = (p.bottleneck(), b.bottleneck()) {
+        println!("  bottleneck: {bb} (TF-PS)  ->  {pb} (PICASSO)");
+    }
+}

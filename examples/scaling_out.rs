@@ -1,0 +1,32 @@
+//! Scale a model from 1 to N PICASSO-Executors (Fig. 15) and print the
+//! per-node throughput and scaling efficiency.
+//!
+//! ```text
+//! cargo run --release --example scaling_out [model] [max_workers]
+//! ```
+
+use picasso::experiments::{fig15_scaling, Scale};
+use picasso::ModelKind;
+
+fn main() {
+    let kind = match std::env::args().nth(1).as_deref() {
+        Some("wd") => ModelKind::WideDeep,
+        Some("mmoe") => ModelKind::MMoe,
+        _ => ModelKind::Can,
+    };
+    let max: usize = std::env::args()
+        .nth(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(8);
+
+    println!("scaling {} out to {max} EFLOPS nodes ...\n", kind.name());
+    println!("  {:>8} {:>12} {:>12}", "workers", "IPS/node", "efficiency");
+    let mut base = None;
+    let mut w = 1;
+    while w <= max {
+        let ips = fig15_scaling::ips_at(kind, w, Scale::Quick);
+        let b = *base.get_or_insert(ips);
+        println!("  {:>8} {:>12.0} {:>11.0}%", w, ips, ips / b * 100.0);
+        w *= 2;
+    }
+}

@@ -1,0 +1,104 @@
+//! Workspace-level integration tests: the headline claims of the paper,
+//! exercised through the top-level API across every crate.
+
+use picasso::experiments::Scale;
+use picasso::{Framework, ModelKind, Optimizations, PicassoConfig, Session, Strategy};
+
+fn quick(machines: usize) -> PicassoConfig {
+    let mut cfg = Scale::Quick.eflops_config();
+    cfg.machines = machines;
+    cfg.iterations = 3;
+    cfg.batch_per_executor = Some(4096);
+    cfg
+}
+
+#[test]
+fn picasso_beats_all_baselines_on_every_representative_workload() {
+    for kind in [ModelKind::WideDeep, ModelKind::Can, ModelKind::MMoe] {
+        let session = Session::new(kind, quick(2));
+        let picasso = session.run_picasso().report.ips_per_node;
+        for fw in [Framework::TfPs, Framework::Xdl, Framework::Horovod, Framework::PyTorch] {
+            let baseline = session.run_framework(fw).report.ips_per_node;
+            assert!(
+                picasso > baseline,
+                "{}: PICASSO {picasso:.0} <= {} {baseline:.0}",
+                kind.name(),
+                fw.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn speedup_over_ps_baseline_is_substantial() {
+    // The paper reports 1.9x-10x over TF-PS and ~4x over sync-PS XDL.
+    let session = Session::new(ModelKind::Can, quick(4));
+    let picasso = session.run_picasso().report.ips_per_node;
+    let tfps = session.run_framework(Framework::TfPs).report.ips_per_node;
+    let speedup = picasso / tfps;
+    assert!(
+        speedup > 1.9,
+        "PICASSO should be at least 1.9x TF-PS, got {speedup:.2}x"
+    );
+}
+
+#[test]
+fn utilization_rises_with_picasso() {
+    let session = Session::new(ModelKind::MMoe, quick(2));
+    let picasso = session.run_picasso().report;
+    let xdl = session.run_framework(Framework::Xdl).report;
+    assert!(
+        picasso.sm_util_pct > xdl.sm_util_pct,
+        "PICASSO SM util {:.0}% <= XDL {:.0}%",
+        picasso.sm_util_pct,
+        xdl.sm_util_pct
+    );
+}
+
+#[test]
+fn optimizations_compose_monotonically() {
+    // Full PICASSO >= any single-optimization removal >= hybrid base.
+    let session = Session::new(ModelKind::WideDeep, quick(2));
+    let full = session.run_picasso().report.ips_per_node;
+    let base = session
+        .run_custom(Strategy::Hybrid, Optimizations::NONE, "base")
+        .report
+        .ips_per_node;
+    for o in [
+        Optimizations::without_packing(),
+        Optimizations::without_interleaving(),
+        Optimizations::without_caching(),
+    ] {
+        let partial = session.run_custom(Strategy::Hybrid, o, "partial").report.ips_per_node;
+        assert!(partial <= full * 1.03, "partial {partial:.0} > full {full:.0}");
+        // Removing packing leaves interleaving running over a fragmentary
+        // graph, whose extra dispatch can eat into the hybrid baseline, so
+        // the lower bound is loose.
+        assert!(
+            partial >= base * 0.6,
+            "removing one optimization should not collapse below the unoptimized hybrid: {partial:.0} < {base:.0}"
+        );
+    }
+}
+
+#[test]
+fn packed_graph_preserves_workload_volume() {
+    // Packing must not change how much embedding data moves per instance.
+    let session = Session::new(ModelKind::Can, quick(2));
+    let full = session.run_picasso();
+    let base = session.run_framework(Framework::PicassoBase);
+    let a = full.spec.embedding_bytes_per_instance();
+    let b = base.spec.embedding_bytes_per_instance();
+    assert!((a - b).abs() < b * 1e-9, "packed {a} vs baseline {b}");
+    assert!(full.spec.chains.len() < base.spec.chains.len());
+}
+
+#[test]
+fn reports_are_deterministic() {
+    let session = Session::new(ModelKind::Dlrm, quick(2));
+    let a = session.run_picasso().report;
+    let b = session.run_picasso().report;
+    assert_eq!(a.ips_per_node, b.ips_per_node);
+    assert_eq!(a.sm_util_pct, b.sm_util_pct);
+    assert_eq!(a.op_stats.total_ops, b.op_stats.total_ops);
+}

@@ -1,0 +1,57 @@
+//! Sweep test: every model in the zoo trains under PICASSO and the XDL
+//! baseline on its default dataset, and PICASSO always wins. This is the
+//! Table VII claim generalized across datasets.
+
+use picasso::exec::WarmupConfig;
+use picasso::{Framework, ModelKind, PicassoConfig, Session};
+
+fn tiny() -> PicassoConfig {
+    PicassoConfig {
+        machines: 1,
+        iterations: 2,
+        batch_per_executor: Some(1024),
+        warmup: WarmupConfig {
+            batches: 2,
+            batch_size: 128,
+            max_vocab: 500,
+            hot_bytes: 1 << 24,
+            seed: 9,
+        },
+        ..PicassoConfig::default()
+    }
+}
+
+#[test]
+fn every_model_improves_under_picasso() {
+    for kind in ModelKind::ALL {
+        let session = Session::new(kind, tiny());
+        let picasso = session.run_framework(Framework::Picasso).report;
+        let xdl = session.run_framework(Framework::Xdl).report;
+        assert!(
+            picasso.ips_per_node > xdl.ips_per_node,
+            "{}: PICASSO {:.0} <= XDL {:.0}",
+            kind.name(),
+            picasso.ips_per_node,
+            xdl.ips_per_node
+        );
+        assert!(
+            picasso.op_stats.total_ops < xdl.op_stats.total_ops,
+            "{}: packing must shrink the graph",
+            kind.name()
+        );
+        assert!(picasso.ips_per_node.is_finite());
+        assert!(picasso.sm_util_pct >= 0.0 && picasso.sm_util_pct <= 100.0);
+    }
+}
+
+#[test]
+fn every_model_reports_a_bottleneck() {
+    for kind in [ModelKind::Lr, ModelKind::Dien, ModelKind::MMoe, ModelKind::Can] {
+        let report = Session::new(kind, tiny()).report();
+        assert!(
+            report.bottleneck().is_some(),
+            "{}: critical path must attribute the makespan",
+            kind.name()
+        );
+    }
+}
