@@ -7,15 +7,18 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use picasso_core::experiments::Scale;
-use picasso_core::{Framework, ModelKind, PicassoConfig, Session};
 use picasso_core::sim::MachineSpec;
+use picasso_core::{Framework, ModelKind, PicassoConfig, Session};
 
 fn ips(kind: ModelKind, machine: MachineSpec, fw: Framework) -> f64 {
     let mut cfg: PicassoConfig = Scale::Quick.eflops_config();
     cfg.machine = machine;
     cfg.machines = 2;
     cfg.batch_per_executor = Some(8192);
-    Session::new(kind, cfg).run_framework(fw).report.ips_per_node
+    Session::new(kind, cfg)
+        .run_framework(fw)
+        .report
+        .ips_per_node
 }
 
 fn bench(c: &mut Criterion) {
@@ -23,8 +26,15 @@ fn bench(c: &mut Criterion) {
     // the baseline's fragmentary operations are free to launch and the
     // packing speedup should collapse toward the pipeline-granularity
     // effects only.
-    let with_dispatch = ips(ModelKind::WideDeep, MachineSpec::eflops(), Framework::Picasso)
-        / ips(ModelKind::WideDeep, MachineSpec::eflops(), Framework::PicassoBase);
+    let with_dispatch = ips(
+        ModelKind::WideDeep,
+        MachineSpec::eflops(),
+        Framework::Picasso,
+    ) / ips(
+        ModelKind::WideDeep,
+        MachineSpec::eflops(),
+        Framework::PicassoBase,
+    );
     let no_dispatch = ips(
         ModelKind::WideDeep,
         MachineSpec::eflops().without_dispatch_cost(),
@@ -53,13 +63,21 @@ fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("design_ablations");
     group.sample_size(10);
     group.bench_function("picasso_with_all_models", |b| {
-        b.iter(|| ips(ModelKind::WideDeep, MachineSpec::eflops(), Framework::Picasso))
+        b.iter(|| {
+            ips(
+                ModelKind::WideDeep,
+                MachineSpec::eflops(),
+                Framework::Picasso,
+            )
+        })
     });
     group.bench_function("picasso_idealized_hardware", |b| {
         b.iter(|| {
             ips(
                 ModelKind::WideDeep,
-                MachineSpec::eflops().without_congestion().without_dispatch_cost(),
+                MachineSpec::eflops()
+                    .without_congestion()
+                    .without_dispatch_cost(),
                 Framework::Picasso,
             )
         })

@@ -4,15 +4,12 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use picasso_core::experiments::{fig03_id_cdf, Scale};
 
-
 fn bench(c: &mut Criterion) {
     // Regenerate the paper artifact (captured by `cargo bench | tee ...`).
     println!("{}", fig03_id_cdf::run(Scale::Quick));
     let mut group = c.benchmark_group("fig03_id_cdf");
     group.sample_size(10);
-    group.bench_function("regenerate", |b| {
-        b.iter(|| fig03_id_cdf::run(Scale::Quick))
-    });
+    group.bench_function("regenerate", |b| b.iter(|| fig03_id_cdf::run(Scale::Quick)));
     group.finish();
 }
 

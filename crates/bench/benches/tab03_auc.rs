@@ -4,15 +4,12 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use picasso_core::experiments::{tab03_auc, Scale};
 
-
 fn bench(c: &mut Criterion) {
     // Regenerate the paper artifact (captured by `cargo bench | tee ...`).
     println!("{}", tab03_auc::run(Scale::Quick));
     let mut group = c.benchmark_group("tab03_auc");
     group.sample_size(10);
-    group.bench_function("regenerate", |b| {
-        b.iter(|| tab03_auc::run(Scale::Quick))
-    });
+    group.bench_function("regenerate", |b| b.iter(|| tab03_auc::run(Scale::Quick)));
     group.finish();
 }
 

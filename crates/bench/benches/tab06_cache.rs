@@ -2,8 +2,8 @@
 //! representative training-simulation unit.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use picasso_core::experiments::{tab06_cache, Scale};
 use picasso_bench::measured_picasso_run;
+use picasso_core::experiments::{tab06_cache, Scale};
 use picasso_core::ModelKind;
 
 fn bench(c: &mut Criterion) {

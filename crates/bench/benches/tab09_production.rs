@@ -2,8 +2,8 @@
 //! representative training-simulation unit.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use picasso_core::experiments::{tab09_production, Scale};
 use picasso_bench::{measured_baseline_run, measured_picasso_run};
+use picasso_core::experiments::{tab09_production, Scale};
 use picasso_core::{Framework, ModelKind};
 
 fn bench(c: &mut Criterion) {

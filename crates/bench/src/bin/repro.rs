@@ -2,27 +2,116 @@
 //!
 //! ```text
 //! repro <experiment|all> [quick|full]
+//!       [--trace-out PATH] [--metrics-out PATH] [--report-json PATH]
 //! ```
 //!
 //! Experiments: fig1 fig3 fig5 fig10 fig11 fig12 fig13 fig14 fig15
 //!              tab3 tab4 tab5 tab6 tab7 tab8 tab9 tab10
+//!
+//! The `--*-out` flags run one instrumented PICASSO session (DLRM at the
+//! selected scale) alongside the requested experiments and export it:
+//! a Chrome trace for <https://ui.perfetto.dev>, a Prometheus text
+//! exposition, and the versioned JSON run report (which also embeds every
+//! regenerated table).
 
+use picasso_core::exec::{ModelKind, RunArtifacts, WarmupConfig};
 use picasso_core::experiments::{
-    fig01_util_trend, fig03_id_cdf, fig05_breakdown, fig10_walltime, fig11_sm_cdf,
-    fig12_bandwidth, fig13_ips, fig14_groups, fig15_scaling, tab03_auc, tab04_ablation,
-    tab05_opcount, tab06_cache, tab07_zoo, tab08_fields, tab09_production, tab10_scale, Scale,
+    fig01_util_trend, fig03_id_cdf, fig05_breakdown, fig10_walltime, fig11_sm_cdf, fig12_bandwidth,
+    fig13_ips, fig14_groups, fig15_scaling, tab03_auc, tab04_ablation, tab05_opcount, tab06_cache,
+    tab07_zoo, tab08_fields, tab09_production, tab10_scale, Scale,
 };
-use picasso_core::TextTable;
+use picasso_core::{observe, PicassoConfig, Session, TextTable};
 use std::time::Instant;
 
 type Runner = fn(Scale) -> TextTable;
 
+struct Cli {
+    which: String,
+    scale: Scale,
+    trace_out: Option<String>,
+    metrics_out: Option<String>,
+    report_json: Option<String>,
+}
+
+fn parse_args() -> Cli {
+    let mut cli = Cli {
+        which: "all".into(),
+        scale: Scale::Quick,
+        trace_out: None,
+        metrics_out: None,
+        report_json: None,
+    };
+    let mut positional = 0;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |flag: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("{flag} requires a path argument");
+                std::process::exit(2);
+            })
+        };
+        match arg.as_str() {
+            "--trace-out" => cli.trace_out = Some(value("--trace-out")),
+            "--metrics-out" => cli.metrics_out = Some(value("--metrics-out")),
+            "--report-json" => cli.report_json = Some(value("--report-json")),
+            flag if flag.starts_with("--") => {
+                eprintln!("unknown flag '{flag}'");
+                std::process::exit(2);
+            }
+            _ => {
+                match positional {
+                    0 => cli.which = arg,
+                    1 if arg == "full" => cli.scale = Scale::Full,
+                    1 => cli.scale = Scale::Quick,
+                    _ => {
+                        eprintln!("unexpected argument '{arg}'");
+                        std::process::exit(2);
+                    }
+                }
+                positional += 1;
+            }
+        }
+    }
+    cli
+}
+
+/// One representative instrumented run feeding the exported artifacts.
+fn observed_run(scale: Scale) -> RunArtifacts {
+    let config = match scale {
+        Scale::Quick => PicassoConfig {
+            iterations: scale.iterations(),
+            warmup: WarmupConfig {
+                batches: 4,
+                batch_size: 256,
+                max_vocab: 1000,
+                hot_bytes: 1 << 24,
+                seed: 1,
+            },
+            batch_per_executor: Some(1024),
+            ..PicassoConfig::default()
+        },
+        Scale::Full => PicassoConfig::new()
+            .machines(scale.eflops_nodes())
+            .iterations(scale.iterations()),
+    };
+    Session::new(ModelKind::Dlrm, config).run_picasso()
+}
+
+fn write(path: &str, what: &str, contents: &str) {
+    match std::fs::write(path, contents) {
+        Ok(()) => println!("  [{what} written to {path}]"),
+        Err(err) => {
+            eprintln!("failed to write {what} to {path}: {err}");
+            std::process::exit(1);
+        }
+    }
+}
+
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let which = args.first().map(String::as_str).unwrap_or("all");
-    let scale = match args.get(1).map(String::as_str) {
-        Some("full") => Scale::Full,
-        _ => Scale::Quick,
+    let cli = parse_args();
+    let scale_name = match cli.scale {
+        Scale::Quick => "quick",
+        Scale::Full => "full",
     };
 
     let experiments: Vec<(&str, Runner)> = vec![
@@ -45,21 +134,48 @@ fn main() {
         ("tab10", tab10_scale::run),
     ];
 
+    let mut tables: Vec<TextTable> = Vec::new();
     let mut ran = 0;
     for (name, run) in &experiments {
-        if which != "all" && which != *name {
+        if cli.which != "all" && cli.which != *name {
             continue;
         }
         let t0 = Instant::now();
-        let table = run(scale);
+        let table = run(cli.scale);
         println!("{table}");
-        println!("  [{name} regenerated in {:.1}s]\n", t0.elapsed().as_secs_f64());
+        println!(
+            "  [{name} regenerated in {:.1}s]\n",
+            t0.elapsed().as_secs_f64()
+        );
+        tables.push(table);
         ran += 1;
     }
     if ran == 0 {
-        eprintln!("unknown experiment '{which}'");
+        eprintln!("unknown experiment '{}'", cli.which);
         eprintln!("known: fig1 fig3 fig5 fig10 fig11 fig12 fig13 fig14 fig15");
         eprintln!("       tab3 tab4 tab5 tab6 tab7 tab8 tab9 tab10 | all");
         std::process::exit(2);
+    }
+
+    if cli.trace_out.is_some() || cli.metrics_out.is_some() || cli.report_json.is_some() {
+        let artifacts = observed_run(cli.scale);
+        if let Some(path) = &cli.trace_out {
+            write(
+                path,
+                "chrome trace",
+                &observe::chrome_trace(&artifacts).to_json(),
+            );
+        }
+        if let Some(path) = &cli.metrics_out {
+            write(
+                path,
+                "prometheus metrics",
+                &observe::prometheus_text(&artifacts),
+            );
+        }
+        if let Some(path) = &cli.report_json {
+            let report = observe::run_report(&cli.which, scale_name, &tables, Some(&artifacts));
+            write(path, "run report", &report.to_json());
+        }
     }
 }

@@ -14,8 +14,8 @@
 
 #![warn(missing_docs)]
 
-use picasso_core::{PicassoConfig, Scale, Session};
 use picasso_core::{Framework, ModelKind};
+use picasso_core::{PicassoConfig, Scale, Session};
 
 /// A small, fast session used as the measured unit inside benches: one
 /// EFLOPS node, fixed batch, few iterations.

@@ -24,7 +24,12 @@ pub const GENERATIONS: [ModelKind; 6] = [
 pub fn run(scale: Scale) -> TextTable {
     let mut table = TextTable::new(
         "Fig. 1 — GPU SM utilization of WDL generations under PS training",
-        &["model", "feature fields", "interaction modules", "GPU SM util (%)"],
+        &[
+            "model",
+            "feature fields",
+            "interaction modules",
+            "GPU SM util (%)",
+        ],
     );
     for kind in GENERATIONS {
         let data = kind.default_dataset().shared();

@@ -12,7 +12,13 @@ use picasso_exec::run_warmup;
 pub fn run(scale: Scale) -> TextTable {
     let mut table = TextTable::new(
         "Fig. 3 — coverage of training data by the most frequent IDs",
-        &["dataset", "top 10%", "top 20% (analytic)", "top 20% (measured)", "top 50%"],
+        &[
+            "dataset",
+            "top 10%",
+            "top 20% (analytic)",
+            "top 20% (measured)",
+            "top 50%",
+        ],
     );
     let datasets = [
         DatasetSpec::criteo(),

@@ -21,14 +21,27 @@ pub const WORKLOADS: [ModelKind; 3] = [ModelKind::WideDeep, ModelKind::Can, Mode
 pub fn run(scale: Scale) -> TextTable {
     let mut table = TextTable::new(
         "Fig. 5 — worker-side busy-time shares (exposed communication last)",
-        &["model", "strategy", "io", "memory", "communication", "computation", "exposed comm"],
+        &[
+            "model",
+            "strategy",
+            "io",
+            "memory",
+            "communication",
+            "computation",
+            "exposed comm",
+        ],
     );
     for kind in WORKLOADS {
         let mut cfg: PicassoConfig = scale.eflops_config();
         cfg.batch_per_executor = scale.quick_batch();
         let session = Session::new(kind, cfg);
         for (label, strategy) in [
-            ("PS", Strategy::PsSync { servers: scale.eflops_nodes().div_ceil(4) }),
+            (
+                "PS",
+                Strategy::PsSync {
+                    servers: scale.eflops_nodes().div_ceil(4),
+                },
+            ),
             ("MP", Strategy::ModelParallel),
         ] {
             let run = session.run_custom(strategy, Optimizations::NONE, label);
@@ -42,7 +55,10 @@ pub fn run(scale: Scale) -> TextTable {
                 format!("{:.0}%", share(TaskCategory::Memory)),
                 format!("{:.0}%", share(TaskCategory::Communication)),
                 format!("{:.0}%", share(TaskCategory::Computation)),
-                format!("{:.0}%", run.report.exposed[&TaskCategory::Communication] * 100.0),
+                format!(
+                    "{:.0}%",
+                    run.report.exposed[&TaskCategory::Communication] * 100.0
+                ),
             ]);
         }
     }

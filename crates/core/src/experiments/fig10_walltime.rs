@@ -20,7 +20,14 @@ pub fn benchmarks() -> [(ModelKind, f64); 4] {
 pub fn run(scale: Scale) -> TextTable {
     let mut table = TextTable::new(
         "Fig. 10 — walltime (GPU core hours) to train one epoch",
-        &["model", "PICASSO", "PyTorch", "TF-PS", "Horovod", "TF-PS / PICASSO"],
+        &[
+            "model",
+            "PICASSO",
+            "PyTorch",
+            "TF-PS",
+            "Horovod",
+            "TF-PS / PICASSO",
+        ],
     );
     for (kind, instances) in benchmarks() {
         let mut cfg: PicassoConfig = scale.gn6e_config();

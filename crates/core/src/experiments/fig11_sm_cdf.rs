@@ -24,7 +24,12 @@ pub fn cdfs(scale: Scale) -> Vec<(String, Vec<(f64, f64)>)> {
 pub fn run(scale: Scale) -> TextTable {
     let mut table = TextTable::new(
         "Fig. 11 — GPU SM utilization CDF while training DLRM",
-        &["framework", "time below 10% util", "time below 50% util", "mean util"],
+        &[
+            "framework",
+            "time below 10% util",
+            "time below 50% util",
+            "mean util",
+        ],
     );
     for (name, cdf) in cdfs(scale) {
         let frac_below = |threshold: f64| -> f64 {
@@ -56,10 +61,7 @@ mod tests {
     fn picasso_has_least_low_utilization_area() {
         let t = run(Scale::Quick);
         let low = |name: &str| -> f64 {
-            t.rows
-                .iter()
-                .find(|r| r[0] == name)
-                .unwrap()[2]
+            t.rows.iter().find(|r| r[0] == name).unwrap()[2]
                 .trim_end_matches('%')
                 .parse()
                 .unwrap()

@@ -11,7 +11,12 @@ use picasso_exec::{Framework, ModelKind};
 pub fn run(scale: Scale) -> TextTable {
     let mut table = TextTable::new(
         "Fig. 12 — interconnect bandwidth while training DLRM (mean GB/s)",
-        &["framework", "PCIe (GB/s)", "NVLink (GB/s)", "network (Gbps)"],
+        &[
+            "framework",
+            "PCIe (GB/s)",
+            "NVLink (GB/s)",
+            "network (Gbps)",
+        ],
     );
     let mut cfg: PicassoConfig = scale.gn6e_config();
     cfg.batch_per_executor = scale.quick_batch();
@@ -33,7 +38,9 @@ mod tests {
     use super::*;
 
     fn cell(t: &TextTable, fw: &str, idx: usize) -> f64 {
-        t.rows.iter().find(|r| r[0] == fw).unwrap()[idx].parse().unwrap()
+        t.rows.iter().find(|r| r[0] == fw).unwrap()[idx]
+            .parse()
+            .unwrap()
     }
 
     #[test]

@@ -14,15 +14,27 @@ pub const WORKLOADS: [ModelKind; 3] = [ModelKind::WideDeep, ModelKind::Can, Mode
 pub fn run(scale: Scale) -> TextTable {
     let mut table = TextTable::new(
         "Fig. 13 — IPS on the EFLOPS cluster",
-        &["model", "Baseline (XDL)", "PICASSO(Base)", "PICASSO", "speedup vs baseline"],
+        &[
+            "model",
+            "Baseline (XDL)",
+            "PICASSO(Base)",
+            "PICASSO",
+            "speedup vs baseline",
+        ],
     );
     for kind in WORKLOADS {
         let mut cfg: PicassoConfig = scale.eflops_config();
         cfg.batch_per_executor = scale.quick_batch();
         let session = Session::new(kind, cfg);
         let xdl = session.run_framework(Framework::Xdl).report.ips_per_node;
-        let base = session.run_framework(Framework::PicassoBase).report.ips_per_node;
-        let full = session.run_framework(Framework::Picasso).report.ips_per_node;
+        let base = session
+            .run_framework(Framework::PicassoBase)
+            .report
+            .ips_per_node;
+        let full = session
+            .run_framework(Framework::Picasso)
+            .report
+            .ips_per_node;
         table.row(vec![
             kind.name().into(),
             si(xdl),
@@ -42,7 +54,11 @@ mod tests {
     fn picasso_orders_above_base_above_xdl() {
         let t = run(Scale::Quick);
         for row in &t.rows {
-            let speedup: f64 = row[4].trim_start_matches('+').trim_end_matches('%').parse().unwrap();
+            let speedup: f64 = row[4]
+                .trim_start_matches('+')
+                .trim_end_matches('%')
+                .parse()
+                .unwrap();
             assert!(speedup > 50.0, "{}: speedup {speedup}% too small", row[0]);
         }
     }

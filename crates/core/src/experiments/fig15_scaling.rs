@@ -43,9 +43,7 @@ mod tests {
 
     #[test]
     fn compute_heavy_models_scale_better_than_wd() {
-        let eff = |kind: ModelKind| {
-            ips_at(kind, 8, Scale::Quick) / ips_at(kind, 1, Scale::Quick)
-        };
+        let eff = |kind: ModelKind| ips_at(kind, 8, Scale::Quick) / ips_at(kind, 1, Scale::Quick);
         let wd = eff(ModelKind::WideDeep);
         let mmoe = eff(ModelKind::MMoe);
         assert!(

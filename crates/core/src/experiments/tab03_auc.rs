@@ -22,14 +22,34 @@ pub struct SystemSetup {
 
 /// The four systems of Table III.
 pub const SYSTEMS: [SystemSetup; 4] = [
-    SystemSetup { name: "PICASSO", batch: 512, mode: SyncMode::Synchronous },
-    SystemSetup { name: "PyTorch", batch: 256, mode: SyncMode::Synchronous },
-    SystemSetup { name: "TF-PS", batch: 192, mode: SyncMode::AsyncStale { staleness: 4 } },
-    SystemSetup { name: "Horovod", batch: 320, mode: SyncMode::Synchronous },
+    SystemSetup {
+        name: "PICASSO",
+        batch: 512,
+        mode: SyncMode::Synchronous,
+    },
+    SystemSetup {
+        name: "PyTorch",
+        batch: 256,
+        mode: SyncMode::Synchronous,
+    },
+    SystemSetup {
+        name: "TF-PS",
+        batch: 192,
+        mode: SyncMode::AsyncStale { staleness: 4 },
+    },
+    SystemSetup {
+        name: "Horovod",
+        batch: 320,
+        mode: SyncMode::Synchronous,
+    },
 ];
 
 /// The four benchmark models and their datasets.
-pub fn models() -> [(&'static str, Variant, std::sync::Arc<picasso_data::DatasetSpec>); 4] {
+pub fn models() -> [(
+    &'static str,
+    Variant,
+    std::sync::Arc<picasso_data::DatasetSpec>,
+); 4] {
     [
         ("DLRM", Variant::DotDeep, auc_datasets::criteo_like()),
         ("DeepFM", Variant::DotDeep, auc_datasets::criteo_like()),

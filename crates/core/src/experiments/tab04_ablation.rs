@@ -38,7 +38,14 @@ pub fn ablate(kind: ModelKind, scale: Scale) -> Vec<AblationRow> {
 pub fn run(scale: Scale) -> TextTable {
     let mut table = TextTable::new(
         "Tab. IV — ablation study",
-        &["model", "config", "IPS", "PCIe (GB/s)", "Comm (Gbps)", "SM util (%)"],
+        &[
+            "model",
+            "config",
+            "IPS",
+            "PCIe (GB/s)",
+            "Comm (Gbps)",
+            "SM util (%)",
+        ],
     );
     for kind in [ModelKind::WideDeep, ModelKind::Can, ModelKind::MMoe] {
         for row in ablate(kind, scale) {

@@ -24,7 +24,10 @@ pub fn counts(kind: ModelKind, scale: Scale) -> OpCountRow {
     let mut cfg: PicassoConfig = scale.eflops_config().machines(2);
     cfg.batch_per_executor = scale.quick_batch();
     let session = Session::new(kind, cfg);
-    let base = session.run_framework(Framework::PicassoBase).report.op_stats;
+    let base = session
+        .run_framework(Framework::PicassoBase)
+        .report
+        .op_stats;
     let full = session.run_framework(Framework::Picasso).report.op_stats;
     OpCountRow {
         baseline_ops: base.total_ops,
@@ -38,7 +41,14 @@ pub fn counts(kind: ModelKind, scale: Scale) -> OpCountRow {
 pub fn run(scale: Scale) -> TextTable {
     let mut table = TextTable::new(
         "Tab. V — operations and packed embeddings, baseline vs PICASSO",
-        &["model", "ops (baseline)", "ops (PICASSO)", "ratio", "emb (baseline)", "emb (PICASSO)"],
+        &[
+            "model",
+            "ops (baseline)",
+            "ops (PICASSO)",
+            "ratio",
+            "emb (baseline)",
+            "emb (PICASSO)",
+        ],
     );
     for kind in [ModelKind::WideDeep, ModelKind::Can, ModelKind::MMoe] {
         let c = counts(kind, scale);
@@ -46,7 +56,10 @@ pub fn run(scale: Scale) -> TextTable {
             kind.name().into(),
             c.baseline_ops.to_string(),
             c.picasso_ops.to_string(),
-            format!("{:.1}%", c.picasso_ops as f64 / c.baseline_ops as f64 * 100.0),
+            format!(
+                "{:.1}%",
+                c.picasso_ops as f64 / c.baseline_ops as f64 * 100.0
+            ),
             c.baseline_embeddings.to_string(),
             c.picasso_embeddings.to_string(),
         ]);

@@ -38,8 +38,8 @@ pub fn sweep(kind: ModelKind, scale: Scale) -> Vec<CachePoint> {
             let mut cfg: PicassoConfig = scale.eflops_config().hot_storage(bytes);
             // The warm-up uses a scaled-down working vocabulary; scale the
             // measurement budget proportionally to the sweep point.
-            cfg.warmup.hot_bytes = (scale.warmup().hot_bytes as f64
-                * (bytes as f64 / (1u64 << 30) as f64)) as u64;
+            cfg.warmup.hot_bytes =
+                (scale.warmup().hot_bytes as f64 * (bytes as f64 / (1u64 << 30) as f64)) as u64;
             let run = Session::new(kind, cfg).run_picasso();
             CachePoint {
                 bytes,
@@ -78,7 +78,9 @@ mod tests {
     #[test]
     fn hit_ratio_grows_with_cache_size() {
         let points = sweep(ModelKind::Can, Scale::Quick);
-        assert!(points.windows(2).all(|w| w[1].hit_ratio >= w[0].hit_ratio - 1e-9));
+        assert!(points
+            .windows(2)
+            .all(|w| w[1].hit_ratio >= w[0].hit_ratio - 1e-9));
         assert!(points.last().unwrap().hit_ratio > points[0].hit_ratio);
     }
 

@@ -73,6 +73,9 @@ mod tests {
             p_ratio > x_ratio - 0.08,
             "PICASSO vs AP {p_ratio:.3} should not trail XDL vs AP {x_ratio:.3}"
         );
-        assert!(p_ratio > 0.9, "PICASSO should stay near AP, got {p_ratio:.3}");
+        assert!(
+            p_ratio > 0.9,
+            "PICASSO should stay near AP, got {p_ratio:.3}"
+        );
     }
 }

@@ -55,7 +55,12 @@ pub fn measure(fw: Framework, scale: Scale) -> ProductionStats {
 pub fn run(scale: Scale) -> TextTable {
     let mut table = TextTable::new(
         "Tab. IX — production cluster, daily workload mix",
-        &["framework", "avg task walltime (h)", "GPU SM util (%)", "bandwidth (Gbps)"],
+        &[
+            "framework",
+            "avg task walltime (h)",
+            "GPU SM util (%)",
+            "bandwidth (Gbps)",
+        ],
     );
     for fw in [Framework::Xdl, Framework::Picasso] {
         let s = measure(fw, scale);

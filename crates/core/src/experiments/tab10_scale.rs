@@ -42,12 +42,7 @@ pub fn run(scale: Scale) -> TextTable {
         "Tab. X — GPU-core-hours to train one year of data",
         &["model scale", "XDL", "PICASSO", "reduction"],
     );
-    for (label, params) in [
-        ("~1B", 1e9),
-        ("~10B", 1e10),
-        ("~100B", 1e11),
-        ("~1T", 1e12),
-    ] {
+    for (label, params) in [("~1B", 1e9), ("~10B", 1e10), ("~100B", 1e11), ("~1T", 1e12)] {
         let xdl = core_hours(params, Framework::Xdl, scale);
         let picasso = core_hours(params, Framework::Picasso, scale);
         table.row(vec![

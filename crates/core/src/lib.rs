@@ -17,6 +17,7 @@
 
 pub mod config;
 pub mod experiments;
+pub mod observe;
 pub mod report;
 pub mod session;
 
@@ -31,6 +32,7 @@ pub use picasso_embedding as embedding;
 pub use picasso_exec as exec;
 pub use picasso_graph as graph;
 pub use picasso_models as models;
+pub use picasso_obs as obs;
 pub use picasso_sim as sim;
 pub use picasso_train as train;
 

@@ -1,5 +1,6 @@
 //! Plain-text table rendering for experiment output.
 
+use picasso_obs::Json;
 use std::fmt;
 
 /// A simple aligned text table.
@@ -27,6 +28,21 @@ impl TextTable {
     pub fn row(&mut self, cells: Vec<String>) {
         assert_eq!(cells.len(), self.headers.len(), "row width mismatch");
         self.rows.push(cells);
+    }
+
+    /// Serializes the table as a run-report payload document.
+    pub fn to_json(&self) -> Json {
+        let strings =
+            |cells: &[String]| Json::Arr(cells.iter().map(|c| Json::str(c.as_str())).collect());
+        Json::obj([
+            ("kind", Json::str("picasso.table")),
+            ("title", Json::str(&self.title)),
+            ("headers", strings(&self.headers)),
+            (
+                "rows",
+                Json::Arr(self.rows.iter().map(|r| strings(r)).collect()),
+            ),
+        ])
     }
 }
 

@@ -25,7 +25,11 @@ impl Session {
     }
 
     /// Creates a session with an explicit dataset.
-    pub fn with_dataset(model: ModelKind, data: Arc<DatasetSpec>, config: PicassoConfig) -> Session {
+    pub fn with_dataset(
+        model: ModelKind,
+        data: Arc<DatasetSpec>,
+        config: PicassoConfig,
+    ) -> Session {
         Session {
             model,
             data,
@@ -58,7 +62,12 @@ impl Session {
     /// Trains under a named framework preset (baselines ignore the
     /// session's optimization set).
     pub fn run_framework(&self, framework: Framework) -> RunArtifacts {
-        picasso_exec::train(self.model, &self.data, framework, &self.config.trainer_options())
+        picasso_exec::train(
+            self.model,
+            &self.data,
+            framework,
+            &self.config.trainer_options(),
+        )
     }
 
     /// Trains with an explicit strategy + optimization combination.

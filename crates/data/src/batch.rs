@@ -146,7 +146,9 @@ impl BatchGenerator {
         for _ in 0..size * self.spec.numeric {
             dense.push(self.rng.gen_range(-1.0f32..1.0));
         }
-        let labels = self.click.label_batch(&fields, &dense, self.spec.numeric, size, &mut self.rng);
+        let labels =
+            self.click
+                .label_batch(&fields, &dense, self.spec.numeric, size, &mut self.rng);
         Batch {
             size,
             fields,
@@ -236,7 +238,10 @@ mod tests {
         let b = g.next_batch(512);
         assert!(b.labels.iter().all(|&l| l == 0.0 || l == 1.0));
         let pos: f32 = b.labels.iter().sum();
-        assert!(pos > 16.0 && pos < 496.0, "labels should be mixed, got {pos} positives");
+        assert!(
+            pos > 16.0 && pos < 496.0,
+            "labels should be mixed, got {pos} positives"
+        );
     }
 
     #[test]

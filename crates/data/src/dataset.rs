@@ -114,7 +114,13 @@ impl DatasetSpec {
         let dist = IdDistribution::Zipf { s: 0.94 };
         let mut fields = Vec::with_capacity(1207);
         for i in 0..7 {
-            fields.push(FieldSpec::one_hot(format!("base{i}"), 8_000_000, 4, dist, i));
+            fields.push(FieldSpec::one_hot(
+                format!("base{i}"),
+                8_000_000,
+                4,
+                dist,
+                i,
+            ));
         }
         for s in 0..12 {
             let table = 7 + s;
@@ -143,9 +149,7 @@ impl DatasetSpec {
         let dist = IdDistribution::Zipf { s: 0.73 };
         let dims = [8usize, 16, 32];
         let fields = (0..204)
-            .map(|i| {
-                FieldSpec::one_hot(format!("f{i}"), 42_000_000, dims[i % dims.len()], dist, i)
-            })
+            .map(|i| FieldSpec::one_hot(format!("f{i}"), 42_000_000, dims[i % dims.len()], dist, i))
             .collect();
         DatasetSpec {
             name: "product-1".into(),
@@ -289,7 +293,10 @@ mod tests {
         assert_eq!(d.numeric, 10);
         assert_eq!(d.distinct_dims(), vec![8, 16, 32]);
         let params = d.total_params();
-        assert!((1.3e11..2e11).contains(&params), "~160B params, got {params:.2e}");
+        assert!(
+            (1.3e11..2e11).contains(&params),
+            "~160B params, got {params:.2e}"
+        );
     }
 
     #[test]
@@ -298,7 +305,10 @@ mod tests {
         assert_eq!(d.sparse_field_count(), 1834);
         assert_eq!(d.table_count(), 364, "334 base + 30 sequence tables");
         let params = d.total_params();
-        assert!((0.7e12..1.3e12).contains(&params), "~1T params, got {params:.2e}");
+        assert!(
+            (0.7e12..1.3e12).contains(&params),
+            "~1T params, got {params:.2e}"
+        );
     }
 
     #[test]
@@ -307,7 +317,10 @@ mod tests {
         assert_eq!(d.sparse_field_count(), 584);
         assert_eq!(d.table_count(), 94);
         let params = d.total_params();
-        assert!((0.7e12..1.3e12).contains(&params), "~1T params, got {params:.2e}");
+        assert!(
+            (0.7e12..1.3e12).contains(&params),
+            "~1T params, got {params:.2e}"
+        );
     }
 
     #[test]

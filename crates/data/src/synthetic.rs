@@ -127,7 +127,9 @@ mod tests {
     fn different_seeds_give_different_models() {
         let a = ClickModel::new(1);
         let b = ClickModel::new(2);
-        let diffs = (0..100).filter(|&id| a.weight(0, id) != b.weight(0, id)).count();
+        let diffs = (0..100)
+            .filter(|&id| a.weight(0, id) != b.weight(0, id))
+            .count();
         assert!(diffs > 90);
     }
 

@@ -60,8 +60,14 @@ mod tests {
 
     #[test]
     fn vparam_scales_with_dim_and_mass() {
-        let small = [TableLoad { dim: 8, freq_mass: 0.5 }];
-        let large = [TableLoad { dim: 32, freq_mass: 0.5 }];
+        let small = [TableLoad {
+            dim: 8,
+            freq_mass: 0.5,
+        }];
+        let large = [TableLoad {
+            dim: 32,
+            freq_mass: 0.5,
+        }];
         assert_eq!(calc_vparam(&large, 1000), 4.0 * calc_vparam(&small, 1000));
         // The paper's example: dim-32 tables get 4 shards relative to dim-8.
         let v8 = calc_vparam(&small, 1000);
@@ -73,7 +79,10 @@ mod tests {
 
     #[test]
     fn vparam_of_multiple_tables_adds() {
-        let t = TableLoad { dim: 4, freq_mass: 0.25 };
+        let t = TableLoad {
+            dim: 4,
+            freq_mass: 0.25,
+        };
         let one = calc_vparam(&[t], 100);
         let two = calc_vparam(&[t, t], 100);
         assert!((two - 2.0 * one).abs() < 1e-9);

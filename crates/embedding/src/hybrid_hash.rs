@@ -9,6 +9,7 @@
 //! the entire table fits in Hot-storage, everything is promoted.
 
 use crate::table::EmbeddingTable;
+use picasso_obs::{MetricKind, MetricsRegistry};
 use std::collections::HashMap;
 
 /// Configuration of a [`HybridHash`].
@@ -45,6 +46,8 @@ pub struct CacheStats {
     pub warmup_lookups: u64,
     /// Number of hot-set refreshes performed.
     pub flushes: u64,
+    /// Rows demoted from Hot-storage across all refreshes.
+    pub evictions: u64,
 }
 
 impl CacheStats {
@@ -199,12 +202,7 @@ impl HybridHash {
         let promote_all = self.cold.len() <= capacity;
         let mut hot_ids: Vec<u64>;
         if promote_all {
-            hot_ids = self
-                .fcounter
-                .keys()
-                .copied()
-                .take(capacity)
-                .collect();
+            hot_ids = self.fcounter.keys().copied().take(capacity).collect();
         } else {
             // top-k(FCounter): partial sort by (count desc, id asc).
             let mut items: Vec<(u64, u64)> =
@@ -218,7 +216,99 @@ impl HybridHash {
         for id in hot_ids {
             new_hot.insert(id, self.cold.row(id).into());
         }
+        self.stats.evictions += self
+            .hot
+            .keys()
+            .filter(|id| !new_hot.contains_key(*id))
+            .count() as u64;
         self.hot = new_hot;
+    }
+
+    /// Point-in-time metrics view, detachable from the cache (warm-up
+    /// measurement caches are transient; the run-level exporters keep only
+    /// this snapshot).
+    pub fn metrics(&self) -> CacheMetrics {
+        CacheMetrics {
+            stats: self.stats,
+            hot_rows: self.hot.len(),
+            hot_capacity: self.hot_row_capacity(),
+        }
+    }
+
+    /// Exports the cache's cumulative counters and occupancy into `registry`,
+    /// labeled by `table`. Observation-only: lookups drive the same
+    /// [`CacheStats`] whether or not this is ever called, and the
+    /// counter-derived hit ratio equals [`CacheStats::hit_ratio`] exactly.
+    pub fn export_metrics(&self, table: &str, registry: &MetricsRegistry) {
+        self.metrics().export(table, registry)
+    }
+}
+
+/// A point-in-time snapshot of a cache's exportable state.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct CacheMetrics {
+    /// Cumulative lookup/flush/eviction counters.
+    pub stats: CacheStats,
+    /// Rows resident in Hot-storage at snapshot time.
+    pub hot_rows: usize,
+    /// Maximum rows Hot-storage can hold.
+    pub hot_capacity: usize,
+}
+
+impl CacheMetrics {
+    /// Exports the snapshot into `registry`, labeled by `table`.
+    pub fn export(&self, table: &str, registry: &MetricsRegistry) {
+        registry.describe(
+            "embedding_lookups_total",
+            MetricKind::Counter,
+            "HybridHash lookups, by outcome (hot / cold / warmup)",
+        );
+        registry.describe(
+            "embedding_flushes_total",
+            MetricKind::Counter,
+            "Hot-set refreshes performed",
+        );
+        registry.describe(
+            "embedding_evictions_total",
+            MetricKind::Counter,
+            "Rows demoted from Hot-storage across refreshes",
+        );
+        registry.describe(
+            "embedding_hot_rows",
+            MetricKind::Gauge,
+            "Rows currently resident in Hot-storage",
+        );
+        registry.describe(
+            "embedding_hot_occupancy",
+            MetricKind::Gauge,
+            "Hot-storage occupancy as a fraction of row capacity",
+        );
+        let labels = [("table", table)];
+        let s = self.stats;
+        registry.counter_add(
+            "embedding_lookups_total",
+            &[("table", table), ("outcome", "hot")],
+            s.hot_hits,
+        );
+        registry.counter_add(
+            "embedding_lookups_total",
+            &[("table", table), ("outcome", "cold")],
+            s.cold_hits,
+        );
+        registry.counter_add(
+            "embedding_lookups_total",
+            &[("table", table), ("outcome", "warmup")],
+            s.warmup_lookups,
+        );
+        registry.counter_add("embedding_flushes_total", &labels, s.flushes);
+        registry.counter_add("embedding_evictions_total", &labels, s.evictions);
+        registry.gauge_set("embedding_hot_rows", &labels, self.hot_rows as f64);
+        let occupancy = if self.hot_capacity == 0 {
+            0.0
+        } else {
+            self.hot_rows as f64 / self.hot_capacity as f64
+        };
+        registry.gauge_set("embedding_hot_occupancy", &labels, occupancy);
     }
 }
 
@@ -333,7 +423,9 @@ mod tests {
         // id 1 now hot; update it, then force flushes via more lookups.
         h.apply_gradient(1, &[1.0, 1.0], 0.1);
         let mut want = Vec::new();
-        if let Some(r) = h.cold().peek(1) { want.extend_from_slice(r) }
+        if let Some(r) = h.cold().peek(1) {
+            want.extend_from_slice(r)
+        }
         for _ in 0..3 {
             out.clear();
             h.lookup_batch(&[1], &mut out);
@@ -351,6 +443,56 @@ mod tests {
         }
         // Flush at end of warm-up (itr=2) + every 3 iters after (5, 8, 11).
         assert_eq!(h.stats().flushes, 4);
+    }
+
+    #[test]
+    fn evictions_are_counted_when_the_hot_set_turns_over() {
+        // Room for 2 rows; hammer {1,2}, then shift the workload to {3,4}.
+        let mut h = cache(4, 32, 1, 1);
+        let mut out = Vec::new();
+        h.lookup_batch(&[1, 1, 2, 2], &mut out);
+        for _ in 0..3 {
+            out.clear();
+            h.lookup_batch(&[3, 3, 3, 4, 4, 4], &mut out);
+        }
+        assert!(h.stats().evictions >= 2, "ids 1 and 2 must be demoted");
+    }
+
+    #[test]
+    fn exported_counters_reproduce_the_hit_ratio() {
+        let sampler = IdSampler::new(5_000, IdDistribution::Zipf { s: 1.2 });
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut h = cache(4, 1000 * 16, 10, 10);
+        let mut out = Vec::new();
+        let mut ids = Vec::new();
+        for _ in 0..100 {
+            ids.clear();
+            sampler.sample_into(&mut rng, 256, &mut ids);
+            out.clear();
+            h.lookup_batch(&ids, &mut out);
+        }
+        let registry = picasso_obs::MetricsRegistry::new();
+        h.export_metrics("t0", &registry);
+        let hot = registry.counter_value(
+            "embedding_lookups_total",
+            &[("table", "t0"), ("outcome", "hot")],
+        );
+        let cold = registry.counter_value(
+            "embedding_lookups_total",
+            &[("table", "t0"), ("outcome", "cold")],
+        );
+        let from_counters = hot as f64 / (hot + cold) as f64;
+        assert!(
+            (from_counters - h.stats().hit_ratio()).abs() < 1e-9,
+            "counter-derived ratio {from_counters} != stats ratio {}",
+            h.stats().hit_ratio()
+        );
+        assert_eq!(
+            registry.counter_value("embedding_flushes_total", &[("table", "t0")]),
+            h.stats().flushes
+        );
+        let occupancy = registry.gauge_value("embedding_hot_occupancy", &[("table", "t0")]);
+        assert!(occupancy.is_some_and(|o| (0.0..=1.0).contains(&o) && o > 0.0));
     }
 
     #[test]

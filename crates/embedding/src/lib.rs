@@ -30,7 +30,7 @@ pub mod planner;
 pub mod table;
 
 pub use cost::{calc_vparam, shard_count, TableLoad};
-pub use hybrid_hash::{CacheStats, HybridHash, HybridHashConfig, LookupReport};
+pub use hybrid_hash::{CacheMetrics, CacheStats, HybridHash, HybridHashConfig, LookupReport};
 pub use multi_level::{CacheLevel, LevelStats, MultiLevelCache, MultiLevelConfig};
 pub use ops::{
     expand_unique, gather, partition, segment_reduce, shuffle_stitch, unique, OpCost,

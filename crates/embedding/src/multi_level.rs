@@ -93,7 +93,10 @@ impl MultiLevelCache {
     /// # Panics
     /// If fewer than two levels are configured.
     pub fn new(store: EmbeddingTable, cfg: MultiLevelConfig) -> Self {
-        assert!(cfg.levels.len() >= 2, "need at least one cache tier plus the store");
+        assert!(
+            cfg.levels.len() >= 2,
+            "need at least one cache tier plus the store"
+        );
         assert!(cfg.flush_iters > 0);
         let tiers = vec![HashMap::new(); cfg.levels.len() - 1];
         let stats = vec![LevelStats::default(); cfg.levels.len()];
@@ -261,8 +264,7 @@ mod tests {
     #[test]
     fn faster_tiers_serve_more_of_a_skewed_stream() {
         let dim = 4;
-        let mut cache =
-            MultiLevelCache::new(EmbeddingTable::new(dim, 1), cfg(&[100, 400], dim));
+        let mut cache = MultiLevelCache::new(EmbeddingTable::new(dim, 1), cfg(&[100, 400], dim));
         let sampler = IdSampler::new(5_000, IdDistribution::Zipf { s: 1.1 });
         let mut rng = StdRng::seed_from_u64(8);
         let mut ids = Vec::new();

@@ -61,7 +61,13 @@ pub fn unique(ids: &[u64]) -> (UniqueOutput, OpCost) {
         bytes_written: unique_ids.len() as f64 * 8.0 + inverse.len() as f64 * 4.0,
         ..OpCost::default()
     };
-    (UniqueOutput { unique_ids, inverse }, cost)
+    (
+        UniqueOutput {
+            unique_ids,
+            inverse,
+        },
+        cost,
+    )
 }
 
 /// Output of [`partition`]: IDs bucketed by owning shard, with bookkeeping

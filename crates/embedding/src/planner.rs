@@ -196,7 +196,11 @@ mod tests {
                 "{}: {packs} packs for {tables} tables (paper: {paper_packs})",
                 spec.name
             );
-            assert!(packs < tables / 3, "{}: packing should consolidate", spec.name);
+            assert!(
+                packs < tables / 3,
+                "{}: packing should consolidate",
+                spec.name
+            );
         }
     }
 
@@ -231,7 +235,12 @@ mod tests {
     #[test]
     fn single_dim_dataset_still_splits_by_width() {
         let spec = DatasetSpec::criteo(); // 26 tables, all dim 128
-        let plan = PackPlan::plan(&spec, &PlannerConfig { max_tables_per_pack: 10 });
+        let plan = PackPlan::plan(
+            &spec,
+            &PlannerConfig {
+                max_tables_per_pack: 10,
+            },
+        );
         assert!(plan.pack_count() >= 3, "26 tables / cap 10 -> >= 3 packs");
     }
 }

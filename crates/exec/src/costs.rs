@@ -108,7 +108,11 @@ impl PlanContext {
 /// Returns the stages in dependency order; the index of the stage that
 /// constitutes the chain's *communication* step (for K-interleaving group
 /// gating) is returned alongside.
-pub fn chain_forward(chain: &EmbeddingChain, b: usize, ctx: &PlanContext) -> (Vec<StageTask>, usize) {
+pub fn chain_forward(
+    chain: &EmbeddingChain,
+    b: usize,
+    ctx: &PlanContext,
+) -> (Vec<StageTask>, usize) {
     let ids = b as f64 * chain.ids_per_instance;
     let rows = ids * chain.unique_ratio;
     let row_bytes = chain.dim as f64 * 4.0;
@@ -126,8 +130,16 @@ pub fn chain_forward(chain: &EmbeddingChain, b: usize, ctx: &PlanContext) -> (Ve
             ids * 8.0 * 3.0,
         ));
     } else {
-        stages.push(StageTask::new(OpKind::Unique, ResTarget::Dram, ids * 8.0 * 2.0));
-        stages.push(StageTask::new(OpKind::Partition, ResTarget::Dram, ids * 8.0 * 2.0));
+        stages.push(StageTask::new(
+            OpKind::Unique,
+            ResTarget::Dram,
+            ids * 8.0 * 2.0,
+        ));
+        stages.push(StageTask::new(
+            OpKind::Partition,
+            ResTarget::Dram,
+            ids * 8.0 * 2.0,
+        ));
     }
 
     let comm_idx;
@@ -145,8 +157,16 @@ pub fn chain_forward(chain: &EmbeddingChain, b: usize, ctx: &PlanContext) -> (Ve
                 bytes * 2.0 / DRAM_RANDOM_EFF,
             ));
             comm_idx = stages.len();
-            stages.push(StageTask::new(OpKind::PsPull, ResTarget::ServerNic, wire / NET_EFF));
-            stages.push(StageTask::new(OpKind::PsPull, ResTarget::Nic, wire / NET_EFF));
+            stages.push(StageTask::new(
+                OpKind::PsPull,
+                ResTarget::ServerNic,
+                wire / NET_EFF,
+            ));
+            stages.push(StageTask::new(
+                OpKind::PsPull,
+                ResTarget::Nic,
+                wire / NET_EFF,
+            ));
             stages.push(StageTask::new(
                 OpKind::HostToDevice,
                 ResTarget::Pcie,
@@ -248,8 +268,16 @@ pub fn chain_backward(chain: &EmbeddingChain, b: usize, ctx: &PlanContext) -> Ve
     match ctx.strategy.embedding_exchange() {
         EmbeddingExchange::ParameterServer => {
             let wire = rows * row_bytes * ctx.comm_scale;
-            stages.push(StageTask::new(OpKind::PsPush, ResTarget::Nic, wire / NET_EFF));
-            stages.push(StageTask::new(OpKind::PsPush, ResTarget::ServerNic, wire / NET_EFF));
+            stages.push(StageTask::new(
+                OpKind::PsPush,
+                ResTarget::Nic,
+                wire / NET_EFF,
+            ));
+            stages.push(StageTask::new(
+                OpKind::PsPush,
+                ResTarget::ServerNic,
+                wire / NET_EFF,
+            ));
             stages.push(StageTask::new(
                 OpKind::EmbeddingScatter,
                 ResTarget::ServerDram,
@@ -272,7 +300,11 @@ pub fn chain_backward(chain: &EmbeddingChain, b: usize, ctx: &PlanContext) -> Ve
             let (nv, nic) = collectives::split_intra_inter(remote, ctx.n_exec, ctx.per_node);
             if ctx.has_nvlink && ctx.strategy.uses_nvlink() && nv > 0.0 {
                 stages.push(StageTask::new(OpKind::AllToAll, ResTarget::NvLink, nv));
-                stages.push(StageTask::new(OpKind::AllToAll, ResTarget::Nic, nic / NET_EFF));
+                stages.push(StageTask::new(
+                    OpKind::AllToAll,
+                    ResTarget::Nic,
+                    nic / NET_EFF,
+                ));
             } else {
                 stages.push(StageTask::new(
                     OpKind::AllToAll,
@@ -355,7 +387,11 @@ pub fn dense_sync_stages(
             let (nv, nic) = collectives::split_intra_inter(per_worker, ctx.n_exec, ctx.per_node);
             if ctx.has_nvlink && nv > 0.0 {
                 stages.push(StageTask::new(OpKind::AllReduce, ResTarget::NvLink, nv));
-                stages.push(StageTask::new(OpKind::AllReduce, ResTarget::Nic, nic / NET_EFF));
+                stages.push(StageTask::new(
+                    OpKind::AllReduce,
+                    ResTarget::Nic,
+                    nic / NET_EFF,
+                ));
             } else if per_worker > 0.0 {
                 stages.push(StageTask::new(
                     OpKind::AllReduce,
@@ -365,13 +401,21 @@ pub fn dense_sync_stages(
             }
         }
         crate::strategy::DenseSync::ParameterServer => {
-            stages.push(StageTask::new(OpKind::PsPull, ResTarget::Nic, dense_bytes / NET_EFF));
+            stages.push(StageTask::new(
+                OpKind::PsPull,
+                ResTarget::Nic,
+                dense_bytes / NET_EFF,
+            ));
             stages.push(StageTask::new(
                 OpKind::PsPull,
                 ResTarget::ServerNic,
                 dense_bytes / NET_EFF,
             ));
-            stages.push(StageTask::new(OpKind::PsPush, ResTarget::Nic, dense_bytes / NET_EFF));
+            stages.push(StageTask::new(
+                OpKind::PsPush,
+                ResTarget::Nic,
+                dense_bytes / NET_EFF,
+            ));
             stages.push(StageTask::new(
                 OpKind::PsPush,
                 ResTarget::ServerNic,
@@ -451,8 +495,11 @@ mod tests {
 
     #[test]
     fn ps_chain_routes_through_server() {
-        let (stages, comm) =
-            chain_forward(&chain(), 100, &ctx(Strategy::PsAsync { servers: 1 }, 4, 1, false));
+        let (stages, comm) = chain_forward(
+            &chain(),
+            100,
+            &ctx(Strategy::PsAsync { servers: 1 }, 4, 1, false),
+        );
         assert!(stages.iter().any(|s| s.target == ResTarget::ServerNic));
         assert!(stages.iter().any(|s| s.target == ResTarget::ServerDram));
         assert_eq!(stages[comm].kind, OpKind::PsPull);
@@ -500,7 +547,11 @@ mod tests {
 
     #[test]
     fn ps_dense_sync_hits_server_nic_twice() {
-        let sync = dense_sync_stages(1e6, 0.0, &ctx(Strategy::PsAsync { servers: 1 }, 4, 1, false));
+        let sync = dense_sync_stages(
+            1e6,
+            0.0,
+            &ctx(Strategy::PsAsync { servers: 1 }, 4, 1, false),
+        );
         let server_tasks = sync
             .iter()
             .filter(|s| s.target == ResTarget::ServerNic)

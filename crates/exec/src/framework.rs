@@ -159,7 +159,10 @@ mod tests {
 
     #[test]
     fn strategies_match_paper_setup() {
-        assert_eq!(Framework::TfPs.strategy(16), Strategy::PsAsync { servers: 1 });
+        assert_eq!(
+            Framework::TfPs.strategy(16),
+            Strategy::PsAsync { servers: 1 }
+        );
         assert_eq!(Framework::Xdl.strategy(16), Strategy::PsSync { servers: 4 });
         assert_eq!(Framework::Horovod.strategy(4), Strategy::DataParallel);
         assert_eq!(Framework::PyTorch.strategy(4), Strategy::ModelParallel);

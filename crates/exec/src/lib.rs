@@ -21,6 +21,7 @@
 pub mod collectives;
 pub mod costs;
 pub mod framework;
+pub mod observe;
 pub mod scheduler;
 pub mod strategy;
 pub mod telemetry;
@@ -28,6 +29,7 @@ pub mod trainer;
 pub mod warmup;
 
 pub use framework::{Framework, Optimizations};
+pub use observe::{chrome_trace, span_tracer, ScheduleScopes, TaskRange};
 pub use picasso_models::ModelKind;
 pub use scheduler::{simulate, SimConfig, SimulationOutput};
 pub use strategy::{DenseSync, EmbeddingExchange, Strategy};

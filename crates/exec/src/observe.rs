@@ -1,0 +1,376 @@
+//! Scheduler-level observability: iteration, executor, micro-batch, and
+//! K-group spans derived from a finished simulation.
+//!
+//! The scheduler emits tasks contiguously per logical scope, so
+//! [`ScheduleScopes`] records each scope as a half-open range of engine
+//! task ids captured with `Engine::task_count()` snapshots while the graph
+//! is built. Spans are then derived *after* the run from the immutable
+//! [`RunResult`], which makes the whole layer observation-only: exporting
+//! (or not exporting) cannot perturb the schedule, so a run with
+//! observability on is bit-identical to one with it off.
+
+use crate::scheduler::SimulationOutput;
+use picasso_obs::{ChromeTrace, ManualClock, MetricKind, MetricsRegistry, Tracer};
+use picasso_sim::{Binding, RunResult, SimDuration};
+
+/// Half-open `[start, end)` range of engine task ids.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TaskRange {
+    /// First task id in the range.
+    pub start: usize,
+    /// One past the last task id.
+    pub end: usize,
+}
+
+impl TaskRange {
+    /// True when the range contains no tasks.
+    pub fn is_empty(&self) -> bool {
+        self.end <= self.start
+    }
+
+    /// Number of tasks in the range.
+    pub fn len(&self) -> usize {
+        self.end.saturating_sub(self.start)
+    }
+
+    /// The `[min start, max end]` wall-clock interval (in sim nanoseconds)
+    /// covered by the range's task records, or `None` for an empty range.
+    pub fn interval(&self, result: &RunResult) -> Option<(u64, u64)> {
+        let end = self.end.min(result.records.len());
+        if end <= self.start {
+            return None;
+        }
+        let recs = &result.records[self.start..end];
+        let start_ns = recs.iter().map(|r| r.start.as_nanos()).min()?;
+        let end_ns = recs.iter().map(|r| r.end.as_nanos()).max()?;
+        Some((start_ns, end_ns))
+    }
+}
+
+/// Tasks of one D-interleaving micro-batch on one executor.
+#[derive(Debug, Clone, Default)]
+pub struct MicroBatchScope {
+    /// Micro-batch index within the iteration.
+    pub index: usize,
+    /// All tasks of the micro-batch.
+    pub range: TaskRange,
+    /// Per-K-group sub-ranges of the embedding layer.
+    pub groups: Vec<TaskRange>,
+}
+
+/// Tasks of one executor within one iteration.
+#[derive(Debug, Clone, Default)]
+pub struct ExecutorScope {
+    /// Executor (GPU worker) index.
+    pub executor: usize,
+    /// All tasks the executor contributes to the iteration, including the
+    /// data prefetch and the dense parameter synchronization.
+    pub range: TaskRange,
+    /// The executor's micro-batches (only those with a nonzero share).
+    pub micro_batches: Vec<MicroBatchScope>,
+}
+
+/// Tasks of one training iteration across all executors.
+#[derive(Debug, Clone, Default)]
+pub struct IterationScope {
+    /// Iteration index.
+    pub index: usize,
+    /// All tasks of the iteration, including the global barrier under
+    /// synchronous strategies.
+    pub range: TaskRange,
+    /// Per-executor sub-scopes.
+    pub executors: Vec<ExecutorScope>,
+}
+
+/// The scheduler's task-id bookkeeping for a whole run.
+#[derive(Debug, Clone, Default)]
+pub struct ScheduleScopes {
+    /// One scope per simulated iteration, in order.
+    pub iterations: Vec<IterationScope>,
+}
+
+impl ScheduleScopes {
+    /// Total tasks covered by the iteration scopes.
+    pub fn task_count(&self) -> usize {
+        self.iterations.iter().map(|i| i.range.len()).sum()
+    }
+}
+
+/// Derives iteration / executor / micro-batch / K-group spans from the
+/// finished run, plus iteration-to-iteration flow edges on the `schedule`
+/// track. Span timestamps are simulation time (nanoseconds).
+pub fn span_tracer(out: &SimulationOutput) -> Tracer<ManualClock> {
+    let tracer = Tracer::new(ManualClock::new());
+    let result = &out.result;
+    let mut prev_end: Option<u64> = None;
+    for iter in &out.scopes.iterations {
+        let iter_idx = iter.index.to_string();
+        if let Some((s, e)) = iter.range.interval(result) {
+            tracer.record_span("schedule", "iteration", s, e, &[("iteration", &iter_idx)]);
+            if let Some(pe) = prev_end {
+                tracer.flow("iteration", "schedule", pe, "schedule", s);
+            }
+            prev_end = Some(e);
+        }
+        for ex in &iter.executors {
+            let track = format!("exec{}", ex.executor);
+            if let Some((s, e)) = ex.range.interval(result) {
+                tracer.record_span(&track, "executor", s, e, &[("iteration", &iter_idx)]);
+            }
+            // Pipelined micro-batches (and staggered K-groups) partially
+            // overlap; Perfetto nests overlapping slices by depth, so they
+            // share one track per executor.
+            let micro_track = format!("{track}/micro");
+            let group_track = format!("{track}/groups");
+            for mb in &ex.micro_batches {
+                let micro_idx = mb.index.to_string();
+                if let Some((s, e)) = mb.range.interval(result) {
+                    tracer.record_span(
+                        &micro_track,
+                        "micro_batch",
+                        s,
+                        e,
+                        &[("iteration", &iter_idx), ("micro", &micro_idx)],
+                    );
+                }
+                for (gi, g) in mb.groups.iter().enumerate() {
+                    if let Some((s, e)) = g.interval(result) {
+                        let group_idx = gi.to_string();
+                        tracer.record_span(
+                            &group_track,
+                            "k_group",
+                            s,
+                            e,
+                            &[("group", &group_idx), ("micro", &micro_idx)],
+                        );
+                    }
+                }
+            }
+        }
+    }
+    tracer
+}
+
+/// Builds the full Chrome trace of a run: scheduler span tracks on top,
+/// one hardware lane per resource below (pinned in declaration order),
+/// task slices with dependency flow arrows, and a global frame marker at
+/// each iteration start. Counter lanes are added separately from a metrics
+/// snapshot via [`ChromeTrace::add_counter_series`].
+pub fn chrome_trace(out: &SimulationOutput) -> ChromeTrace {
+    let mut trace = ChromeTrace::new();
+    let result = &out.result;
+    // Scheduler tracks first so they sort above the hardware lanes.
+    trace.set_sort_index("schedule", -1);
+    trace.add_tracer(&span_tracer(out));
+    for (i, r) in result.resources.iter().enumerate() {
+        trace.set_sort_index(&r.spec.name, 1000 + i as i64);
+    }
+    for rec in &result.records {
+        let lane = &result.resources[rec.resource.0].spec.name;
+        let cat = rec.category.to_string();
+        let work = format!("{:.0}", rec.work);
+        let task = rec.task.0.to_string();
+        trace.complete(
+            lane,
+            &cat,
+            &cat,
+            rec.start.as_nanos(),
+            rec.end.as_nanos(),
+            &[("work", &work), ("task", &task)],
+        );
+        if let Binding::Dependency(producer) = rec.binding {
+            let prod = &result.records[producer.0];
+            trace.flow(
+                "dep",
+                &result.resources[prod.resource.0].spec.name,
+                prod.end.as_nanos(),
+                lane,
+                rec.start.as_nanos(),
+            );
+        }
+    }
+    for iter in &out.scopes.iterations {
+        if let Some((s, _)) = iter.range.interval(result) {
+            trace.frame_marker(&format!("iteration {}", iter.index), s);
+        }
+    }
+    trace
+}
+
+/// The time-series bucket the telemetry layer samples at: 10 ms like DCGM,
+/// but never coarser than ~1/200th of the run.
+pub fn telemetry_bucket(result: &RunResult) -> SimDuration {
+    SimDuration::from_nanos((result.makespan.as_nanos() / 200).clamp(20_000, 10_000_000))
+}
+
+/// Exports the run into `registry`: everything
+/// [`picasso_sim::export_metrics`] records, plus scheduler-level throughput
+/// gauges and a per-iteration duration histogram.
+pub fn export_metrics(out: &SimulationOutput, registry: &MetricsRegistry) {
+    picasso_sim::export_metrics(&out.result, registry, telemetry_bucket(&out.result));
+    registry.describe(
+        "exec_ips_per_node",
+        MetricKind::Gauge,
+        "Training throughput, instances per second per machine",
+    );
+    registry.describe(
+        "exec_secs_per_iteration",
+        MetricKind::Gauge,
+        "Mean seconds per training iteration",
+    );
+    registry.describe(
+        "exec_executors",
+        MetricKind::Gauge,
+        "GPU workers in the run",
+    );
+    registry.describe(
+        "exec_machines",
+        MetricKind::Gauge,
+        "Worker machines in the run",
+    );
+    registry.describe(
+        "exec_iterations_total",
+        MetricKind::Counter,
+        "Training iterations simulated",
+    );
+    registry.describe(
+        "exec_iteration_seconds",
+        MetricKind::Histogram,
+        "Wall-clock span of each training iteration",
+    );
+    registry.gauge_set("exec_ips_per_node", &[], out.ips_per_node());
+    registry.gauge_set("exec_secs_per_iteration", &[], out.secs_per_iteration());
+    registry.gauge_set("exec_executors", &[], out.executors as f64);
+    registry.gauge_set("exec_machines", &[], out.machines as f64);
+    for iter in &out.scopes.iterations {
+        registry.counter_add("exec_iterations_total", &[], 1);
+        if let Some((s, e)) = iter.range.interval(&out.result) {
+            registry.histogram_observe("exec_iteration_seconds", &[], (e - s) as f64 / 1e9);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheduler::{simulate, SimConfig};
+    use crate::strategy::Strategy;
+    use picasso_data::DatasetSpec;
+    use picasso_models::ModelKind;
+    use picasso_sim::MachineSpec;
+
+    fn run(micro: usize) -> SimulationOutput {
+        let data = DatasetSpec::criteo();
+        let mut spec = ModelKind::Dlrm.build(&data);
+        spec.micro_batches = micro;
+        let cfg = SimConfig {
+            batch_per_executor: 1024,
+            iterations: 3,
+            machines: 2,
+            machine: MachineSpec::eflops(),
+            quantized_comm: false,
+        };
+        simulate(&spec, Strategy::Hybrid, &cfg).unwrap()
+    }
+
+    #[test]
+    fn scopes_partition_every_task() {
+        let out = run(2);
+        assert_eq!(out.scopes.iterations.len(), 3);
+        // Iteration ranges are contiguous and cover the whole task list.
+        let mut cursor = 0;
+        for iter in &out.scopes.iterations {
+            assert_eq!(iter.range.start, cursor);
+            cursor = iter.range.end;
+            // Executor ranges tile the iteration (barrier excluded).
+            assert_eq!(iter.executors.len(), out.executors);
+            let mut e_cursor = iter.range.start;
+            for ex in &iter.executors {
+                assert_eq!(ex.range.start, e_cursor);
+                e_cursor = ex.range.end;
+                assert_eq!(ex.micro_batches.len(), 2);
+                for mb in &ex.micro_batches {
+                    assert!(!mb.range.is_empty());
+                    assert!(mb.range.start >= ex.range.start);
+                    assert!(mb.range.end <= ex.range.end);
+                    assert!(!mb.groups.is_empty());
+                }
+            }
+            assert!(e_cursor <= iter.range.end);
+        }
+        assert_eq!(cursor, out.result.records.len());
+        assert_eq!(out.scopes.task_count(), out.result.records.len());
+    }
+
+    #[test]
+    fn spans_nest_and_cover_the_makespan() {
+        let out = run(2);
+        let tracer = span_tracer(&out);
+        let spans = tracer.spans();
+        let iters: Vec<_> = spans.iter().filter(|s| s.name == "iteration").collect();
+        assert_eq!(iters.len(), 3);
+        assert_eq!(iters[0].start_ns, 0);
+        assert_eq!(
+            iters.iter().map(|s| s.end_ns).max().unwrap(),
+            out.result.makespan.as_nanos()
+        );
+        let execs = spans.iter().filter(|s| s.name == "executor").count();
+        assert_eq!(execs, 3 * out.executors);
+        let micros = spans.iter().filter(|s| s.name == "micro_batch").count();
+        assert_eq!(micros, 3 * out.executors * 2);
+        assert!(spans.iter().any(|s| s.name == "k_group"));
+        // Consecutive iterations are linked by flow edges.
+        assert_eq!(tracer.flows().len(), 2);
+    }
+
+    #[test]
+    fn chrome_trace_parses_and_marks_frames() {
+        let out = run(1);
+        let mut trace = chrome_trace(&out);
+        let registry = MetricsRegistry::new();
+        export_metrics(&out, &registry);
+        trace.add_counter_series(&registry.snapshot());
+        let doc = picasso_obs::json::parse(&trace.to_json()).unwrap();
+        let events = doc
+            .get("traceEvents")
+            .and_then(picasso_obs::Json::items)
+            .unwrap();
+        let count = |ph: &str| {
+            events
+                .iter()
+                .filter(|e| e.get("ph").and_then(picasso_obs::Json::as_str) == Some(ph))
+                .count()
+        };
+        // One slice per task record + one per derived span.
+        assert!(count("X") > out.result.records.len());
+        // 3 global frame markers, one per iteration.
+        let frames = events
+            .iter()
+            .filter(|e| e.get("s").and_then(picasso_obs::Json::as_str) == Some("g"))
+            .count();
+        assert_eq!(frames, 3);
+        assert!(count("C") > 0, "counter lanes present");
+        assert!(count("s") > 0 && count("s") == count("f"), "flow pairs");
+    }
+
+    #[test]
+    fn metrics_include_scheduler_gauges() {
+        let out = run(1);
+        let registry = MetricsRegistry::new();
+        export_metrics(&out, &registry);
+        assert_eq!(
+            registry.gauge_value("exec_ips_per_node", &[]),
+            Some(out.ips_per_node())
+        );
+        assert_eq!(registry.counter_value("exec_iterations_total", &[]), 3);
+        let snap = registry.snapshot();
+        assert!(snap
+            .histograms
+            .iter()
+            .any(|((name, _), h)| name == "exec_iteration_seconds" && h.count == 3));
+        assert!(snap
+            .series
+            .iter()
+            .any(|((name, _), _)| name == "sim_sm_busy"));
+    }
+}

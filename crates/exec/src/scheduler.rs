@@ -14,11 +14,10 @@
 //! - data loading for iteration `i+1` prefetches during iteration `i`.
 
 use crate::costs::{self, PlanContext, ResTarget, StageTask};
+use crate::observe::{ExecutorScope, IterationScope, MicroBatchScope, ScheduleScopes, TaskRange};
 use crate::strategy::Strategy;
 use picasso_graph::{OpKind, WdlSpec};
-use picasso_sim::{
-    Cluster, Engine, EngineError, MachineSpec, RunResult, Task, TaskId,
-};
+use picasso_sim::{Cluster, Engine, EngineError, MachineSpec, RunResult, Task, TaskId};
 
 /// Simulation shape.
 #[derive(Debug, Clone)]
@@ -72,18 +71,29 @@ pub struct SimulationOutput {
     pub executors: usize,
     /// Worker machines.
     pub machines: usize,
+    /// Task-id ranges of every iteration / executor / micro-batch / K-group,
+    /// recorded while the graph was built (see [`crate::observe`]).
+    pub scopes: ScheduleScopes,
 }
 
 impl SimulationOutput {
     /// Training throughput in instances per second per machine (the paper's
-    /// IPS metric).
+    /// IPS metric). Zero for degenerate runs (no iterations, no machines, or
+    /// an empty schedule) rather than NaN/infinity.
     pub fn ips_per_node(&self) -> f64 {
+        let secs = self.result.makespan.as_secs_f64();
+        if secs <= 0.0 || self.machines == 0 {
+            return 0.0;
+        }
         let total = (self.batch * self.executors * self.iterations) as f64;
-        total / self.result.makespan.as_secs_f64() / self.machines as f64
+        total / secs / self.machines as f64
     }
 
-    /// Seconds per iteration.
+    /// Seconds per iteration; zero when no iterations were simulated.
     pub fn secs_per_iteration(&self) -> f64 {
+        if self.iterations == 0 {
+            return 0.0;
+        }
         self.result.makespan.as_secs_f64() / self.iterations as f64
     }
 }
@@ -169,10 +179,10 @@ pub fn simulate(
 
     let dispatch_secs = cfg.machine.overheads.op_dispatch.as_secs_f64();
     let add = |engine: &mut Engine,
-                   exec: usize,
-                   st: &StageTask,
-                   deps: &[TaskId],
-                   dispatch_scale: f64|
+               exec: usize,
+               st: &StageTask,
+               deps: &[TaskId],
+               dispatch_scale: f64|
      -> Result<TaskId, EngineError> {
         let h = &cluster.executors[exec];
         let (resource, server_side) = match st.target {
@@ -223,16 +233,25 @@ pub fn simulate(
     let mut prev_load: Vec<Option<TaskId>> = vec![None; n_exec];
     let mut iter_dep: Vec<Vec<TaskId>> = vec![Vec::new(); n_exec];
 
-    for _iter in 0..cfg.iterations {
+    // Tasks are added contiguously per logical scope, so `task_count()`
+    // snapshots delimit each scope as a half-open task-id range. This is
+    // pure bookkeeping: it adds no tasks and reads no engine state that
+    // scheduling depends on.
+    let mut scopes = ScheduleScopes::default();
+
+    for iter in 0..cfg.iterations {
+        let iter_start = engine.task_count();
+        let mut executor_scopes: Vec<ExecutorScope> = Vec::with_capacity(n_exec);
         let mut iter_ends: Vec<TaskId> = Vec::with_capacity(n_exec);
         for e in 0..n_exec {
+            let exec_start = engine.task_count();
+            let mut micro_scopes: Vec<MicroBatchScope> = Vec::new();
             // Data transmission (prefetched: depends only on the previous
             // load and the previous-iteration gate, not on compute).
             let io = StageTask {
                 kind: OpKind::DataLoad,
                 target: ResTarget::Nic,
-                work: cfg.batch_per_executor as f64 * spec.io_bytes_per_instance
-                    / costs::NET_EFF,
+                work: cfg.batch_per_executor as f64 * spec.io_bytes_per_instance / costs::NET_EFF,
                 launches: OpKind::DataLoad.micro_ops(),
             };
             let mut io_deps: Vec<TaskId> = prev_load[e].into_iter().collect();
@@ -251,6 +270,8 @@ pub fn simulate(
                 if b == 0 {
                     continue;
                 }
+                let micro_start = engine.task_count();
+                let mut group_ranges: Vec<TaskRange> = Vec::new();
                 // First micro-batch pays full framework dispatch; repeats of
                 // the same operations re-execute through a warm executor.
                 let dispatch_scale = if m == 0 { 1.0 } else { 0.35 };
@@ -258,6 +279,7 @@ pub fn simulate(
                 let mut gate: Vec<TaskId> = Vec::new();
                 let mut chain_last: Vec<Option<TaskId>> = vec![None; spec.chains.len()];
                 for group in &groups {
+                    let group_start = engine.task_count();
                     let mut next_gate: Vec<TaskId> = Vec::new();
                     for &ci in group {
                         let chain = &spec.chains[ci];
@@ -295,6 +317,13 @@ pub fn simulate(
                     if !next_gate.is_empty() {
                         gate = next_gate;
                     }
+                    let group_range = TaskRange {
+                        start: group_start,
+                        end: engine.task_count(),
+                    };
+                    if !group_range.is_empty() {
+                        group_ranges.push(group_range);
+                    }
                 }
 
                 // Interaction modules.
@@ -308,7 +337,13 @@ pub fn simulate(
                         deps.push(load);
                         deps.extend(iter_dep[e].iter().copied());
                     }
-                    module_fwd.push(add(&mut engine, e, &costs::module_forward(module, b), &deps, dispatch_scale)?);
+                    module_fwd.push(add(
+                        &mut engine,
+                        e,
+                        &costs::module_forward(module, b),
+                        &deps,
+                        dispatch_scale,
+                    )?);
                 }
 
                 // MLP forward + backward.
@@ -317,8 +352,20 @@ pub fn simulate(
                 } else {
                     module_fwd.clone()
                 };
-                let fwd = add(&mut engine, e, &costs::mlp_forward(&spec.mlp, b), &mlp_deps, dispatch_scale)?;
-                let bwd = add(&mut engine, e, &costs::mlp_backward(&spec.mlp, b), &[fwd], dispatch_scale)?;
+                let fwd = add(
+                    &mut engine,
+                    e,
+                    &costs::mlp_forward(&spec.mlp, b),
+                    &mlp_deps,
+                    dispatch_scale,
+                )?;
+                let bwd = add(
+                    &mut engine,
+                    e,
+                    &costs::mlp_backward(&spec.mlp, b),
+                    &[fwd],
+                    dispatch_scale,
+                )?;
 
                 // Module backward.
                 let mut module_bwd: Vec<TaskId> = Vec::with_capacity(spec.modules.len());
@@ -337,7 +384,10 @@ pub fn simulate(
                     let deps: Vec<TaskId> = if chain_consumers[ci].is_empty() {
                         vec![bwd]
                     } else {
-                        chain_consumers[ci].iter().map(|&mi| module_bwd[mi]).collect()
+                        chain_consumers[ci]
+                            .iter()
+                            .map(|&mi| module_bwd[mi])
+                            .collect()
                     };
                     let mut prev: Option<TaskId> = None;
                     for st in costs::chain_backward(chain, b, &ctx) {
@@ -353,6 +403,14 @@ pub fn simulate(
                 }
                 bwd_ends.push(bwd);
                 bwd_ends.extend(module_bwd);
+                micro_scopes.push(MicroBatchScope {
+                    index: m,
+                    range: TaskRange {
+                        start: micro_start,
+                        end: engine.task_count(),
+                    },
+                    groups: group_ranges,
+                });
             }
 
             // Dense parameter synchronization once per iteration.
@@ -365,6 +423,14 @@ pub fn simulate(
                 prev = Some(add(&mut engine, e, &st, &deps, 1.0)?);
             }
             iter_ends.push(prev.unwrap_or_else(|| *bwd_ends.last().expect("nonempty iteration")));
+            executor_scopes.push(ExecutorScope {
+                executor: e,
+                range: TaskRange {
+                    start: exec_start,
+                    end: engine.task_count(),
+                },
+                micro_batches: micro_scopes,
+            });
         }
 
         // Iteration boundary: synchronous strategies join all executors.
@@ -384,6 +450,14 @@ pub fn simulate(
                 *dep = vec![b];
             }
         }
+        scopes.iterations.push(IterationScope {
+            index: iter,
+            range: TaskRange {
+                start: iter_start,
+                end: engine.task_count(),
+            },
+            executors: executor_scopes,
+        });
     }
 
     let result = engine.run()?;
@@ -393,6 +467,7 @@ pub fn simulate(
         iterations: cfg.iterations,
         executors: n_exec,
         machines: cfg.machines,
+        scopes,
     })
 }
 

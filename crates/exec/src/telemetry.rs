@@ -2,7 +2,8 @@
 
 use crate::scheduler::SimulationOutput;
 use picasso_graph::GraphStats;
-use picasso_sim::{RunAnalysis, ResourceKind, SimDuration, TaskCategory};
+use picasso_obs::Json;
+use picasso_sim::{ResourceKind, RunAnalysis, SimDuration, TaskCategory};
 use std::collections::BTreeMap;
 
 /// All metrics of one training run (one framework x model x cluster).
@@ -71,13 +72,20 @@ impl TrainingReport {
         let net = analysis.bandwidth(ResourceKind::Network, bucket);
         let breakdown = analysis.breakdown();
 
+        // Degenerate shapes (zero executors or machines) divide by 1 instead:
+        // the per-device bandwidth fields then report cluster totals rather
+        // than poisoning the report with NaN/infinity.
         let per_exec = out.executors.max(1) as f64;
         let per_node = out.machines.max(1) as f64;
         let mut exposed = BTreeMap::new();
         let mut busy = BTreeMap::new();
         for cat in TaskCategory::ALL {
             exposed.insert(cat, breakdown.exposed_fraction(cat));
-            let b = breakdown.busy.get(&cat).copied().unwrap_or(SimDuration::ZERO);
+            let b = breakdown
+                .busy
+                .get(&cat)
+                .copied()
+                .unwrap_or(SimDuration::ZERO);
             busy.insert(
                 cat,
                 b.as_secs_f64() / out.result.makespan.as_secs_f64().max(1e-12),
@@ -122,11 +130,77 @@ impl TrainingReport {
     }
 
     /// GPU-core-hours to process `instances` at this throughput with
-    /// `gpus_total` devices (the Fig. 10 / Table X walltime metric).
+    /// `gpus_total` devices (the Fig. 10 / Table X walltime metric). Zero
+    /// when the run had no throughput (degenerate shapes) rather than
+    /// infinity.
     pub fn gpu_core_hours(&self, instances: f64) -> f64 {
         let cluster_ips = self.ips_per_node * self.machines as f64;
+        if cluster_ips <= 0.0 {
+            return 0.0;
+        }
         let hours = instances / cluster_ips / 3600.0;
         hours * self.executors as f64
+    }
+
+    /// Serializes the report as a JSON document. The field set is pinned by
+    /// a golden test; extend it deliberately (and bump the run-report schema
+    /// version in `picasso-obs` when the envelope changes shape).
+    pub fn to_json(&self) -> Json {
+        let fractions = |m: &BTreeMap<TaskCategory, f64>| {
+            Json::Obj(
+                m.iter()
+                    .map(|(cat, v)| (cat.to_string(), Json::from(*v)))
+                    .collect(),
+            )
+        };
+        Json::obj([
+            ("framework", Json::str(&self.framework)),
+            ("model", Json::str(&self.model)),
+            ("ips_per_node", self.ips_per_node.into()),
+            ("secs_per_iteration", self.secs_per_iteration.into()),
+            ("batch_per_executor", self.batch_per_executor.into()),
+            ("micro_batches", self.micro_batches.into()),
+            ("groups", self.groups.into()),
+            ("sm_util_pct", self.sm_util_pct.into()),
+            (
+                "sm_util_cdf",
+                Json::Arr(
+                    self.sm_util_cdf
+                        .iter()
+                        .map(|&(u, f)| Json::Arr(vec![u.into(), f.into()]))
+                        .collect(),
+                ),
+            ),
+            ("pcie_gbps", self.pcie_gbps.into()),
+            ("nvlink_gbps", self.nvlink_gbps.into()),
+            ("network_gbps", self.network_gbps.into()),
+            ("exposed", fractions(&self.exposed)),
+            ("busy", fractions(&self.busy)),
+            (
+                "op_stats",
+                Json::obj([
+                    ("total_ops", self.op_stats.total_ops.into()),
+                    ("forward_ops", self.op_stats.forward_ops.into()),
+                    ("chain_ops", self.op_stats.chain_ops.into()),
+                    ("module_ops", self.op_stats.module_ops.into()),
+                    ("mlp_ops", self.op_stats.mlp_ops.into()),
+                    ("sync_ops", self.op_stats.sync_ops.into()),
+                    ("packed_embeddings", self.op_stats.packed_embeddings.into()),
+                ]),
+            ),
+            ("cache_hit_ratio", self.cache_hit_ratio.into()),
+            (
+                "critical_path_secs",
+                Json::Obj(
+                    self.critical_path_secs
+                        .iter()
+                        .map(|&(kind, secs)| (kind.to_string(), Json::from(secs)))
+                        .collect(),
+                ),
+            ),
+            ("executors", self.executors.into()),
+            ("machines", self.machines.into()),
+        ])
     }
 }
 
@@ -164,7 +238,10 @@ mod tests {
         assert!(r.pcie_gbps >= 0.0);
         assert!(r.network_gbps >= 0.0);
         let exposed_total: f64 = r.exposed.values().sum();
-        assert!(exposed_total <= 1.0 + 1e-9, "exposures partition the makespan");
+        assert!(
+            exposed_total <= 1.0 + 1e-9,
+            "exposures partition the makespan"
+        );
     }
 
     #[test]
@@ -183,6 +260,121 @@ mod tests {
         assert!(r.bottleneck().is_some());
         let total: f64 = r.critical_path_secs.iter().map(|&(_, s)| s).sum();
         assert!(total > 0.0 && total <= r.secs_per_iteration * 3.0 * 1.01);
+    }
+
+    #[test]
+    fn to_json_pins_the_field_set() {
+        let r = report();
+        let json = r.to_json();
+        let Json::Obj(fields) = &json else {
+            panic!("report serializes to an object")
+        };
+        let keys: Vec<&str> = fields.iter().map(|(k, _)| k.as_str()).collect();
+        // Golden field set: additions/removals/renames must be deliberate —
+        // downstream run-report consumers key on these names.
+        assert_eq!(
+            keys,
+            [
+                "framework",
+                "model",
+                "ips_per_node",
+                "secs_per_iteration",
+                "batch_per_executor",
+                "micro_batches",
+                "groups",
+                "sm_util_pct",
+                "sm_util_cdf",
+                "pcie_gbps",
+                "nvlink_gbps",
+                "network_gbps",
+                "exposed",
+                "busy",
+                "op_stats",
+                "cache_hit_ratio",
+                "critical_path_secs",
+                "executors",
+                "machines",
+            ]
+        );
+        // The document round-trips through the parser with values intact.
+        let parsed = picasso_obs::json::parse(&json.to_json()).unwrap();
+        assert_eq!(parsed.get("model").and_then(Json::as_str), Some("DLRM"));
+        assert_eq!(
+            parsed.get("ips_per_node").and_then(Json::as_f64),
+            Some(r.ips_per_node)
+        );
+        assert_eq!(
+            parsed
+                .get("op_stats")
+                .and_then(|o| o.get("total_ops"))
+                .and_then(Json::as_u64),
+            Some(r.op_stats.total_ops)
+        );
+        assert_eq!(
+            parsed
+                .get("exposed")
+                .and_then(|o| o.get("communication"))
+                .and_then(Json::as_f64),
+            r.exposed.get(&TaskCategory::Communication).copied()
+        );
+    }
+
+    #[test]
+    fn zero_iteration_run_reports_zeroes_not_nan() {
+        let data = DatasetSpec::criteo();
+        let spec = ModelKind::Dlrm.build(&data);
+        let cfg = SimConfig {
+            batch_per_executor: 1024,
+            iterations: 0,
+            machines: 1,
+            machine: MachineSpec::eflops(),
+            quantized_comm: false,
+        };
+        let out = simulate(&spec, Strategy::Hybrid, &cfg).unwrap();
+        assert!(out.result.records.is_empty());
+        assert_eq!(out.ips_per_node(), 0.0);
+        assert_eq!(out.secs_per_iteration(), 0.0);
+        let r = TrainingReport::from_simulation("t", "DLRM", &out, graph_stats(&spec), 1, 1, 0.0);
+        assert_eq!(r.ips_per_node, 0.0);
+        assert_eq!(r.secs_per_iteration, 0.0);
+        assert_eq!(r.gpu_core_hours(1e9), 0.0, "no throughput, not infinity");
+        assert!(r.sm_util_cdf.is_empty());
+        // The degenerate report still serializes cleanly.
+        assert!(picasso_obs::json::parse(&r.to_json().to_json()).is_ok());
+    }
+
+    #[test]
+    fn empty_graph_simulates_and_reports() {
+        // A spec with no chains and no modules still has IO + MLP + sync.
+        let spec = picasso_graph::WdlSpec {
+            name: "empty".into(),
+            io_bytes_per_instance: 8.0,
+            chains: vec![],
+            modules: vec![],
+            mlp: picasso_graph::MlpSpec::new(8, vec![16, 1]),
+            micro_batches: 1,
+            interleave_from: picasso_graph::Layer::Embedding,
+        };
+        let cfg = SimConfig {
+            batch_per_executor: 256,
+            iterations: 2,
+            machines: 1,
+            machine: MachineSpec::eflops(),
+            quantized_comm: false,
+        };
+        let out = simulate(&spec, Strategy::Hybrid, &cfg).unwrap();
+        assert!(out.result.makespan.as_secs_f64() > 0.0);
+        let r = TrainingReport::from_simulation("t", "empty", &out, graph_stats(&spec), 1, 1, 0.0);
+        assert!(r.ips_per_node > 0.0);
+        assert!(r.gpu_core_hours(1e6).is_finite());
+    }
+
+    #[test]
+    fn machines_zero_is_guarded_everywhere() {
+        let mut r = report();
+        r.machines = 0;
+        r.ips_per_node = 0.0;
+        assert_eq!(r.gpu_core_hours(1e9), 0.0);
     }
 
     #[test]

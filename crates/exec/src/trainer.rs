@@ -2,14 +2,18 @@
 //! passes, batch sizing, simulation, and reporting.
 
 use crate::framework::{Framework, Optimizations};
-use crate::scheduler::{simulate, SimConfig};
+use crate::scheduler::{simulate, SimConfig, SimulationOutput};
 use crate::strategy::Strategy;
 use crate::telemetry::TrainingReport;
 use crate::warmup::{run_warmup, WarmupConfig, WarmupReport};
 use picasso_data::DatasetSpec;
 use picasso_embedding::{PackPlan, PlannerConfig};
-use picasso_graph::{d_interleaving, d_packing, k_interleaving, k_packing, graph_stats, Layer, WdlSpec};
+use picasso_graph::{
+    d_interleaving, d_packing, graph_stats, k_interleaving, k_packing, run_pass, Layer, PassReport,
+    WdlSpec,
+};
 use picasso_models::ModelKind;
+use picasso_obs::{Tracer, WallClock};
 use picasso_sim::MachineSpec;
 use std::collections::BTreeMap;
 use std::sync::Arc;
@@ -83,6 +87,11 @@ pub struct RunArtifacts {
     pub spec: WdlSpec,
     /// Warm-up measurements.
     pub warmup: WarmupReport,
+    /// The raw simulation (task records and schedule scopes) the report was
+    /// derived from, for trace/metrics export (see [`crate::observe`]).
+    pub output: SimulationOutput,
+    /// What each applied optimization pass did to the graph, in order.
+    pub pass_reports: Vec<PassReport>,
 }
 
 /// Runs `model` on `data` under a named framework preset.
@@ -121,8 +130,17 @@ pub fn run(
     // clamping would distort them at production vocabulary scales — see
     // DESIGN.md.)
     let mut wcfg = opts.warmup.clone();
-    wcfg.hot_bytes = if optimizations.caching { opts.hot_bytes } else { 0 };
+    wcfg.hot_bytes = if optimizations.caching {
+        opts.hot_bytes
+    } else {
+        0
+    };
     let warmup = run_warmup(data, &wcfg);
+
+    // Optimization passes run instrumented: wall-clock spans on the
+    // `passes` track plus before/after op accounting (Table V).
+    let pass_tracer = Tracer::new(WallClock::new());
+    let mut pass_reports: Vec<PassReport> = Vec::new();
 
     // D-Packing / K-Packing.
     if optimizations.packing {
@@ -138,15 +156,25 @@ pub fn run(
                 table_to_pack.insert(t, p);
             }
         }
-        spec = d_packing::apply(&spec, &table_to_pack);
+        let (packed, report) = run_pass("d_packing", &spec, &pass_tracer, |s| {
+            d_packing::apply(s, &table_to_pack)
+        });
+        spec = packed;
+        pass_reports.push(report);
     }
     if optimizations.kernel_packing {
-        spec = k_packing::apply(&spec);
+        let (packed, report) = run_pass("k_packing", &spec, &pass_tracer, k_packing::apply);
+        spec = packed;
+        pass_reports.push(report);
     }
 
     // Batch sizing (Eq. 2's device-memory case).
     let resident = spec.dense_params() * 4.0 * 3.0; // params + grads + slots
-    let hot = if optimizations.caching { opts.hot_bytes as f64 } else { 0.0 };
+    let hot = if optimizations.caching {
+        opts.hot_bytes as f64
+    } else {
+        0.0
+    };
     let base_batch = d_interleaving::memory_bound_batch(
         opts.machine.gpu.mem_capacity as f64,
         hot,
@@ -157,7 +185,8 @@ pub fn run(
 
     // Interleaving.
     let micro = if optimizations.d_interleaving {
-        opts.micro_batches.unwrap_or_else(|| default_micro_batches(&spec))
+        opts.micro_batches
+            .unwrap_or_else(|| default_micro_batches(&spec))
     } else {
         1
     };
@@ -168,14 +197,30 @@ pub fn run(
         1
     };
     if groups > 1 {
-        k_interleaving::apply(&mut spec, groups);
+        let (grouped, report) = run_pass("k_interleaving", &spec, &pass_tracer, |s| {
+            let mut s = s.clone();
+            k_interleaving::apply(&mut s, groups);
+            s
+        });
+        spec = grouped;
+        pass_reports.push(report);
     }
     if micro > 1 {
-        d_interleaving::apply(&mut spec, micro, Layer::Embedding);
+        let (pipelined, report) = run_pass("d_interleaving", &spec, &pass_tracer, |s| {
+            let mut s = s.clone();
+            d_interleaving::apply(&mut s, micro, Layer::Embedding);
+            s
+        });
+        spec = pipelined;
+        pass_reports.push(report);
     }
     if !opts.excluded_tables.is_empty() {
         for chain in &mut spec.chains {
-            if chain.tables.iter().any(|t| opts.excluded_tables.contains(t)) {
+            if chain
+                .tables
+                .iter()
+                .any(|t| opts.excluded_tables.contains(t))
+            {
                 chain.interleave_excluded = true;
             }
         }
@@ -195,7 +240,11 @@ pub fn run(
         &mut spec,
         data,
         batch.div_ceil(micro),
-        if optimizations.caching { opts.hot_bytes as f64 } else { 0.0 },
+        if optimizations.caching {
+            opts.hot_bytes as f64
+        } else {
+            0.0
+        },
         &warmup,
     );
 
@@ -220,6 +269,8 @@ pub fn run(
         report,
         spec,
         warmup,
+        output: out,
+        pass_reports,
     }
 }
 
@@ -383,7 +434,14 @@ mod tests {
             ("w/o interleaving", Optimizations::without_interleaving()),
             ("w/o caching", Optimizations::without_caching()),
         ] {
-            let r = run(ModelKind::WideDeep, &data, Strategy::Hybrid, o, label, &opts);
+            let r = run(
+                ModelKind::WideDeep,
+                &data,
+                Strategy::Hybrid,
+                o,
+                label,
+                &opts,
+            );
             assert!(
                 r.report.ips_per_node <= full.report.ips_per_node * 1.03,
                 "{label}: {} > full {}",

@@ -8,7 +8,7 @@
 //! substrate and reports those statistics.
 
 use picasso_data::{BatchGenerator, DatasetSpec, FrequencyStats};
-use picasso_embedding::{EmbeddingTable, HybridHash, HybridHashConfig, TableLoad};
+use picasso_embedding::{CacheMetrics, EmbeddingTable, HybridHash, HybridHashConfig, TableLoad};
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
@@ -66,6 +66,10 @@ pub struct WarmupReport {
     pub coverage_top20: f64,
     /// Aggregate hit ratio across tables, ID-mass-weighted.
     pub overall_hit_ratio: f64,
+    /// Per-table snapshots of the measurement caches (counters, occupancy),
+    /// kept for the run-level metrics exporters. Empty when caching is
+    /// disabled.
+    pub caches: BTreeMap<usize, CacheMetrics>,
 }
 
 impl WarmupReport {
@@ -110,7 +114,10 @@ pub fn run_warmup(data: &Arc<DatasetSpec>, cfg: &WarmupConfig) -> WarmupReport {
         let mut per_table: BTreeMap<usize, Vec<u64>> = BTreeMap::new();
         for fb in &batch.fields {
             let table = data.fields[fb.field].table_group;
-            per_table.entry(table).or_default().extend_from_slice(&fb.ids);
+            per_table
+                .entry(table)
+                .or_default()
+                .extend_from_slice(&fb.ids);
         }
         for (&table, ids) in &per_table {
             freq.entry(table).or_default().record_all(ids);
@@ -127,6 +134,7 @@ pub fn run_warmup(data: &Arc<DatasetSpec>, cfg: &WarmupConfig) -> WarmupReport {
     // Cache measurement: per-table HybridHash with budget split by mass,
     // warm on the first half of the batches, measured on the second half.
     let mut hit: BTreeMap<usize, f64> = BTreeMap::new();
+    let mut caches: BTreeMap<usize, CacheMetrics> = BTreeMap::new();
     if cfg.hot_bytes > 0 {
         let warm = cfg.batches / 2;
         for (&table, stats) in &freq {
@@ -151,6 +159,7 @@ pub fn run_warmup(data: &Arc<DatasetSpec>, cfg: &WarmupConfig) -> WarmupReport {
                 }
             }
             hit.insert(table, cache.stats().hit_ratio());
+            caches.insert(table, cache.metrics());
         }
     }
 
@@ -176,6 +185,7 @@ pub fn run_warmup(data: &Arc<DatasetSpec>, cfg: &WarmupConfig) -> WarmupReport {
         total_ids,
         coverage_top20: coverage,
         overall_hit_ratio: overall_hit,
+        caches,
     }
 }
 
@@ -231,7 +241,11 @@ mod tests {
             "zipf(1.2) should exceed the paper's 20% target, got {}",
             r.overall_hit_ratio
         );
-        assert!(r.coverage_top20 > 0.5, "Fig. 3 skew, got {}", r.coverage_top20);
+        assert!(
+            r.coverage_top20 > 0.5,
+            "Fig. 3 skew, got {}",
+            r.coverage_top20
+        );
     }
 
     #[test]

@@ -16,6 +16,7 @@ pub mod spec;
 pub mod stats;
 
 pub use ops::{OpClass, OpKind};
+pub use passes::report::{run_pass, PassReport};
 pub use passes::{d_interleaving, d_packing, k_interleaving, k_packing};
 pub use spec::{EmbeddingChain, InteractionModule, Layer, MlpSpec, ModuleKind, WdlSpec};
 pub use stats::{graph_stats, GraphStats};

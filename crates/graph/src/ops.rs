@@ -163,9 +163,15 @@ mod tests {
 
     #[test]
     fn classes_map_to_sensible_categories() {
-        assert_eq!(OpKind::Shuffle.class().category(), TaskCategory::Communication);
+        assert_eq!(
+            OpKind::Shuffle.class().category(),
+            TaskCategory::Communication
+        );
         assert_eq!(OpKind::Gather.class().category(), TaskCategory::Memory);
-        assert_eq!(OpKind::MlpCompute.class().category(), TaskCategory::Computation);
+        assert_eq!(
+            OpKind::MlpCompute.class().category(),
+            TaskCategory::Computation
+        );
         assert_eq!(OpKind::DataLoad.class().category(), TaskCategory::DataIo);
         assert_eq!(OpKind::HostToDevice.class(), OpClass::IntraComm);
     }

@@ -110,7 +110,11 @@ mod tests {
     fn preserves_total_volume() {
         let spec = spec_with_tables(&[8, 8, 16, 16, 16]);
         let packed = apply(&spec, &assign(&[(0, 0), (1, 0), (2, 1), (3, 1), (4, 1)]));
-        let before: f64 = spec.chains.iter().map(|c| c.embedding_bytes_per_instance()).sum();
+        let before: f64 = spec
+            .chains
+            .iter()
+            .map(|c| c.embedding_bytes_per_instance())
+            .sum();
         let after: f64 = packed
             .chains
             .iter()

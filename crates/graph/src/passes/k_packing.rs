@@ -106,7 +106,10 @@ mod tests {
     fn idempotent() {
         let once = apply(&spec());
         let twice = apply(&once);
-        assert_eq!(once.modules[0].micro_ops_forward, twice.modules[0].micro_ops_forward);
+        assert_eq!(
+            once.modules[0].micro_ops_forward,
+            twice.modules[0].micro_ops_forward
+        );
         assert_eq!(
             once.chains[0].micro_ops_forward(),
             twice.chains[0].micro_ops_forward()

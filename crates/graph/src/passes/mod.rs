@@ -9,8 +9,12 @@
 //! - [`k_interleaving`] assigns chains to staggered execution groups sized
 //!   by Eq. 3.
 //! - [`d_interleaving`] enables micro-batch pipelining sized by Eq. 2.
+//!
+//! [`report::run_pass`] wraps any of them with span tracing and
+//! before/after operation accounting.
 
 pub mod d_interleaving;
 pub mod d_packing;
 pub mod k_interleaving;
 pub mod k_packing;
+pub mod report;

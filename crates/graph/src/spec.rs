@@ -356,7 +356,10 @@ mod tests {
         let s = small_spec();
         assert_eq!(s.dense_params(), 500.0 + s.mlp.params);
         // chains: 2 fields*8 dims + 1 field*16 dims = (16+16)*4 bytes
-        assert_eq!(s.embedding_output_bytes_per_instance(), (2.0 * 8.0 + 16.0) * 4.0);
+        assert_eq!(
+            s.embedding_output_bytes_per_instance(),
+            (2.0 * 8.0 + 16.0) * 4.0
+        );
         assert!(s.feature_map_bytes_per_instance() > s.embedding_output_bytes_per_instance());
         assert_eq!(s.group_count(), 1);
         s.validate().unwrap();

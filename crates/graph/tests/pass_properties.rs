@@ -15,12 +15,8 @@ fn spec_strategy() -> impl Strategy<Value = WdlSpec> {
         let n = dims.len();
         let chains: Vec<EmbeddingChain> = (0..n)
             .map(|t| {
-                let mut c = EmbeddingChain::for_table(
-                    t,
-                    dim_of(t),
-                    vec![t as u32],
-                    1.0 + (t % 5) as f64,
-                );
+                let mut c =
+                    EmbeddingChain::for_table(t, dim_of(t), vec![t as u32], 1.0 + (t % 5) as f64);
                 c.unique_ratio = 0.3 + 0.1 * (t % 7) as f64;
                 c
             })
@@ -28,7 +24,9 @@ fn spec_strategy() -> impl Strategy<Value = WdlSpec> {
         let n_modules = 1 + n_modules_seed % 5;
         let modules: Vec<InteractionModule> = (0..n_modules)
             .map(|m| {
-                let fields: Vec<u32> = (0..n as u32).filter(|f| (*f as usize) % n_modules == m).collect();
+                let fields: Vec<u32> = (0..n as u32)
+                    .filter(|f| (*f as usize) % n_modules == m)
+                    .collect();
                 InteractionModule {
                     kind: ModuleKind::Attention,
                     input_fields: fields,

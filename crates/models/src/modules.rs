@@ -22,7 +22,11 @@ pub fn linear(input_fields: Vec<u32>, width: usize) -> InteractionModule {
 }
 
 /// A DNN tower: fully-connected layers over a concatenated input.
-pub fn dnn_tower(input_fields: Vec<u32>, input_width: usize, widths: &[usize]) -> InteractionModule {
+pub fn dnn_tower(
+    input_fields: Vec<u32>,
+    input_width: usize,
+    widths: &[usize],
+) -> InteractionModule {
     assert!(!widths.is_empty());
     let mut flops = 0.0;
     let mut params = 0.0;

@@ -5,7 +5,7 @@
 //! feasible batch size in Table VII.
 
 use crate::modules;
-use crate::zoo::{assemble, tables, width_of, all_fields};
+use crate::zoo::{all_fields, assemble, tables, width_of};
 use picasso_data::DatasetSpec;
 use picasso_graph::{MlpSpec, WdlSpec};
 
@@ -36,7 +36,12 @@ pub fn build(data: &DatasetSpec) -> WdlSpec {
         modules_v.push(modules::dnn_tower(base_fields, tower_width, &[512, 128]));
     }
     let mlp_input = agg_width + 128;
-    assemble("ATBRG", data, modules_v, MlpSpec::new(mlp_input, vec![200, 80, 1]))
+    assemble(
+        "ATBRG",
+        data,
+        modules_v,
+        MlpSpec::new(mlp_input, vec![200, 80, 1]),
+    )
 }
 
 #[cfg(test)]

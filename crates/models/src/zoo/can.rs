@@ -51,7 +51,12 @@ pub fn build(data: &DatasetSpec) -> WdlSpec {
         width += tower.output_width;
         mods.push(tower);
     }
-    assemble("CAN", data, mods, MlpSpec::new(width.max(1), vec![512, 256, 1]))
+    assemble(
+        "CAN",
+        data,
+        mods,
+        MlpSpec::new(width.max(1), vec![512, 256, 1]),
+    )
 }
 
 #[cfg(test)]
@@ -73,8 +78,6 @@ mod tests {
         // Communication-intensive: far more embedding bytes per instance
         // than W&D on Product-1.
         let wd = crate::zoo::wide_deep::build(&DatasetSpec::product1());
-        assert!(
-            spec.embedding_bytes_per_instance() > 2.0 * wd.embedding_bytes_per_instance()
-        );
+        assert!(spec.embedding_bytes_per_instance() > 2.0 * wd.embedding_bytes_per_instance());
     }
 }

@@ -3,7 +3,7 @@
 //! deep top MLP.
 
 use crate::modules;
-use crate::zoo::{all_fields, assemble, tables, representative_fields};
+use crate::zoo::{all_fields, assemble, representative_fields, tables};
 use picasso_data::DatasetSpec;
 use picasso_graph::{MlpSpec, WdlSpec};
 

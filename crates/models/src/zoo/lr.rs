@@ -25,7 +25,10 @@ mod tests {
     fn lr_is_shallow() {
         let spec = build(&DatasetSpec::product1());
         assert_eq!(spec.modules.len(), 1);
-        assert!(spec.dense_flops_per_instance() < 1e5, "LR has almost no compute");
+        assert!(
+            spec.dense_flops_per_instance() < 1e5,
+            "LR has almost no compute"
+        );
         spec.validate().unwrap();
     }
 }

@@ -84,10 +84,7 @@ pub fn baseline_chains(data: &DatasetSpec) -> Vec<EmbeddingChain> {
 /// Sum of pooled embedding widths over `field_subset` (the concatenated
 /// input width interaction modules see).
 pub fn width_of(data: &DatasetSpec, fields: &[u32]) -> usize {
-    fields
-        .iter()
-        .map(|&f| data.fields[f as usize].dim)
-        .sum()
+    fields.iter().map(|&f| data.fields[f as usize].dim).sum()
 }
 
 /// All field indices of the dataset.
@@ -257,7 +254,8 @@ mod tests {
         for kind in ModelKind::ALL {
             let data = kind.default_dataset();
             let spec = kind.build(&data);
-            spec.validate().unwrap_or_else(|e| panic!("{}: {e}", kind.name()));
+            spec.validate()
+                .unwrap_or_else(|e| panic!("{}: {e}", kind.name()));
             assert!(!spec.chains.is_empty(), "{}", kind.name());
             assert!(spec.mlp.flops_per_instance > 0.0, "{}", kind.name());
             assert_eq!(spec.micro_batches, 1);
@@ -270,7 +268,8 @@ mod tests {
         let data = DatasetSpec::product2();
         for kind in ModelKind::ALL {
             let spec = kind.build(&data);
-            spec.validate().unwrap_or_else(|e| panic!("{}: {e}", kind.name()));
+            spec.validate()
+                .unwrap_or_else(|e| panic!("{}: {e}", kind.name()));
         }
     }
 

@@ -12,8 +12,16 @@ pub fn build(data: &DatasetSpec) -> WdlSpec {
     let half = ts.len() / 2;
     let user_fields: Vec<u32> = ts[..half].iter().flat_map(|t| t.fields.clone()).collect();
     let item_fields: Vec<u32> = ts[half..].iter().flat_map(|t| t.fields.clone()).collect();
-    let user = modules::dnn_tower(user_fields.clone(), width_of(data, &user_fields), &[512, 128]);
-    let item = modules::dnn_tower(item_fields.clone(), width_of(data, &item_fields), &[512, 128]);
+    let user = modules::dnn_tower(
+        user_fields.clone(),
+        width_of(data, &user_fields),
+        &[512, 128],
+    );
+    let item = modules::dnn_tower(
+        item_fields.clone(),
+        width_of(data, &item_fields),
+        &[512, 128],
+    );
     let mlp_input = user.output_width + item.output_width;
     assemble(
         "TwoTowerDNN",

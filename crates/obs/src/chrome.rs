@@ -1,0 +1,350 @@
+//! Chrome trace-event exporter (Perfetto / `chrome://tracing` compatible).
+//!
+//! Builds a `{"traceEvents": [...]}` document from spans, instants, counter
+//! samples, and flow edges. Tracks map to thread lanes: the first time a
+//! track name is seen it is assigned a `tid` plus a `thread_name` metadata
+//! event, and [`ChromeTrace::set_sort_index`] pins its position in the UI
+//! with a `thread_sort_index` metadata event. Counter lanes use `"ph":"C"`
+//! events, dependencies use `"ph":"s"`/`"ph":"f"` flow pairs, and frame
+//! markers are global instants (`"ph":"i","s":"g"`).
+
+use crate::json::Json;
+use crate::metrics::MetricsSnapshot;
+use crate::span::Tracer;
+use crate::Clock;
+use std::collections::BTreeMap;
+
+const PID: u64 = 1;
+
+/// Incrementally built Chrome trace document.
+#[derive(Debug, Default)]
+pub struct ChromeTrace {
+    events: Vec<Json>,
+    tids: BTreeMap<String, u64>,
+    next_flow_id: u64,
+}
+
+impl ChromeTrace {
+    /// An empty trace.
+    pub fn new() -> ChromeTrace {
+        ChromeTrace::default()
+    }
+
+    /// The `tid` for a track, assigning one (with a `thread_name` metadata
+    /// event) on first use. Tids start at 1 in first-seen order.
+    pub fn tid_for_track(&mut self, track: &str) -> u64 {
+        if let Some(&tid) = self.tids.get(track) {
+            return tid;
+        }
+        let tid = self.tids.len() as u64 + 1;
+        self.tids.insert(track.to_string(), tid);
+        self.events.push(Json::obj([
+            ("name", Json::str("thread_name")),
+            ("ph", Json::str("M")),
+            ("pid", Json::UInt(PID)),
+            ("tid", Json::UInt(tid)),
+            ("args", Json::obj([("name", Json::str(track))])),
+        ]));
+        tid
+    }
+
+    /// Pins a track's vertical position in the viewer.
+    pub fn set_sort_index(&mut self, track: &str, sort_index: i64) {
+        let tid = self.tid_for_track(track);
+        self.events.push(Json::obj([
+            ("name", Json::str("thread_sort_index")),
+            ("ph", Json::str("M")),
+            ("pid", Json::UInt(PID)),
+            ("tid", Json::UInt(tid)),
+            ("args", Json::obj([("sort_index", Json::Int(sort_index))])),
+        ]));
+    }
+
+    /// Adds a complete (`"ph":"X"`) span.
+    pub fn complete(
+        &mut self,
+        track: &str,
+        name: &str,
+        cat: &str,
+        start_ns: u64,
+        end_ns: u64,
+        args: &[(&str, &str)],
+    ) {
+        let tid = self.tid_for_track(track);
+        let mut fields = vec![
+            ("name".to_string(), Json::str(name)),
+            ("cat".to_string(), Json::str(cat)),
+            ("ph".to_string(), Json::str("X")),
+            ("pid".to_string(), Json::UInt(PID)),
+            ("tid".to_string(), Json::UInt(tid)),
+            ("ts".to_string(), Json::Num(start_ns as f64 / 1e3)),
+            (
+                "dur".to_string(),
+                Json::Num(end_ns.saturating_sub(start_ns) as f64 / 1e3),
+            ),
+        ];
+        if !args.is_empty() {
+            fields.push((
+                "args".to_string(),
+                Json::Obj(
+                    args.iter()
+                        .map(|(k, v)| (k.to_string(), Json::str(*v)))
+                        .collect(),
+                ),
+            ));
+        }
+        self.events.push(Json::Obj(fields));
+    }
+
+    /// Adds a thread-scoped instant event.
+    pub fn instant(&mut self, track: &str, name: &str, t_ns: u64) {
+        let tid = self.tid_for_track(track);
+        self.events.push(Json::obj([
+            ("name", Json::str(name)),
+            ("ph", Json::str("i")),
+            ("s", Json::str("t")),
+            ("pid", Json::UInt(PID)),
+            ("tid", Json::UInt(tid)),
+            ("ts", Json::Num(t_ns as f64 / 1e3)),
+        ]));
+    }
+
+    /// Adds a global frame marker (`"ph":"i","s":"g"`), e.g. an iteration
+    /// boundary visible across every lane.
+    pub fn frame_marker(&mut self, name: &str, t_ns: u64) {
+        self.events.push(Json::obj([
+            ("name", Json::str(name)),
+            ("ph", Json::str("i")),
+            ("s", Json::str("g")),
+            ("pid", Json::UInt(PID)),
+            ("tid", Json::UInt(0)),
+            ("ts", Json::Num(t_ns as f64 / 1e3)),
+        ]));
+    }
+
+    /// Adds a counter (`"ph":"C"`) sample; each entry of `values` becomes a
+    /// stacked series of the lane named `name`.
+    pub fn counter(&mut self, name: &str, t_ns: u64, values: &[(&str, f64)]) {
+        self.events.push(Json::obj([
+            ("name", Json::str(name)),
+            ("ph", Json::str("C")),
+            ("pid", Json::UInt(PID)),
+            ("ts", Json::Num(t_ns as f64 / 1e3)),
+            (
+                "args",
+                Json::Obj(
+                    values
+                        .iter()
+                        .map(|(k, v)| (k.to_string(), Json::Num(*v)))
+                        .collect(),
+                ),
+            ),
+        ]));
+    }
+
+    /// Adds a flow arrow: an `"s"` event at the source and a matching `"f"`
+    /// (binding enclosing slice) at the destination, sharing a fresh id.
+    pub fn flow(&mut self, name: &str, from_track: &str, from_ns: u64, to_track: &str, to_ns: u64) {
+        let id = self.next_flow_id;
+        self.next_flow_id += 1;
+        let from_tid = self.tid_for_track(from_track);
+        let to_tid = self.tid_for_track(to_track);
+        self.events.push(Json::obj([
+            ("name", Json::str(name)),
+            ("cat", Json::str("flow")),
+            ("ph", Json::str("s")),
+            ("id", Json::UInt(id)),
+            ("pid", Json::UInt(PID)),
+            ("tid", Json::UInt(from_tid)),
+            ("ts", Json::Num(from_ns as f64 / 1e3)),
+        ]));
+        self.events.push(Json::obj([
+            ("name", Json::str(name)),
+            ("cat", Json::str("flow")),
+            ("ph", Json::str("f")),
+            ("bp", Json::str("e")),
+            ("id", Json::UInt(id)),
+            ("pid", Json::UInt(PID)),
+            ("tid", Json::UInt(to_tid)),
+            ("ts", Json::Num(to_ns as f64 / 1e3)),
+        ]));
+    }
+
+    /// Imports everything a [`Tracer`] recorded: spans as `"X"`, instants as
+    /// thread instants, and flows as `"s"/"f"` pairs.
+    pub fn add_tracer<C: Clock>(&mut self, tracer: &Tracer<C>) {
+        for span in tracer.spans() {
+            let args: Vec<(&str, &str)> = span
+                .args
+                .iter()
+                .map(|(k, v)| (k.as_str(), v.as_str()))
+                .collect();
+            self.complete(
+                &span.track,
+                &span.name,
+                "span",
+                span.start_ns,
+                span.end_ns,
+                &args,
+            );
+        }
+        for instant in tracer.instants() {
+            self.instant(&instant.track, &instant.name, instant.t_ns);
+        }
+        for flow in tracer.flows() {
+            self.flow(
+                &flow.name,
+                &flow.from_track,
+                flow.from_ns,
+                &flow.to_track,
+                flow.to_ns,
+            );
+        }
+    }
+
+    /// Exports every time series in a metrics snapshot as counter lanes.
+    /// The lane is named after the metric; the series key within the lane
+    /// comes from the label values (or `value` when unlabeled).
+    pub fn add_counter_series(&mut self, snapshot: &MetricsSnapshot) {
+        for ((name, labels), series) in &snapshot.series {
+            let key = if labels.is_empty() {
+                "value".to_string()
+            } else {
+                labels
+                    .iter()
+                    .map(|(_, v)| v.as_str())
+                    .collect::<Vec<_>>()
+                    .join("/")
+            };
+            for &(t_ns, value) in &series.samples {
+                self.counter(name, t_ns, &[(key.as_str(), value)]);
+            }
+        }
+    }
+
+    /// Number of events added so far.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when no events have been added.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Serializes the document.
+    pub fn to_json(&self) -> String {
+        Json::obj([
+            ("traceEvents", Json::Arr(self.events.clone())),
+            ("displayTimeUnit", Json::str("ms")),
+        ])
+        .to_json()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::ManualClock;
+    use crate::json;
+
+    fn phase_count(doc: &Json, ph: &str) -> usize {
+        doc.get("traceEvents")
+            .and_then(Json::items)
+            .unwrap()
+            .iter()
+            .filter(|e| e.get("ph").and_then(Json::as_str) == Some(ph))
+            .count()
+    }
+
+    #[test]
+    fn tracks_get_stable_tids_and_metadata() {
+        let mut trace = ChromeTrace::new();
+        assert_eq!(trace.tid_for_track("a"), 1);
+        assert_eq!(trace.tid_for_track("b"), 2);
+        assert_eq!(trace.tid_for_track("a"), 1);
+        trace.set_sort_index("a", -1);
+        let doc = json::parse(&trace.to_json()).unwrap();
+        assert_eq!(phase_count(&doc, "M"), 3); // 2 names + 1 sort index
+    }
+
+    #[test]
+    fn flows_pair_s_and_f_with_same_id() {
+        let mut trace = ChromeTrace::new();
+        trace.flow("dep", "a", 10, "b", 20);
+        trace.flow("dep", "a", 30, "b", 40);
+        let doc = json::parse(&trace.to_json()).unwrap();
+        let events = doc.get("traceEvents").and_then(Json::items).unwrap();
+        let flows: Vec<_> = events
+            .iter()
+            .filter(|e| matches!(e.get("ph").and_then(Json::as_str), Some("s" | "f")))
+            .collect();
+        assert_eq!(flows.len(), 4);
+        assert_eq!(
+            flows[0].get("id").and_then(Json::as_u64),
+            flows[1].get("id").and_then(Json::as_u64)
+        );
+        assert_ne!(
+            flows[0].get("id").and_then(Json::as_u64),
+            flows[2].get("id").and_then(Json::as_u64)
+        );
+        assert_eq!(flows[1].get("bp").and_then(Json::as_str), Some("e"));
+    }
+
+    #[test]
+    fn counters_and_frames_export() {
+        let mut trace = ChromeTrace::new();
+        trace.counter("sm_busy", 1_000, &[("gpu0", 0.5)]);
+        trace.frame_marker("iteration 0", 0);
+        let doc = json::parse(&trace.to_json()).unwrap();
+        assert_eq!(phase_count(&doc, "C"), 1);
+        assert_eq!(phase_count(&doc, "i"), 1);
+        let events = doc.get("traceEvents").and_then(Json::items).unwrap();
+        let frame = events
+            .iter()
+            .find(|e| e.get("ph").and_then(Json::as_str) == Some("i"))
+            .unwrap();
+        assert_eq!(frame.get("s").and_then(Json::as_str), Some("g"));
+    }
+
+    #[test]
+    fn tracer_import_covers_all_record_kinds() {
+        let tracer = Tracer::new(ManualClock::new());
+        tracer.record_span("sched", "iteration", 0, 2_000, &[("iter", "0")]);
+        tracer.instant_at("sched", "flush", 1_000);
+        tracer.flow("dep", "sched", 2_000, "comm", 2_500);
+        let mut trace = ChromeTrace::new();
+        trace.add_tracer(&tracer);
+        let doc = json::parse(&trace.to_json()).unwrap();
+        assert_eq!(phase_count(&doc, "X"), 1);
+        assert_eq!(phase_count(&doc, "i"), 1);
+        assert_eq!(phase_count(&doc, "s"), 1);
+        assert_eq!(phase_count(&doc, "f"), 1);
+        // ns → µs conversion.
+        let events = doc.get("traceEvents").and_then(Json::items).unwrap();
+        let x = events
+            .iter()
+            .find(|e| e.get("ph").and_then(Json::as_str) == Some("X"))
+            .unwrap();
+        assert_eq!(x.get("dur").and_then(Json::as_f64), Some(2.0));
+    }
+
+    #[test]
+    fn counter_series_lane_naming() {
+        use crate::metrics::MetricsRegistry;
+        let reg = MetricsRegistry::new();
+        reg.record_sample("link_bytes", &[("link", "pcie")], 0, 1.0);
+        reg.record_sample("link_bytes", &[("link", "nvlink")], 0, 2.0);
+        reg.record_sample("queue_depth", &[], 5, 3.0);
+        let mut trace = ChromeTrace::new();
+        trace.add_counter_series(&reg.snapshot());
+        let doc = json::parse(&trace.to_json()).unwrap();
+        assert_eq!(phase_count(&doc, "C"), 3);
+        let events = doc.get("traceEvents").and_then(Json::items).unwrap();
+        let unlabeled = events
+            .iter()
+            .find(|e| e.get("name").and_then(Json::as_str) == Some("queue_depth"))
+            .unwrap();
+        assert!(unlabeled.get("args").unwrap().get("value").is_some());
+    }
+}

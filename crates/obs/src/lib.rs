@@ -1,0 +1,36 @@
+//! Unified observability layer for the PICASSO reproduction.
+//!
+//! Everything the workspace records about a run flows through this crate:
+//!
+//! * [`metrics`] — a labeled metrics registry (counters, gauges, fixed-bucket
+//!   histograms) plus a time-series recorder for values sampled against a
+//!   clock (SM busy, per-link bytes, queue depths, ...).
+//! * [`span`] — scoped span and instant-event tracing against an explicit
+//!   [`clock::Clock`], so the simulator records in simulated nanoseconds while
+//!   the real trainer records wall time through the same API.
+//! * Exporters — [`chrome`] (Chrome trace-event JSON with counter lanes and
+//!   flow arrows, loadable in Perfetto), [`prometheus`] (text exposition
+//!   format, with a parser for round-trip tests), and [`report`] (versioned
+//!   JSON run reports).
+//! * [`json`] — the dependency-free JSON document model and parser the
+//!   exporters are built on.
+//!
+//! The crate has no dependencies and sits at the bottom of the workspace
+//! graph; `sim`, `graph`, `embedding`, `exec`, and `core` all feed it.
+
+#![warn(missing_docs)]
+
+pub mod chrome;
+pub mod clock;
+pub mod json;
+pub mod metrics;
+pub mod prometheus;
+pub mod report;
+pub mod span;
+
+pub use chrome::ChromeTrace;
+pub use clock::{Clock, ManualClock, WallClock};
+pub use json::Json;
+pub use metrics::{MetricKind, MetricsRegistry, MetricsSnapshot};
+pub use report::{RunReport, RUN_REPORT_SCHEMA_VERSION};
+pub use span::{SpanRecord, Tracer};

@@ -1,0 +1,230 @@
+//! Span and instant-event tracing.
+//!
+//! A [`Tracer`] collects [`SpanRecord`]s on named tracks. Spans come from two
+//! sources: live code uses the RAII [`SpanGuard`] returned by
+//! [`Tracer::span`] (timed against the tracer's [`Clock`]); post-hoc
+//! analysis (e.g. deriving iteration spans from simulator task records)
+//! uses [`Tracer::record_span`] with explicit timestamps. Flow edges connect
+//! spans across tracks — the Chrome exporter turns them into `"s"/"f"`
+//! arrows.
+
+use crate::clock::Clock;
+use std::sync::Mutex;
+
+/// A completed span.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanRecord {
+    /// Span name, e.g. `iteration` or `micro_batch`.
+    pub name: String,
+    /// Track (rendered as a thread lane) the span belongs to.
+    pub track: String,
+    /// Start time in nanoseconds.
+    pub start_ns: u64,
+    /// End time in nanoseconds (`>= start_ns`).
+    pub end_ns: u64,
+    /// Free-form key/value annotations.
+    pub args: Vec<(String, String)>,
+}
+
+/// An instant event (zero duration).
+#[derive(Debug, Clone, PartialEq)]
+pub struct InstantRecord {
+    /// Event name.
+    pub name: String,
+    /// Track the event belongs to.
+    pub track: String,
+    /// Timestamp in nanoseconds.
+    pub t_ns: u64,
+}
+
+/// A directed dependency between two points in time, rendered as a flow
+/// arrow from `(from_track, from_ns)` to `(to_track, to_ns)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlowRecord {
+    /// Source track.
+    pub from_track: String,
+    /// Source timestamp (typically a span end).
+    pub from_ns: u64,
+    /// Destination track.
+    pub to_track: String,
+    /// Destination timestamp (typically a span start).
+    pub to_ns: u64,
+    /// Flow name/category.
+    pub name: String,
+}
+
+#[derive(Debug, Default)]
+struct TraceStore {
+    spans: Vec<SpanRecord>,
+    instants: Vec<InstantRecord>,
+    flows: Vec<FlowRecord>,
+}
+
+/// Collects spans, instants, and flows against an explicit clock.
+pub struct Tracer<C: Clock> {
+    clock: C,
+    store: Mutex<TraceStore>,
+}
+
+impl<C: Clock> Tracer<C> {
+    /// A tracer timing live spans against `clock`.
+    pub fn new(clock: C) -> Tracer<C> {
+        Tracer {
+            clock,
+            store: Mutex::new(TraceStore::default()),
+        }
+    }
+
+    /// The tracer's clock.
+    pub fn clock(&self) -> &C {
+        &self.clock
+    }
+
+    /// Opens a live span; it is recorded when the guard drops.
+    pub fn span(&self, track: &str, name: &str) -> SpanGuard<'_, C> {
+        SpanGuard {
+            tracer: self,
+            name: name.to_string(),
+            track: track.to_string(),
+            start_ns: self.clock.now_ns(),
+            args: Vec::new(),
+        }
+    }
+
+    /// Records a span with explicit timestamps (post-hoc tracing).
+    pub fn record_span(
+        &self,
+        track: &str,
+        name: &str,
+        start_ns: u64,
+        end_ns: u64,
+        args: &[(&str, &str)],
+    ) {
+        let mut store = self.store.lock().unwrap();
+        store.spans.push(SpanRecord {
+            name: name.to_string(),
+            track: track.to_string(),
+            start_ns,
+            end_ns: end_ns.max(start_ns),
+            args: args
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.to_string()))
+                .collect(),
+        });
+    }
+
+    /// Records an instant event at the clock's current time.
+    pub fn instant(&self, track: &str, name: &str) {
+        let t_ns = self.clock.now_ns();
+        self.instant_at(track, name, t_ns);
+    }
+
+    /// Records an instant event with an explicit timestamp.
+    pub fn instant_at(&self, track: &str, name: &str, t_ns: u64) {
+        let mut store = self.store.lock().unwrap();
+        store.instants.push(InstantRecord {
+            name: name.to_string(),
+            track: track.to_string(),
+            t_ns,
+        });
+    }
+
+    /// Records a flow edge with explicit endpoints.
+    pub fn flow(&self, name: &str, from_track: &str, from_ns: u64, to_track: &str, to_ns: u64) {
+        let mut store = self.store.lock().unwrap();
+        store.flows.push(FlowRecord {
+            from_track: from_track.to_string(),
+            from_ns,
+            to_track: to_track.to_string(),
+            to_ns,
+            name: name.to_string(),
+        });
+    }
+
+    /// All completed spans so far.
+    pub fn spans(&self) -> Vec<SpanRecord> {
+        self.store.lock().unwrap().spans.clone()
+    }
+
+    /// All instant events so far.
+    pub fn instants(&self) -> Vec<InstantRecord> {
+        self.store.lock().unwrap().instants.clone()
+    }
+
+    /// All flow edges so far.
+    pub fn flows(&self) -> Vec<FlowRecord> {
+        self.store.lock().unwrap().flows.clone()
+    }
+}
+
+/// RAII handle for a live span; records on drop.
+pub struct SpanGuard<'a, C: Clock> {
+    tracer: &'a Tracer<C>,
+    name: String,
+    track: String,
+    start_ns: u64,
+    args: Vec<(String, String)>,
+}
+
+impl<C: Clock> SpanGuard<'_, C> {
+    /// Attaches a key/value annotation to the span.
+    pub fn arg(&mut self, key: &str, value: impl ToString) {
+        self.args.push((key.to_string(), value.to_string()));
+    }
+}
+
+impl<C: Clock> Drop for SpanGuard<'_, C> {
+    fn drop(&mut self) {
+        let end_ns = self.tracer.clock.now_ns();
+        let mut store = self.tracer.store.lock().unwrap();
+        store.spans.push(SpanRecord {
+            name: std::mem::take(&mut self.name),
+            track: std::mem::take(&mut self.track),
+            start_ns: self.start_ns,
+            end_ns: end_ns.max(self.start_ns),
+            args: std::mem::take(&mut self.args),
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::ManualClock;
+
+    #[test]
+    fn guard_records_on_drop_with_args() {
+        let tracer = Tracer::new(ManualClock::new());
+        tracer.clock().set_ns(100);
+        {
+            let mut span = tracer.span("scheduler", "iteration");
+            span.arg("iter", 3);
+            tracer.clock().set_ns(250);
+        }
+        let spans = tracer.spans();
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].name, "iteration");
+        assert_eq!(spans[0].track, "scheduler");
+        assert_eq!(spans[0].start_ns, 100);
+        assert_eq!(spans[0].end_ns, 250);
+        assert_eq!(spans[0].args, vec![("iter".to_string(), "3".to_string())]);
+    }
+
+    #[test]
+    fn explicit_records_clamp_backwards_spans() {
+        let tracer = Tracer::new(ManualClock::new());
+        tracer.record_span("t", "s", 50, 20, &[]);
+        assert_eq!(tracer.spans()[0].end_ns, 50);
+    }
+
+    #[test]
+    fn instants_and_flows_are_kept() {
+        let tracer = Tracer::new(ManualClock::at(5));
+        tracer.instant("frames", "iteration 0");
+        tracer.instant_at("frames", "iteration 1", 9);
+        tracer.flow("dep", "a", 1, "b", 2);
+        assert_eq!(tracer.instants().len(), 2);
+        assert_eq!(tracer.instants()[0].t_ns, 5);
+        assert_eq!(tracer.flows()[0].to_ns, 2);
+    }
+}

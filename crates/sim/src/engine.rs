@@ -253,7 +253,10 @@ impl fmt::Display for EngineError {
                 write!(f, "task {} uses unknown resource {}", task.0, resource.0)
             }
             EngineError::Cycle { stuck } => {
-                write!(f, "task graph has a cycle; {stuck} tasks never became ready")
+                write!(
+                    f,
+                    "task graph has a cycle; {stuck} tasks never became ready"
+                )
             }
         }
     }
@@ -362,7 +365,9 @@ impl Engine {
                     .map(Binding::Resource)
                     .unwrap_or(Binding::Immediate)
             } else {
-                ready_by[idx].map(Binding::Dependency).unwrap_or(Binding::Immediate)
+                ready_by[idx]
+                    .map(Binding::Dependency)
+                    .unwrap_or(Binding::Immediate)
             };
             channel_last[task.resource.0][ch] = Some(TaskId(idx));
             records[idx] = Some(TaskRecord {
@@ -392,7 +397,9 @@ impl Engine {
         }
 
         if completed != n {
-            return Err(EngineError::Cycle { stuck: n - completed });
+            return Err(EngineError::Cycle {
+                stuck: n - completed,
+            });
         }
 
         let resources = self
@@ -407,7 +414,10 @@ impl Engine {
             .collect();
 
         Ok(RunResult {
-            records: records.into_iter().map(|r| r.expect("all tasks completed")).collect(),
+            records: records
+                .into_iter()
+                .map(|r| r.expect("all tasks completed"))
+                .collect(),
             makespan,
             resources,
         })
@@ -430,7 +440,9 @@ mod tests {
     fn chain_executes_in_order() {
         let mut e = Engine::new();
         let g = gpu(&mut e);
-        let a = e.add_task(Task::new(g, 1e6, TaskCategory::Computation)).unwrap();
+        let a = e
+            .add_task(Task::new(g, 1e6, TaskCategory::Computation))
+            .unwrap();
         let b = e
             .add_task(Task::new(g, 1e6, TaskCategory::Computation).after([a]))
             .unwrap();
@@ -445,8 +457,12 @@ mod tests {
         let mut e = Engine::new();
         let g = gpu(&mut e);
         let nw = net(&mut e);
-        let a = e.add_task(Task::new(g, 1e6, TaskCategory::Computation)).unwrap();
-        let b = e.add_task(Task::new(nw, 1e6, TaskCategory::Communication)).unwrap();
+        let a = e
+            .add_task(Task::new(g, 1e6, TaskCategory::Computation))
+            .unwrap();
+        let b = e
+            .add_task(Task::new(nw, 1e6, TaskCategory::Communication))
+            .unwrap();
         let r = e.run().unwrap();
         assert_eq!(r.record(a).start, SimTime::ZERO);
         assert_eq!(r.record(b).start, SimTime::ZERO);
@@ -458,8 +474,12 @@ mod tests {
         let mut e = Engine::new();
         let g = gpu(&mut e);
         let nw = net(&mut e);
-        let a = e.add_task(Task::new(g, 1e6, TaskCategory::Computation)).unwrap();
-        let b = e.add_task(Task::new(nw, 5e6, TaskCategory::Communication)).unwrap();
+        let a = e
+            .add_task(Task::new(g, 1e6, TaskCategory::Computation))
+            .unwrap();
+        let b = e
+            .add_task(Task::new(nw, 5e6, TaskCategory::Communication))
+            .unwrap();
         let c = e
             .add_task(Task::new(g, 1e6, TaskCategory::Computation).after([a, b]))
             .unwrap();
@@ -534,12 +554,17 @@ mod tests {
     fn summaries_report_busy_and_ops() {
         let mut e = Engine::new();
         let g = gpu(&mut e);
-        e.add_task(Task::new(g, 2e9, TaskCategory::Computation)).unwrap();
-        e.add_task(Task::new(g, 2e9, TaskCategory::Computation)).unwrap();
+        e.add_task(Task::new(g, 2e9, TaskCategory::Computation))
+            .unwrap();
+        e.add_task(Task::new(g, 2e9, TaskCategory::Computation))
+            .unwrap();
         let r = e.run().unwrap();
         assert_eq!(r.resources[0].ops_served, 2);
         assert!((r.resources[0].utilization(r.makespan) - 1.0).abs() < 1e-9);
-        assert_eq!(r.busy_by_kind(ResourceKind::GpuSm), SimDuration::from_secs_f64(4.0));
+        assert_eq!(
+            r.busy_by_kind(ResourceKind::GpuSm),
+            SimDuration::from_secs_f64(4.0)
+        );
         assert_eq!(r.busy_by_kind(ResourceKind::Pcie), SimDuration::ZERO);
     }
 
@@ -549,8 +574,12 @@ mod tests {
         let g = gpu(&mut e);
         let nw = net(&mut e);
         // Slow comm (5 ms) feeding compute (1 ms); a fast independent task.
-        let slow = e.add_task(Task::new(nw, 5e6, TaskCategory::Communication)).unwrap();
-        let _fast = e.add_task(Task::new(g, 1e5, TaskCategory::Computation)).unwrap();
+        let slow = e
+            .add_task(Task::new(nw, 5e6, TaskCategory::Communication))
+            .unwrap();
+        let _fast = e
+            .add_task(Task::new(g, 1e5, TaskCategory::Computation))
+            .unwrap();
         let tail = e
             .add_task(Task::new(g, 1e6, TaskCategory::Computation).after([slow]))
             .unwrap();
@@ -571,8 +600,12 @@ mod tests {
         let mut e = Engine::new();
         let g = gpu(&mut e);
         // Two independent 1-ms tasks on one resource: the second queues.
-        let a = e.add_task(Task::new(g, 1e6, TaskCategory::Computation)).unwrap();
-        let b = e.add_task(Task::new(g, 1e6, TaskCategory::Computation)).unwrap();
+        let a = e
+            .add_task(Task::new(g, 1e6, TaskCategory::Computation))
+            .unwrap();
+        let b = e
+            .add_task(Task::new(g, 1e6, TaskCategory::Computation))
+            .unwrap();
         let r = e.run().unwrap();
         assert_eq!(r.record(b).binding, Binding::Resource(a));
         assert_eq!(r.record(a).binding, Binding::Immediate);

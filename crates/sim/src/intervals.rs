@@ -132,7 +132,12 @@ mod tests {
     use super::*;
 
     fn set(spans: &[(u64, u64)]) -> IntervalSet {
-        IntervalSet::from_spans(spans.iter().map(|&(s, e)| (SimTime(s), SimTime(e))).collect())
+        IntervalSet::from_spans(
+            spans
+                .iter()
+                .map(|&(s, e)| (SimTime(s), SimTime(e)))
+                .collect(),
+        )
     }
 
     #[test]
@@ -154,7 +159,10 @@ mod tests {
         let a = set(&[(0, 5)]);
         let b = set(&[(3, 8), (10, 12)]);
         let u = a.union(&b);
-        assert_eq!(u.spans(), &[(SimTime(0), SimTime(8)), (SimTime(10), SimTime(12))]);
+        assert_eq!(
+            u.spans(),
+            &[(SimTime(0), SimTime(8)), (SimTime(10), SimTime(12))]
+        );
     }
 
     #[test]
@@ -192,7 +200,10 @@ mod tests {
         let a = set(&[(0, 5), (8, 12)]);
         let b = set(&[(3, 9)]);
         let i = a.intersect(&b);
-        assert_eq!(i.spans(), &[(SimTime(3), SimTime(5)), (SimTime(8), SimTime(9))]);
+        assert_eq!(
+            i.spans(),
+            &[(SimTime(3), SimTime(5)), (SimTime(8), SimTime(9))]
+        );
     }
 
     #[test]

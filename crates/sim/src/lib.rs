@@ -38,6 +38,7 @@
 pub mod engine;
 pub mod intervals;
 pub mod metrics;
+pub mod observe;
 pub mod resource;
 pub mod time;
 pub mod topology;
@@ -46,7 +47,8 @@ pub mod trace;
 pub use engine::{Binding, Engine, EngineError, RunResult, Task, TaskCategory, TaskId, TaskRecord};
 pub use intervals::IntervalSet;
 pub use metrics::{BandwidthTimeline, Breakdown, RunAnalysis, UtilizationTimeline};
+pub use observe::export_metrics;
 pub use resource::{CongestionSpec, ResourceId, ResourceKind, ResourceSpec};
 pub use time::{SimDuration, SimTime};
-pub use trace::to_chrome_trace;
 pub use topology::{Cluster, ExecutorHandles, GpuSpec, MachineSpec, OverheadSpec, ServerHandles};
+pub use trace::to_chrome_trace;

@@ -206,8 +206,7 @@ impl<'a> RunAnalysis<'a> {
     pub fn bandwidth(&self, kind: ResourceKind, bucket: SimDuration) -> BandwidthTimeline {
         assert!(bucket.as_nanos() > 0, "bucket must be nonzero");
         let makespan = self.result.makespan;
-        let n_buckets =
-            makespan.as_nanos().div_ceil(bucket.as_nanos()) as usize;
+        let n_buckets = makespan.as_nanos().div_ceil(bucket.as_nanos()) as usize;
         let mut bytes = vec![0.0f64; n_buckets];
         for r in &self.result.records {
             if self.result.resources[r.resource.0].spec.kind != kind {
@@ -333,7 +332,10 @@ mod tests {
         // Fully serial: each phase is 100% exposed, 50% of the makespan.
         assert!((b.exposed_fraction(TaskCategory::Communication) - 0.5).abs() < 1e-9);
         assert!((b.exposed_fraction(TaskCategory::Computation) - 0.5).abs() < 1e-9);
-        assert_eq!(b.busy[&TaskCategory::Communication], SimDuration::from_millis(1));
+        assert_eq!(
+            b.busy[&TaskCategory::Communication],
+            SimDuration::from_millis(1)
+        );
     }
 
     #[test]
@@ -342,7 +344,8 @@ mod tests {
         let mut e = Engine::new();
         let g0 = e.add_resource(ResourceSpec::new("gpu0", ResourceKind::GpuSm, 1e9, 0));
         let _g1 = e.add_resource(ResourceSpec::new("gpu1", ResourceKind::GpuSm, 1e9, 0));
-        e.add_task(Task::new(g0, 1e6, TaskCategory::Computation)).unwrap();
+        e.add_task(Task::new(g0, 1e6, TaskCategory::Computation))
+            .unwrap();
         let r = e.run().unwrap();
         let a = RunAnalysis::new(&r);
         let avg = a.utilization_avg(ResourceKind::GpuSm, SimDuration::from_micros(100));
@@ -356,8 +359,10 @@ mod tests {
         let mut e = Engine::new();
         let g = e.add_resource(ResourceSpec::new("gpu", ResourceKind::GpuSm, 1e9, 0));
         let nw = e.add_resource(ResourceSpec::new("net", ResourceKind::Network, 1e9, 0));
-        e.add_task(Task::new(nw, 1e6, TaskCategory::Communication)).unwrap();
-        e.add_task(Task::new(g, 1e6, TaskCategory::Computation)).unwrap();
+        e.add_task(Task::new(nw, 1e6, TaskCategory::Communication))
+            .unwrap();
+        e.add_task(Task::new(g, 1e6, TaskCategory::Computation))
+            .unwrap();
         let r = e.run().unwrap();
         let b = RunAnalysis::new(&r).breakdown();
         assert_eq!(b.exposed[&TaskCategory::Communication], SimDuration::ZERO);

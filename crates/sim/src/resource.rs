@@ -218,9 +218,7 @@ impl ResourceState {
         let start = ready.max(self.channel_free[ch]);
         let mut service = self.spec.service_time(work);
         if let Some(c) = self.spec.congestion {
-            service = SimDuration::from_secs_f64(
-                service.as_secs_f64() * c.slowdown(start - ready),
-            );
+            service = SimDuration::from_secs_f64(service.as_secs_f64() * c.slowdown(start - ready));
         }
         let dur = self.spec.launch_overhead + service;
         let end = start + dur;
@@ -249,7 +247,8 @@ mod tests {
 
     #[test]
     fn dispatch_is_fifo_on_single_channel() {
-        let mut st = ResourceState::new(spec(1e9).with_launch_overhead(SimDuration::from_micros(10)));
+        let mut st =
+            ResourceState::new(spec(1e9).with_launch_overhead(SimDuration::from_micros(10)));
         let (s1, e1) = st.dispatch(SimTime::ZERO, 1e6); // 1 ms + 10 us
         let (s2, e2) = st.dispatch(SimTime::ZERO, 1e6);
         assert_eq!(s1, SimTime::ZERO);

@@ -452,7 +452,11 @@ mod tests {
         assert_eq!(c.servers.len(), 1);
         let nic = c.servers[0].nic;
         assert_eq!(e.resource_spec(nic).kind, ResourceKind::Network);
-        assert_eq!(e.resource_spec(nic).node, 2, "server occupies the next node index");
+        assert_eq!(
+            e.resource_spec(nic).node,
+            2,
+            "server occupies the next node index"
+        );
     }
 
     #[test]

@@ -39,13 +39,19 @@ fn dag_strategy() -> impl Strategy<Value = DagSpec> {
 
 fn run_dag(spec: &DagSpec) -> picasso_sim::RunResult {
     let mut e = Engine::new();
-    let kinds = [ResourceKind::GpuSm, ResourceKind::Network, ResourceKind::Pcie];
+    let kinds = [
+        ResourceKind::GpuSm,
+        ResourceKind::Network,
+        ResourceKind::Pcie,
+    ];
     let mut rids = Vec::new();
     for r in 0..spec.n_resources {
-        rids.push(e.add_resource(
-            ResourceSpec::new(format!("r{r}"), kinds[r % kinds.len()], 1e9, 0)
-                .with_launch_overhead(SimDuration::from_micros(5)),
-        ));
+        rids.push(
+            e.add_resource(
+                ResourceSpec::new(format!("r{r}"), kinds[r % kinds.len()], 1e9, 0)
+                    .with_launch_overhead(SimDuration::from_micros(5)),
+            ),
+        );
     }
     let mut tids = Vec::new();
     for (r, w, deps) in &spec.tasks {
@@ -128,7 +134,12 @@ fn spans_strategy() -> impl Strategy<Value = Vec<(u64, u64)>> {
 }
 
 fn to_set(spans: &[(u64, u64)]) -> IntervalSet {
-    IntervalSet::from_spans(spans.iter().map(|&(s, e)| (SimTime(s), SimTime(e))).collect())
+    IntervalSet::from_spans(
+        spans
+            .iter()
+            .map(|&(s, e)| (SimTime(s), SimTime(e)))
+            .collect(),
+    )
 }
 
 fn contains(set: &IntervalSet, t: u64) -> bool {

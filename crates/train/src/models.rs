@@ -89,7 +89,11 @@ impl CtrModel {
         }
         let table_order: Vec<usize> = tables.keys().copied().collect();
         let n = table_order.len();
-        let dots = if variant == Variant::DotDeep { n * (n - 1) / 2 } else { 0 };
+        let dots = if variant == Variant::DotDeep {
+            n * (n - 1) / 2
+        } else {
+            0
+        };
         let input_width = n * EMB_DIM + dots + data.numeric;
         let hidden = 32;
         CtrModel {
@@ -287,8 +291,10 @@ impl CtrModel {
 
     /// Applies a (possibly stale) gradient.
     pub fn apply(&mut self, g: &DenseGrads) {
-        self.opt1.step(&mut self.l1.w, &mut self.l1.b, &g.dw1, &g.db1);
-        self.opt2.step(&mut self.l2.w, &mut self.l2.b, &g.dw2, &g.db2);
+        self.opt1
+            .step(&mut self.l1.w, &mut self.l1.b, &g.dw1, &g.db1);
+        self.opt2
+            .step(&mut self.l2.w, &mut self.l2.b, &g.dw2, &g.db2);
         for (table, id, grad) in &g.sparse {
             self.tables
                 .get_mut(table)
@@ -345,7 +351,11 @@ impl CtrModel {
                 }
                 let w = &state.weights[i * n_tables + ti];
                 for (pos, &id) in ids.iter().enumerate() {
-                    let weight = if w.is_empty() { 1.0 / ids.len() as f32 } else { w[pos] };
+                    let weight = if w.is_empty() {
+                        1.0 / ids.len() as f32
+                    } else {
+                        w[pos]
+                    };
                     let e = grads.entry((table, id)).or_insert([0.0; EMB_DIM]);
                     for j in 0..EMB_DIM {
                         e[j] += weight * dpooled[ti][j];
@@ -354,10 +364,7 @@ impl CtrModel {
             }
         }
         let _ = state.target_table;
-        grads
-            .into_iter()
-            .map(|((t, id), g)| (t, id, g))
-            .collect()
+        grads.into_iter().map(|((t, id), g)| (t, id, g)).collect()
     }
 }
 
@@ -383,9 +390,7 @@ mod tests {
             FieldSpec::one_hot("c", 500, EMB_DIM, dist, 2),
         ];
         if with_seq {
-            fields.push(
-                FieldSpec::one_hot("seq", 500, EMB_DIM, dist, 3).with_avg_ids(10.0),
-            );
+            fields.push(FieldSpec::one_hot("seq", 500, EMB_DIM, dist, 3).with_avg_ids(10.0));
         }
         DatasetSpec {
             name: "tiny".into(),
@@ -416,7 +421,7 @@ mod tests {
 
     #[test]
     fn deep_model_learns() {
-        let (before, after) = train_steps(Variant::Deep, false, 60);
+        let (before, after) = train_steps(Variant::Deep, false, 150);
         assert!(
             after > before + 0.05 && after > 0.6,
             "AUC should improve: {before:.3} -> {after:.3}"

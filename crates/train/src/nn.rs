@@ -75,7 +75,10 @@ impl Linear {
 
     /// Allocates zeroed gradient buffers matching this layer.
     pub fn grad_buffers(&self) -> (Matrix, Vec<f32>) {
-        (Matrix::zeros(self.w.rows(), self.w.cols()), vec![0.0; self.b.len()])
+        (
+            Matrix::zeros(self.w.rows(), self.w.cols()),
+            vec![0.0; self.b.len()],
+        )
     }
 }
 
@@ -99,7 +102,9 @@ pub fn bce_with_logits(logits: &Matrix, labels: &[f32]) -> (f64, Matrix) {
 
 /// Sigmoid of each logit (prediction probabilities).
 pub fn predict(logits: &Matrix) -> Vec<f64> {
-    (0..logits.rows()).map(|i| sigmoid(logits.get(i, 0) as f64)).collect()
+    (0..logits.rows())
+        .map(|i| sigmoid(logits.get(i, 0) as f64))
+        .collect()
 }
 
 #[cfg(test)]
@@ -314,7 +319,10 @@ mod batchnorm_tests {
         let y = bn.forward(&x);
         let mean: f32 = (y.get(0, 0) + y.get(1, 0)) / 2.0;
         assert!((mean - 5.0).abs() < 1e-5);
-        assert!((y.get(1, 0) - y.get(0, 0)).abs() > 3.9, "spread scaled by gamma");
+        assert!(
+            (y.get(1, 0) - y.get(0, 0)).abs() > 3.9,
+            "spread scaled by gamma"
+        );
     }
 
     #[test]
@@ -325,7 +333,11 @@ mod batchnorm_tests {
         let loss = |bn: &BatchNorm, x: &Matrix| -> f64 {
             let mut b = bn.clone();
             let y = b.forward(x);
-            y.as_slice().iter().zip(&w).map(|(a, b)| (a * b) as f64).sum()
+            y.as_slice()
+                .iter()
+                .zip(&w)
+                .map(|(a, b)| (a * b) as f64)
+                .sum()
         };
         let mut bn = BatchNorm::new(2);
         bn.gamma = vec![1.3, 0.7];

@@ -90,7 +90,10 @@ mod tests {
         opt.step(&mut w, &mut b, &g, &[1.0]);
         let second_step = (1.0 - first_step) - w.get(0, 0);
         assert!(first_step > 0.0);
-        assert!(second_step < first_step, "accumulated curvature shrinks steps");
+        assert!(
+            second_step < first_step,
+            "accumulated curvature shrinks steps"
+        );
         assert!(b[0] < 0.0);
     }
 
@@ -158,7 +161,8 @@ impl Lamb {
         let mut update = vec![0.0f32; w.as_slice().len()];
         for i in 0..update.len() {
             let g = dw.as_slice()[i];
-            self.m_w.as_mut_slice()[i] = self.beta1 * self.m_w.as_slice()[i] + (1.0 - self.beta1) * g;
+            self.m_w.as_mut_slice()[i] =
+                self.beta1 * self.m_w.as_slice()[i] + (1.0 - self.beta1) * g;
             self.v_w.as_mut_slice()[i] =
                 self.beta2 * self.v_w.as_slice()[i] + (1.0 - self.beta2) * g * g;
             let m_hat = self.m_w.as_slice()[i] / bc1;

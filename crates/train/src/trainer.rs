@@ -156,7 +156,10 @@ mod tests {
         assert!(out.auc > 0.65, "AUC {:.3}", out.auc);
         // Loss should trend downward.
         let early: f64 = out.loss_curve[..10].iter().sum::<f64>() / 10.0;
-        let late: f64 = out.loss_curve[out.loss_curve.len() - 10..].iter().sum::<f64>() / 10.0;
+        let late: f64 = out.loss_curve[out.loss_curve.len() - 10..]
+            .iter()
+            .sum::<f64>()
+            / 10.0;
         assert!(late < early, "loss {early:.4} -> {late:.4}");
     }
 
@@ -176,7 +179,11 @@ mod tests {
             stale.auc,
             sync.auc
         );
-        assert!(stale.auc > 0.55, "stale training still learns: {:.3}", stale.auc);
+        assert!(
+            stale.auc > 0.55,
+            "stale training still learns: {:.3}",
+            stale.auc
+        );
     }
 
     #[test]

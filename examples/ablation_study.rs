@@ -17,7 +17,10 @@ fn main() {
     println!("ablating {} on the EFLOPS cluster ...\n", kind.name());
     let rows = tab04_ablation::ablate(kind, Scale::Quick);
     let full = rows[0].report.ips_per_node;
-    println!("  {:<18} {:>10} {:>8} {:>12} {:>9}", "config", "IPS", "delta", "PCIe GB/s", "SM util");
+    println!(
+        "  {:<18} {:>10} {:>8} {:>12} {:>9}",
+        "config", "IPS", "delta", "PCIe GB/s", "SM util"
+    );
     for row in &rows {
         println!(
             "  {:<18} {:>10.0} {:>7.0}% {:>12.2} {:>8.0}%",

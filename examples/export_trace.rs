@@ -7,9 +7,10 @@
 //! cargo run --release --example export_trace [model]
 //! ```
 
-use picasso::exec::{simulate, SimConfig, Strategy};
-use picasso::graph::{d_packing, k_packing};
 use picasso::embedding::{PackPlan, PlannerConfig};
+use picasso::exec::{observe, simulate, SimConfig, Strategy};
+use picasso::graph::{d_packing, k_packing};
+use picasso::obs::{prometheus, MetricsRegistry};
 use picasso::sim::{to_chrome_trace, MachineSpec};
 use picasso::ModelKind;
 use std::collections::BTreeMap;
@@ -47,6 +48,15 @@ fn main() {
     let picasso = simulate(&packed, Strategy::Hybrid, &cfg).unwrap();
     std::fs::write("trace_picasso.json", to_chrome_trace(&picasso.result)).unwrap();
 
+    // Metrics registry dump of the PICASSO run in Prometheus text format.
+    let registry = MetricsRegistry::new();
+    observe::export_metrics(&picasso, &registry);
+    std::fs::write(
+        "metrics_picasso.prom",
+        prometheus::render(&registry.snapshot()),
+    )
+    .unwrap();
+
     println!("{}:", kind.name());
     println!(
         "  baseline (sync PS): {:.0} IPS/node, {} tasks -> trace_baseline.json",
@@ -58,5 +68,6 @@ fn main() {
         picasso.ips_per_node(),
         picasso.result.records.len()
     );
-    println!("open both in https://ui.perfetto.dev to compare the schedules");
+    println!("  metrics registry    -> metrics_picasso.prom");
+    println!("open both traces in https://ui.perfetto.dev to compare the schedules");
 }

@@ -17,7 +17,10 @@ fn main() {
     let sampler = IdSampler::new(vocab, IdDistribution::Zipf { s: 0.9 });
 
     println!("HybridHash over zipf(0.9), vocab {vocab}, dim {dim}:");
-    println!("  {:<12} {:>10} {:>10} {:>9}", "hot bytes", "hot rows", "flushes", "hit ratio");
+    println!(
+        "  {:<12} {:>10} {:>10} {:>9}",
+        "hot bytes", "hot rows", "flushes", "hit ratio"
+    );
     for hot_mb in [1u64, 4, 16, 64] {
         let mut cache = HybridHash::new(
             EmbeddingTable::new(dim, 7),
@@ -45,5 +48,8 @@ fn main() {
             stats.hit_ratio() * 100.0,
         );
     }
-    println!("\n(top-20% coverage of this stream: {:.0}%)", sampler.coverage_of_top(0.2) * 100.0);
+    println!(
+        "\n(top-20% coverage of this stream: {:.0}%)",
+        sampler.coverage_of_top(0.2) * 100.0
+    );
 }

@@ -21,11 +21,26 @@ fn main() {
     let b = &baseline.report;
     println!();
     println!("                      PICASSO      TF-PS");
-    println!("  IPS / node        {:>9.0}  {:>9.0}", p.ips_per_node, b.ips_per_node);
-    println!("  GPU SM util       {:>8.0}%  {:>8.0}%", p.sm_util_pct, b.sm_util_pct);
-    println!("  PCIe GB/s         {:>9.2}  {:>9.2}", p.pcie_gbps, b.pcie_gbps);
-    println!("  batch/executor    {:>9}  {:>9}", p.batch_per_executor, b.batch_per_executor);
-    println!("  graph operations  {:>9}  {:>9}", p.op_stats.total_ops, b.op_stats.total_ops);
+    println!(
+        "  IPS / node        {:>9.0}  {:>9.0}",
+        p.ips_per_node, b.ips_per_node
+    );
+    println!(
+        "  GPU SM util       {:>8.0}%  {:>8.0}%",
+        p.sm_util_pct, b.sm_util_pct
+    );
+    println!(
+        "  PCIe GB/s         {:>9.2}  {:>9.2}",
+        p.pcie_gbps, b.pcie_gbps
+    );
+    println!(
+        "  batch/executor    {:>9}  {:>9}",
+        p.batch_per_executor, b.batch_per_executor
+    );
+    println!(
+        "  graph operations  {:>9}  {:>9}",
+        p.op_stats.total_ops, b.op_stats.total_ops
+    );
     println!();
     println!(
         "  speedup: {:.1}x   (packing to {} chains, {} groups, {} micro-batches, {:.0}% cache hits)",

@@ -17,7 +17,12 @@ fn picasso_beats_all_baselines_on_every_representative_workload() {
     for kind in [ModelKind::WideDeep, ModelKind::Can, ModelKind::MMoe] {
         let session = Session::new(kind, quick(2));
         let picasso = session.run_picasso().report.ips_per_node;
-        for fw in [Framework::TfPs, Framework::Xdl, Framework::Horovod, Framework::PyTorch] {
+        for fw in [
+            Framework::TfPs,
+            Framework::Xdl,
+            Framework::Horovod,
+            Framework::PyTorch,
+        ] {
             let baseline = session.run_framework(fw).report.ips_per_node;
             assert!(
                 picasso > baseline,
@@ -69,8 +74,14 @@ fn optimizations_compose_monotonically() {
         Optimizations::without_interleaving(),
         Optimizations::without_caching(),
     ] {
-        let partial = session.run_custom(Strategy::Hybrid, o, "partial").report.ips_per_node;
-        assert!(partial <= full * 1.03, "partial {partial:.0} > full {full:.0}");
+        let partial = session
+            .run_custom(Strategy::Hybrid, o, "partial")
+            .report
+            .ips_per_node;
+        assert!(
+            partial <= full * 1.03,
+            "partial {partial:.0} > full {full:.0}"
+        );
         // Removing packing leaves interleaving running over a fragmentary
         // graph, whose extra dispatch can eat into the hybrid baseline, so
         // the lower bound is loose.

@@ -35,8 +35,7 @@ fn quantized_communication_speeds_up_the_comm_bound_model() {
 #[test]
 fn excluded_tables_do_not_change_workload_volume() {
     let base = Session::new(ModelKind::Din, quick()).run_picasso();
-    let excl = Session::new(ModelKind::Din, quick().exclude_tables(vec![0, 1, 2]))
-        .run_picasso();
+    let excl = Session::new(ModelKind::Din, quick().exclude_tables(vec![0, 1, 2])).run_picasso();
     // Same data volume either way; exclusion only relaxes ordering.
     assert_eq!(
         base.spec.embedding_bytes_per_instance(),
@@ -66,6 +65,9 @@ fn simulation_exports_a_chrome_trace() {
     .unwrap();
     let trace = to_chrome_trace(&out.result);
     assert!(trace.contains("\"traceEvents\""));
-    assert!(trace.matches("\"ph\":\"X\"").count() > 100, "real runs have many events");
+    assert!(
+        trace.matches("\"ph\":\"X\"").count() > 100,
+        "real runs have many events"
+    );
     assert!(trace.contains("gpu0/sm") || trace.contains("node0/gpu0/sm"));
 }

@@ -76,7 +76,12 @@ fn tab3_claim_sync_training_preserves_auc() {
         },
     );
     assert!(sync.auc > 0.62, "sync AUC {:.3}", sync.auc);
-    assert!(stale.auc <= sync.auc + 0.015, "stale {:.3} vs sync {:.3}", stale.auc, sync.auc);
+    assert!(
+        stale.auc <= sync.auc + 0.015,
+        "stale {:.3} vs sync {:.3}",
+        stale.auc,
+        sync.auc
+    );
 }
 
 #[test]

@@ -46,7 +46,12 @@ fn every_model_improves_under_picasso() {
 
 #[test]
 fn every_model_reports_a_bottleneck() {
-    for kind in [ModelKind::Lr, ModelKind::Dien, ModelKind::MMoe, ModelKind::Can] {
+    for kind in [
+        ModelKind::Lr,
+        ModelKind::Dien,
+        ModelKind::MMoe,
+        ModelKind::Can,
+    ] {
         let report = Session::new(kind, tiny()).report();
         assert!(
             report.bottleneck().is_some(),

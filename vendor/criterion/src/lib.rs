@@ -1,0 +1,267 @@
+//! Offline vendored subset of the `criterion` benchmarking API.
+//!
+//! Provides the surface the workspace's bench targets use — `Criterion`,
+//! benchmark groups, `Bencher::iter`, `black_box`, and the
+//! `criterion_group!`/`criterion_main!` macros — backed by a simple
+//! mean-over-samples wall-clock measurement instead of criterion's full
+//! statistical machinery. Good enough to smoke the bench targets and print
+//! comparable numbers in the network-less container; swap the real crate
+//! back in for publication-grade statistics.
+
+#![warn(missing_docs)]
+
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimizer from deleting benched work.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Top-level benchmark driver.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    warm_up: Duration,
+    measurement: Duration,
+    samples: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            warm_up: Duration::from_millis(300),
+            measurement: Duration::from_millis(1000),
+            samples: 10,
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the warm-up window.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up = d;
+        self
+    }
+
+    /// Sets the measurement window.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement = d;
+        self
+    }
+
+    /// Sets the sample count.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.samples = n.max(2);
+        self
+    }
+
+    /// Honoured for API compatibility; CLI filtering is not implemented.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_override: None,
+        }
+    }
+
+    /// Runs a single named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let report = run_bench(self.warm_up, self.measurement, self.samples, &mut f);
+        println!("{name:<40} {report}");
+        self
+    }
+}
+
+/// A named set of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_override: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_override = Some(n.max(2));
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let samples = self.sample_override.unwrap_or(self.criterion.samples);
+        let report = run_bench(
+            self.criterion.warm_up,
+            self.criterion.measurement,
+            samples,
+            &mut f,
+        );
+        println!("{}/{name:<30} {report}", self.name);
+        self
+    }
+
+    /// Finishes the group (printing is immediate; nothing to flush).
+    pub fn finish(self) {}
+}
+
+/// Passed to each benchmark closure; call [`Bencher::iter`] with the
+/// measured routine.
+pub struct Bencher {
+    warm_up: Duration,
+    measurement: Duration,
+    samples: usize,
+    result: Option<Sample>,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Sample {
+    mean: Duration,
+    min: Duration,
+    max: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Measures `routine`, recording mean/min/max time per iteration.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: run until the window elapses (at least once).
+        let warm_start = Instant::now();
+        loop {
+            black_box(routine());
+            if warm_start.elapsed() >= self.warm_up {
+                break;
+            }
+        }
+        let budget = self.measurement.max(Duration::from_millis(1));
+        let per_sample = budget / self.samples as u32;
+        let mut times = Vec::with_capacity(self.samples);
+        let mut iters = 0u64;
+        for _ in 0..self.samples {
+            let mut n = 0u64;
+            let start = Instant::now();
+            loop {
+                black_box(routine());
+                n += 1;
+                if start.elapsed() >= per_sample {
+                    break;
+                }
+            }
+            times.push(start.elapsed() / n as u32);
+            iters += n;
+        }
+        let min = *times.iter().min().expect("samples >= 2");
+        let max = *times.iter().max().expect("samples >= 2");
+        let mean = times.iter().sum::<Duration>() / times.len() as u32;
+        self.result = Some(Sample {
+            mean,
+            min,
+            max,
+            iters,
+        });
+    }
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(
+    warm_up: Duration,
+    measurement: Duration,
+    samples: usize,
+    f: &mut F,
+) -> String {
+    let mut b = Bencher {
+        warm_up,
+        measurement,
+        samples,
+        result: None,
+    };
+    f(&mut b);
+    match b.result {
+        Some(s) => format!(
+            "time: [{} {} {}]  ({} iters)",
+            fmt_duration(s.min),
+            fmt_duration(s.mean),
+            fmt_duration(s.max),
+            s.iters
+        ),
+        None => "no measurement (Bencher::iter never called)".to_string(),
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns >= 1_000_000_000 {
+        format!("{:.3} s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.3} us", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+/// Declares a group of benchmark functions, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $cfg;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the bench `main` running the named groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unit(c: &mut Criterion) {
+        let mut group = c.benchmark_group("g");
+        group.sample_size(2);
+        group.bench_function("sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        group.finish();
+        c.bench_function("direct", |b| b.iter(|| black_box(1 + 1)));
+    }
+
+    criterion_group! {
+        name = quick;
+        config = Criterion::default()
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(4))
+            .sample_size(2);
+        targets = unit
+    }
+
+    #[test]
+    fn group_macro_runs() {
+        quick();
+    }
+
+    #[test]
+    fn durations_format() {
+        assert_eq!(fmt_duration(Duration::from_nanos(10)), "10 ns");
+        assert!(fmt_duration(Duration::from_micros(15)).ends_with("us"));
+        assert!(fmt_duration(Duration::from_millis(15)).ends_with("ms"));
+        assert!(fmt_duration(Duration::from_secs(2)).ends_with(" s"));
+    }
+}

@@ -1,0 +1,17 @@
+//! Offline vendored subset of `serde`.
+//!
+//! The workspace tags config/spec types with `#[derive(Serialize,
+//! Deserialize)]` as a schema marker; no serializer crate is in the
+//! dependency tree, so the traits are never exercised at runtime. This stub
+//! provides the trait names plus no-op derive macros so those annotations
+//! compile in the network-less build container.
+
+#![warn(missing_docs)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}

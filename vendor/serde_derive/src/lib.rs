@@ -1,0 +1,19 @@
+//! Offline vendored `serde_derive`: the workspace derives `Serialize` /
+//! `Deserialize` purely as schema markers (no serializer crate is linked, so
+//! no serde impl is ever invoked). These derives therefore expand to nothing,
+//! which keeps the annotated types compiling without the real proc-macro
+//! stack (syn/quote) that the offline container cannot fetch.
+
+use proc_macro::TokenStream;
+
+/// No-op stand-in for `serde_derive::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op stand-in for `serde_derive::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
