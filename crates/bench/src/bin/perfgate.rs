@@ -1,0 +1,147 @@
+//! Performance-regression gate over versioned benchmark snapshots.
+//!
+//! ```text
+//! perfgate --check [--dir DIR] [--delta-out PATH] [--quiet]
+//! perfgate --update-baseline [--dir DIR] [--quiet]
+//! ```
+//!
+//! `--check` runs the deterministic scenario suite, compares it against the
+//! newest `BENCH_<n>.json` in `--dir` (default `.`), prints the delta table,
+//! and exits 1 on any gated regression (2 when no baseline exists).
+//! `--update-baseline` runs the suite and writes the next `BENCH_<n>.json`.
+
+use picasso_bench::snapshot::{compare, latest_snapshot, next_version, BenchSnapshot};
+use std::path::PathBuf;
+use std::time::{SystemTime, UNIX_EPOCH};
+
+const USAGE: &str = "\
+perfgate: benchmark snapshot + regression gate
+
+USAGE:
+    perfgate --check [--dir DIR] [--delta-out PATH] [--quiet]
+    perfgate --update-baseline [--dir DIR] [--quiet]
+
+FLAGS:
+    --check             Run the suite and gate it against the newest
+                        BENCH_<n>.json in --dir. Exit 0 when the gate
+                        passes, 1 on regression, 2 when no baseline exists.
+    --update-baseline   Run the suite and write the next BENCH_<n>.json.
+    --dir DIR           Snapshot directory (default: current directory).
+    --delta-out PATH    Also write the delta table to PATH (CI job summary).
+    --quiet             Suppress everything except errors and the verdict.
+    --help              Print this help.
+";
+
+struct Cli {
+    dir: PathBuf,
+    check: bool,
+    update_baseline: bool,
+    delta_out: Option<String>,
+    quiet: bool,
+}
+
+fn parse_args() -> Cli {
+    let mut cli = Cli {
+        dir: PathBuf::from("."),
+        check: false,
+        update_baseline: false,
+        delta_out: None,
+        quiet: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |flag: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("{flag} requires an argument");
+                std::process::exit(2);
+            })
+        };
+        match arg.as_str() {
+            "--check" => cli.check = true,
+            "--update-baseline" => cli.update_baseline = true,
+            "--dir" => cli.dir = PathBuf::from(value("--dir")),
+            "--delta-out" => cli.delta_out = Some(value("--delta-out")),
+            "--quiet" => cli.quiet = true,
+            "--help" | "-h" => {
+                print!("{USAGE}");
+                std::process::exit(0);
+            }
+            flag => {
+                eprintln!("unknown argument '{flag}'\n\n{USAGE}");
+                std::process::exit(2);
+            }
+        }
+    }
+    if cli.check == cli.update_baseline {
+        eprintln!("pass exactly one of --check / --update-baseline\n\n{USAGE}");
+        std::process::exit(2);
+    }
+    cli
+}
+
+fn now_unix_ms() -> u64 {
+    SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_millis() as u64)
+        .unwrap_or(0)
+}
+
+fn run(cli: &Cli) -> Result<i32, String> {
+    if cli.update_baseline {
+        let version = next_version(&cli.dir);
+        if !cli.quiet {
+            println!("running suite for BENCH_{version}.json ...");
+        }
+        let snap = BenchSnapshot::capture(version, now_unix_ms());
+        let path = snap.save(&cli.dir)?;
+        if !cli.quiet {
+            println!("baseline written to {}", path.display());
+        }
+        return Ok(0);
+    }
+
+    let Some((version, path)) = latest_snapshot(&cli.dir) else {
+        return Err(format!(
+            "no BENCH_<n>.json baseline in {} (run --update-baseline first)",
+            cli.dir.display()
+        ));
+    };
+    let baseline = BenchSnapshot::load(&path)?;
+    if !cli.quiet {
+        println!("gating against BENCH_{version}.json ...");
+    }
+    let current = BenchSnapshot::capture(version + 1, now_unix_ms());
+    let cmp = compare(&baseline, &current);
+    let table = cmp.delta_table();
+    if !cli.quiet {
+        println!("{table}");
+    }
+    if let Some(out) = &cli.delta_out {
+        std::fs::write(out, table.to_string()).map_err(|e| format!("{out}: {e}"))?;
+    }
+    if cmp.passed() {
+        println!("perf gate PASSED against BENCH_{version}.json");
+        Ok(0)
+    } else {
+        let failing = cmp.regressions();
+        println!("perf gate FAILED: {} regression(s)", failing.len());
+        for row in failing {
+            println!(
+                "  {} / {}: {:?} (baseline {:?}, current {:?})",
+                row.scenario, row.metric, row.verdict, row.old, row.new
+            );
+        }
+        Ok(1)
+    }
+}
+
+fn main() {
+    let cli = parse_args();
+    match run(&cli) {
+        Ok(code) => std::process::exit(code),
+        Err(err) => {
+            eprintln!("perfgate: {err}");
+            std::process::exit(2);
+        }
+    }
+}

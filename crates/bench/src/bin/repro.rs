@@ -3,6 +3,7 @@
 //! ```text
 //! repro <experiment|all> [quick|full]
 //!       [--trace-out PATH] [--metrics-out PATH] [--report-json PATH]
+//!       [--quiet]
 //! ```
 //!
 //! Experiments: fig1 fig3 fig5 fig10 fig11 fig12 fig13 fig14 fig15
@@ -13,6 +14,11 @@
 //! a Chrome trace for <https://ui.perfetto.dev>, a Prometheus text
 //! exposition, and the versioned JSON run report (which also embeds every
 //! regenerated table).
+//!
+//! Exit codes: 0 on success, 1 when an export fails to write, 2 on bad
+//! arguments or an unknown experiment (so scripts can tell usage errors
+//! from runtime failures). `--quiet` suppresses the tables and progress
+//! lines, leaving only errors and the export confirmations.
 
 use picasso_core::exec::{ModelKind, RunArtifacts, WarmupConfig};
 use picasso_core::experiments::{
@@ -25,12 +31,38 @@ use std::time::Instant;
 
 type Runner = fn(Scale) -> TextTable;
 
+const USAGE: &str = "\
+repro: regenerate the paper's tables and figures
+
+USAGE:
+    repro <experiment|all> [quick|full]
+          [--trace-out PATH] [--metrics-out PATH] [--report-json PATH]
+          [--quiet]
+
+EXPERIMENTS:
+    fig1 fig3 fig5 fig10 fig11 fig12 fig13 fig14 fig15
+    tab3 tab4 tab5 tab6 tab7 tab8 tab9 tab10
+
+FLAGS:
+    --trace-out PATH    Export a Chrome trace of one instrumented run.
+    --metrics-out PATH  Export the Prometheus text exposition.
+    --report-json PATH  Export the versioned JSON run report.
+    --quiet             Suppress tables and progress lines.
+    --help              Print this help.
+
+EXIT CODES:
+    0  success
+    1  an export failed to write
+    2  bad arguments or unknown experiment
+";
+
 struct Cli {
     which: String,
     scale: Scale,
     trace_out: Option<String>,
     metrics_out: Option<String>,
     report_json: Option<String>,
+    quiet: bool,
 }
 
 fn parse_args() -> Cli {
@@ -40,6 +72,7 @@ fn parse_args() -> Cli {
         trace_out: None,
         metrics_out: None,
         report_json: None,
+        quiet: false,
     };
     let mut positional = 0;
     let mut args = std::env::args().skip(1);
@@ -54,8 +87,13 @@ fn parse_args() -> Cli {
             "--trace-out" => cli.trace_out = Some(value("--trace-out")),
             "--metrics-out" => cli.metrics_out = Some(value("--metrics-out")),
             "--report-json" => cli.report_json = Some(value("--report-json")),
+            "--quiet" => cli.quiet = true,
+            "--help" | "-h" => {
+                print!("{USAGE}");
+                std::process::exit(0);
+            }
             flag if flag.starts_with("--") => {
-                eprintln!("unknown flag '{flag}'");
+                eprintln!("unknown flag '{flag}'\n\n{USAGE}");
                 std::process::exit(2);
             }
             _ => {
@@ -142,18 +180,18 @@ fn main() {
         }
         let t0 = Instant::now();
         let table = run(cli.scale);
-        println!("{table}");
-        println!(
-            "  [{name} regenerated in {:.1}s]\n",
-            t0.elapsed().as_secs_f64()
-        );
+        if !cli.quiet {
+            println!("{table}");
+            println!(
+                "  [{name} regenerated in {:.1}s]\n",
+                t0.elapsed().as_secs_f64()
+            );
+        }
         tables.push(table);
         ran += 1;
     }
     if ran == 0 {
-        eprintln!("unknown experiment '{}'", cli.which);
-        eprintln!("known: fig1 fig3 fig5 fig10 fig11 fig12 fig13 fig14 fig15");
-        eprintln!("       tab3 tab4 tab5 tab6 tab7 tab8 tab9 tab10 | all");
+        eprintln!("unknown experiment '{}'\n\n{USAGE}", cli.which);
         std::process::exit(2);
     }
 

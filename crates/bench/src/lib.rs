@@ -14,6 +14,8 @@
 
 #![warn(missing_docs)]
 
+pub mod snapshot;
+
 use picasso_core::{Framework, ModelKind};
 use picasso_core::{PicassoConfig, Scale, Session};
 

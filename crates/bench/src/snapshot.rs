@@ -1,0 +1,679 @@
+//! Benchmark snapshots and the performance-regression gate.
+//!
+//! A snapshot runs a fixed suite of deterministic simulator scenarios —
+//! baseline, +packing, +interleaving, +caching, over a small and a large
+//! model — and records the headline metrics plus the full run report of each.
+//! Snapshots serialize to versioned `BENCH_<n>.json` files; the `perfgate`
+//! binary compares a fresh run against the newest committed snapshot and
+//! fails when any gated metric moves past its threshold in the bad
+//! direction. Everything under the `volatile` key (wall-clock timestamps and
+//! optimization-pass wall times) is excluded from comparison and from the
+//! determinism guarantee; the rest of the document is byte-reproducible.
+
+use picasso_core::exec::WarmupConfig;
+use picasso_core::obs::diff::rel_change;
+use picasso_core::obs::json::{self, Json};
+use picasso_core::{si, ModelKind, Optimizations, PicassoConfig, Session, Strategy, TextTable};
+use std::collections::BTreeMap;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Schema version of the `BENCH_<n>.json` document.
+pub const BENCH_SCHEMA_VERSION: u64 = 1;
+
+/// One scenario of the suite: a model and an optimization set.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// Stable scenario name (also the JSON key).
+    pub name: String,
+    /// Model to train.
+    pub model: ModelKind,
+    /// Optimization set in effect.
+    pub optimizations: Optimizations,
+}
+
+/// The fixed suite: {small = W&D, large = CAN} x {baseline, +packing,
+/// +interleaving, +caching}. The ladder mirrors the paper's ablation order,
+/// so gate failures localize to the optimization that regressed.
+pub fn scenarios() -> Vec<Scenario> {
+    const PACK: Optimizations = Optimizations {
+        packing: true,
+        kernel_packing: true,
+        k_interleaving: false,
+        d_interleaving: false,
+        caching: false,
+    };
+    const INTER: Optimizations = Optimizations {
+        packing: true,
+        kernel_packing: true,
+        k_interleaving: true,
+        d_interleaving: true,
+        caching: false,
+    };
+    let mut out = Vec::new();
+    for (prefix, model) in [("wdl", ModelKind::WideDeep), ("can", ModelKind::Can)] {
+        for (suffix, opts) in [
+            ("base", Optimizations::NONE),
+            ("pack", PACK),
+            ("inter", INTER),
+            ("cache", Optimizations::ALL),
+        ] {
+            out.push(Scenario {
+                name: format!("{prefix}_{suffix}"),
+                model,
+                optimizations: opts,
+            });
+        }
+    }
+    out
+}
+
+/// The session shape every scenario runs under: one EFLOPS node, two
+/// iterations, fixed batch, fully seeded warm-up — deterministic end to end.
+fn suite_config() -> PicassoConfig {
+    PicassoConfig {
+        iterations: 2,
+        warmup: WarmupConfig {
+            batches: 4,
+            batch_size: 256,
+            max_vocab: 1000,
+            hot_bytes: 1 << 24,
+            seed: 17,
+        },
+        batch_per_executor: Some(1024),
+        ..PicassoConfig::default()
+    }
+    .machines(1)
+}
+
+/// Results of one scenario run.
+#[derive(Debug, Clone)]
+pub struct ScenarioResult {
+    /// Scenario name.
+    pub name: String,
+    /// Gated headline metrics (deterministic).
+    pub metrics: BTreeMap<String, f64>,
+    /// The full run report (deterministic).
+    pub report: Json,
+    /// Wall-clock time of each optimization pass, nanoseconds (volatile).
+    pub pass_wall_ns: BTreeMap<String, u64>,
+}
+
+/// Runs one scenario and extracts its snapshot record.
+pub fn run_scenario(sc: &Scenario) -> ScenarioResult {
+    let session = Session::new(sc.model, suite_config());
+    let artifacts = session.run_custom(Strategy::Hybrid, sc.optimizations, &sc.name);
+    let mut metrics = BTreeMap::new();
+    metrics.insert("ips_per_node".into(), artifacts.report.ips_per_node);
+    metrics.insert(
+        "secs_per_iteration".into(),
+        artifacts.report.secs_per_iteration,
+    );
+    metrics.insert(
+        "makespan_secs".into(),
+        artifacts.output.result.makespan.as_secs_f64(),
+    );
+    metrics.insert("cache_hit_ratio".into(), artifacts.report.cache_hit_ratio);
+    metrics.insert("sm_util_pct".into(), artifacts.report.sm_util_pct);
+    let mut pass_wall_ns = BTreeMap::new();
+    for p in &artifacts.pass_reports {
+        pass_wall_ns.insert(p.pass.clone(), p.duration_ns);
+    }
+    ScenarioResult {
+        name: sc.name.clone(),
+        metrics,
+        report: artifacts.report.to_json(),
+        pass_wall_ns,
+    }
+}
+
+/// A versioned benchmark snapshot.
+#[derive(Debug, Clone)]
+pub struct BenchSnapshot {
+    /// Snapshot version (`BENCH_<version>.json`).
+    pub version: u64,
+    /// Wall-clock capture time, milliseconds since the Unix epoch (volatile).
+    pub generated_unix_ms: u64,
+    /// One result per suite scenario, in suite order.
+    pub scenarios: Vec<ScenarioResult>,
+}
+
+impl BenchSnapshot {
+    /// Runs the whole suite. `generated_unix_ms` is stamped by the caller
+    /// (it lives in the volatile section either way).
+    pub fn capture(version: u64, generated_unix_ms: u64) -> BenchSnapshot {
+        BenchSnapshot {
+            version,
+            generated_unix_ms,
+            scenarios: scenarios().iter().map(run_scenario).collect(),
+        }
+    }
+
+    /// Full JSON document, including the volatile section.
+    pub fn to_json(&self) -> Json {
+        let volatile = Json::obj([
+            ("generated_unix_ms", self.generated_unix_ms.into()),
+            (
+                "pass_wall_ns",
+                Json::Obj(
+                    self.scenarios
+                        .iter()
+                        .map(|s| {
+                            (
+                                s.name.clone(),
+                                Json::Obj(
+                                    s.pass_wall_ns
+                                        .iter()
+                                        .map(|(k, &v)| (k.clone(), Json::UInt(v)))
+                                        .collect(),
+                                ),
+                            )
+                        })
+                        .collect(),
+                ),
+            ),
+        ]);
+        self.json_with_volatile(volatile)
+    }
+
+    /// JSON with the volatile section nulled: two captures of the same code
+    /// serialize to byte-identical canonical documents.
+    pub fn canonical_json(&self) -> Json {
+        self.json_with_volatile(Json::Null)
+    }
+
+    fn json_with_volatile(&self, volatile: Json) -> Json {
+        Json::obj([
+            ("schema_version", BENCH_SCHEMA_VERSION.into()),
+            ("kind", Json::str("picasso.bench_snapshot")),
+            ("version", self.version.into()),
+            ("volatile", volatile),
+            (
+                "scenarios",
+                Json::Arr(
+                    self.scenarios
+                        .iter()
+                        .map(|s| {
+                            Json::obj([
+                                ("name", Json::str(&s.name)),
+                                (
+                                    "metrics",
+                                    Json::Obj(
+                                        s.metrics
+                                            .iter()
+                                            .map(|(k, &v)| (k.clone(), Json::Num(v)))
+                                            .collect(),
+                                    ),
+                                ),
+                                ("report", s.report.clone()),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// Parses a snapshot document (the inverse of [`BenchSnapshot::to_json`];
+    /// the volatile section is optional so canonical documents parse too).
+    pub fn from_json(doc: &Json) -> Result<BenchSnapshot, String> {
+        let kind = doc.get("kind").and_then(Json::as_str).unwrap_or_default();
+        if kind != "picasso.bench_snapshot" {
+            return Err(format!("not a bench snapshot (kind {kind:?})"));
+        }
+        let version = doc
+            .get("version")
+            .and_then(Json::as_u64)
+            .ok_or("missing version")?;
+        let generated_unix_ms = doc
+            .get("volatile")
+            .and_then(|v| v.get("generated_unix_ms"))
+            .and_then(Json::as_u64)
+            .unwrap_or(0);
+        let pass_walls = doc.get("volatile").and_then(|v| v.get("pass_wall_ns"));
+        let mut out = Vec::new();
+        for sc in doc
+            .get("scenarios")
+            .and_then(Json::items)
+            .ok_or("missing scenarios")?
+        {
+            let name = sc
+                .get("name")
+                .and_then(Json::as_str)
+                .ok_or("scenario missing name")?
+                .to_string();
+            let Some(Json::Obj(metric_pairs)) = sc.get("metrics") else {
+                return Err(format!("scenario {name} missing metrics"));
+            };
+            let mut metrics = BTreeMap::new();
+            for (k, v) in metric_pairs {
+                metrics.insert(
+                    k.clone(),
+                    v.as_f64().ok_or_else(|| format!("bad metric {k}"))?,
+                );
+            }
+            let mut pass_wall_ns = BTreeMap::new();
+            if let Some(Json::Obj(walls)) = pass_walls.and_then(|w| w.get(&name)) {
+                for (k, v) in walls {
+                    pass_wall_ns.insert(k.clone(), v.as_u64().unwrap_or(0));
+                }
+            }
+            out.push(ScenarioResult {
+                name,
+                metrics,
+                report: sc.get("report").cloned().unwrap_or(Json::Null),
+                pass_wall_ns,
+            });
+        }
+        Ok(BenchSnapshot {
+            version,
+            generated_unix_ms,
+            scenarios: out,
+        })
+    }
+
+    /// Reads `BENCH_<n>.json` from disk.
+    pub fn load(path: &Path) -> Result<BenchSnapshot, String> {
+        let text = fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+        let doc = json::parse(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+        BenchSnapshot::from_json(&doc)
+    }
+
+    /// Writes the snapshot to `dir/BENCH_<version>.json`.
+    pub fn save(&self, dir: &Path) -> Result<PathBuf, String> {
+        let path = dir.join(format!("BENCH_{}.json", self.version));
+        fs::write(&path, self.to_json().to_json() + "\n")
+            .map_err(|e| format!("{}: {e}", path.display()))?;
+        Ok(path)
+    }
+}
+
+/// Lists `(version, path)` of every `BENCH_<n>.json` in `dir`, sorted by
+/// version.
+pub fn snapshot_files(dir: &Path) -> Vec<(u64, PathBuf)> {
+    let mut out = Vec::new();
+    let Ok(entries) = fs::read_dir(dir) else {
+        return out;
+    };
+    for entry in entries.flatten() {
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        let Some(version) = name
+            .strip_prefix("BENCH_")
+            .and_then(|rest| rest.strip_suffix(".json"))
+            .and_then(|num| num.parse::<u64>().ok())
+        else {
+            continue;
+        };
+        out.push((version, entry.path()));
+    }
+    out.sort();
+    out
+}
+
+/// The newest committed snapshot in `dir`, if any.
+pub fn latest_snapshot(dir: &Path) -> Option<(u64, PathBuf)> {
+    snapshot_files(dir).into_iter().next_back()
+}
+
+/// The version a fresh snapshot in `dir` should get.
+pub fn next_version(dir: &Path) -> u64 {
+    latest_snapshot(dir).map(|(v, _)| v + 1).unwrap_or(0)
+}
+
+/// Which way a gated metric is allowed to move.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Bigger is better (throughput, hit ratios, utilization).
+    HigherIsBetter,
+    /// Smaller is better (latencies, makespans).
+    LowerIsBetter,
+}
+
+/// A gated metric with its per-metric relative threshold.
+#[derive(Debug, Clone, Copy)]
+pub struct Gate {
+    /// Metric key inside [`ScenarioResult::metrics`].
+    pub metric: &'static str,
+    /// Good direction.
+    pub direction: Direction,
+    /// Maximum tolerated relative move in the bad direction.
+    pub threshold: f64,
+}
+
+/// The gated metric set. Simulated metrics are deterministic, so thresholds
+/// guard against model changes, not noise; they stay small.
+pub const GATES: [Gate; 5] = [
+    Gate {
+        metric: "ips_per_node",
+        direction: Direction::HigherIsBetter,
+        threshold: 0.05,
+    },
+    Gate {
+        metric: "secs_per_iteration",
+        direction: Direction::LowerIsBetter,
+        threshold: 0.05,
+    },
+    Gate {
+        metric: "makespan_secs",
+        direction: Direction::LowerIsBetter,
+        threshold: 0.05,
+    },
+    Gate {
+        metric: "cache_hit_ratio",
+        direction: Direction::HigherIsBetter,
+        threshold: 0.05,
+    },
+    Gate {
+        metric: "sm_util_pct",
+        direction: Direction::HigherIsBetter,
+        threshold: 0.10,
+    },
+];
+
+/// Verdict for one (scenario, metric) pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// Within threshold.
+    Ok,
+    /// Moved past threshold in the good direction.
+    Improved,
+    /// Moved past threshold in the bad direction — fails the gate.
+    Regressed,
+    /// Present now, absent in the baseline — informational.
+    Added,
+    /// Present in the baseline, absent now — fails the gate.
+    Missing,
+}
+
+/// One row of the delta report.
+#[derive(Debug, Clone)]
+pub struct DeltaRow {
+    /// Scenario name.
+    pub scenario: String,
+    /// Metric key.
+    pub metric: String,
+    /// Baseline value.
+    pub old: Option<f64>,
+    /// Current value.
+    pub new: Option<f64>,
+    /// Relative change, when defined.
+    pub rel: Option<f64>,
+    /// Gate verdict.
+    pub verdict: Verdict,
+}
+
+/// Result of comparing a fresh run against a baseline snapshot.
+#[derive(Debug, Clone)]
+pub struct Comparison {
+    /// Baseline snapshot version.
+    pub baseline_version: u64,
+    /// One row per gated (scenario, metric) pair.
+    pub rows: Vec<DeltaRow>,
+}
+
+impl Comparison {
+    /// Rows that fail the gate.
+    pub fn regressions(&self) -> Vec<&DeltaRow> {
+        self.rows
+            .iter()
+            .filter(|r| matches!(r.verdict, Verdict::Regressed | Verdict::Missing))
+            .collect()
+    }
+
+    /// True when no gated metric regressed or went missing.
+    pub fn passed(&self) -> bool {
+        self.regressions().is_empty()
+    }
+
+    /// Human-readable delta table (also the CI job-summary artifact).
+    pub fn delta_table(&self) -> TextTable {
+        let mut t = TextTable::new(
+            format!("Perf gate vs BENCH_{}", self.baseline_version),
+            &[
+                "scenario", "metric", "baseline", "current", "delta", "verdict",
+            ],
+        );
+        let fmt = |v: Option<f64>| v.map(si).unwrap_or_else(|| "-".into());
+        for row in &self.rows {
+            t.row(vec![
+                row.scenario.clone(),
+                row.metric.clone(),
+                fmt(row.old),
+                fmt(row.new),
+                row.rel
+                    .map(|r| format!("{:+.1}%", r * 100.0))
+                    .unwrap_or_else(|| "n/a".into()),
+                format!("{:?}", row.verdict),
+            ]);
+        }
+        t
+    }
+}
+
+fn judge(gate: &Gate, old: f64, new: f64) -> (Option<f64>, Verdict) {
+    match rel_change(old, new) {
+        None => {
+            // Zero/degenerate baseline: only an exact match is comparable.
+            if old == new {
+                (None, Verdict::Ok)
+            } else if matches!(gate.direction, Direction::HigherIsBetter) == (new > old) {
+                (None, Verdict::Improved)
+            } else {
+                (None, Verdict::Regressed)
+            }
+        }
+        Some(rel) => {
+            let bad = match gate.direction {
+                Direction::HigherIsBetter => rel < -gate.threshold,
+                Direction::LowerIsBetter => rel > gate.threshold,
+            };
+            let good = match gate.direction {
+                Direction::HigherIsBetter => rel > gate.threshold,
+                Direction::LowerIsBetter => rel < -gate.threshold,
+            };
+            let verdict = if bad {
+                Verdict::Regressed
+            } else if good {
+                Verdict::Improved
+            } else {
+                Verdict::Ok
+            };
+            (Some(rel), verdict)
+        }
+    }
+}
+
+/// Compares `current` against `baseline` over every gated metric of every
+/// scenario in either snapshot.
+pub fn compare(baseline: &BenchSnapshot, current: &BenchSnapshot) -> Comparison {
+    let old_by_name: BTreeMap<&str, &ScenarioResult> = baseline
+        .scenarios
+        .iter()
+        .map(|s| (s.name.as_str(), s))
+        .collect();
+    let new_by_name: BTreeMap<&str, &ScenarioResult> = current
+        .scenarios
+        .iter()
+        .map(|s| (s.name.as_str(), s))
+        .collect();
+    let mut names: Vec<&str> = old_by_name
+        .keys()
+        .chain(new_by_name.keys())
+        .copied()
+        .collect();
+    names.sort();
+    names.dedup();
+
+    let mut rows = Vec::new();
+    for name in names {
+        let old = old_by_name.get(name);
+        let new = new_by_name.get(name);
+        for gate in &GATES {
+            let old_v = old.and_then(|s| s.metrics.get(gate.metric)).copied();
+            let new_v = new.and_then(|s| s.metrics.get(gate.metric)).copied();
+            let (rel, verdict) = match (old_v, new_v) {
+                (Some(o), Some(n)) => judge(gate, o, n),
+                (Some(_), None) => (None, Verdict::Missing),
+                (None, Some(_)) => (None, Verdict::Added),
+                (None, None) => continue,
+            };
+            rows.push(DeltaRow {
+                scenario: name.to_string(),
+                metric: gate.metric.to_string(),
+                old: old_v,
+                new: new_v,
+                rel,
+                verdict,
+            });
+        }
+    }
+    Comparison {
+        baseline_version: baseline.version,
+        rows,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn synthetic(name: &str, ips: f64, secs: f64) -> ScenarioResult {
+        let mut metrics = BTreeMap::new();
+        metrics.insert("ips_per_node".into(), ips);
+        metrics.insert("secs_per_iteration".into(), secs);
+        metrics.insert("makespan_secs".into(), secs * 2.0);
+        metrics.insert("cache_hit_ratio".into(), 0.0);
+        metrics.insert("sm_util_pct".into(), 40.0);
+        ScenarioResult {
+            name: name.into(),
+            metrics,
+            report: Json::Null,
+            pass_wall_ns: BTreeMap::new(),
+        }
+    }
+
+    fn synthetic_snapshot(version: u64, ips: f64) -> BenchSnapshot {
+        BenchSnapshot {
+            version,
+            generated_unix_ms: 123,
+            scenarios: vec![synthetic("wdl_cache", ips, 0.5)],
+        }
+    }
+
+    #[test]
+    fn identical_snapshots_pass_the_gate() {
+        let a = synthetic_snapshot(0, 1000.0);
+        let b = synthetic_snapshot(1, 1000.0);
+        let cmp = compare(&a, &b);
+        assert!(cmp.passed());
+        assert!(cmp.rows.iter().all(|r| r.verdict == Verdict::Ok));
+    }
+
+    #[test]
+    fn synthetic_regression_fails_the_gate() {
+        // Baseline claims 1.5x the throughput the current run achieves:
+        // a -33% move on a HigherIsBetter gate with a 5% threshold.
+        let baseline = synthetic_snapshot(0, 1500.0);
+        let current = synthetic_snapshot(1, 1000.0);
+        let cmp = compare(&baseline, &current);
+        assert!(!cmp.passed());
+        let regressed: Vec<_> = cmp.regressions();
+        assert_eq!(regressed.len(), 1);
+        assert_eq!(regressed[0].metric, "ips_per_node");
+        assert!((regressed[0].rel.unwrap() + 1.0 / 3.0).abs() < 1e-9);
+        // The improvement direction does not fail.
+        let cmp_up = compare(&current, &baseline);
+        assert!(cmp_up.passed());
+        assert!(cmp_up
+            .rows
+            .iter()
+            .any(|r| r.verdict == Verdict::Improved && r.metric == "ips_per_node"));
+    }
+
+    #[test]
+    fn missing_scenarios_fail_and_added_ones_inform() {
+        let mut baseline = synthetic_snapshot(0, 1000.0);
+        baseline.scenarios.push(synthetic("can_cache", 500.0, 1.0));
+        let mut current = synthetic_snapshot(1, 1000.0);
+        current.scenarios.push(synthetic("dlrm_new", 700.0, 1.0));
+        let cmp = compare(&baseline, &current);
+        assert!(!cmp.passed(), "a vanished scenario must fail the gate");
+        assert!(cmp
+            .rows
+            .iter()
+            .any(|r| r.scenario == "can_cache" && r.verdict == Verdict::Missing));
+        assert!(cmp
+            .rows
+            .iter()
+            .any(|r| r.scenario == "dlrm_new" && r.verdict == Verdict::Added));
+    }
+
+    #[test]
+    fn zero_baseline_metrics_only_flag_real_moves() {
+        // cache_hit_ratio is 0 in non-caching scenarios; 0 -> 0 must be Ok,
+        // 0 -> positive on a HigherIsBetter gate is an improvement.
+        let baseline = synthetic_snapshot(0, 1000.0);
+        let mut current = synthetic_snapshot(1, 1000.0);
+        current.scenarios[0]
+            .metrics
+            .insert("cache_hit_ratio".into(), 0.4);
+        let cmp = compare(&baseline, &current);
+        assert!(cmp.passed());
+        assert!(cmp
+            .rows
+            .iter()
+            .any(|r| r.metric == "cache_hit_ratio" && r.verdict == Verdict::Improved));
+    }
+
+    #[test]
+    fn snapshot_json_round_trips() {
+        let snap = synthetic_snapshot(3, 42.0);
+        let doc = snap.to_json();
+        let back = BenchSnapshot::from_json(&doc).unwrap();
+        assert_eq!(back.version, 3);
+        assert_eq!(back.generated_unix_ms, 123);
+        assert_eq!(back.scenarios.len(), 1);
+        assert_eq!(back.scenarios[0].metrics, snap.scenarios[0].metrics);
+        // Canonical documents (no volatile section) parse too.
+        let canon = BenchSnapshot::from_json(&snap.canonical_json()).unwrap();
+        assert_eq!(canon.generated_unix_ms, 0);
+        assert_eq!(canon.scenarios[0].metrics, snap.scenarios[0].metrics);
+        // Wrong kind is rejected.
+        assert!(BenchSnapshot::from_json(&Json::obj([("kind", Json::str("nope"))])).is_err());
+    }
+
+    #[test]
+    fn snapshot_files_sort_and_version() {
+        let dir = std::env::temp_dir().join(format!("perfgate-test-{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        assert_eq!(next_version(&dir), 0);
+        for v in [2u64, 0, 1] {
+            synthetic_snapshot(v, 100.0).save(&dir).unwrap();
+        }
+        fs::write(dir.join("BENCH_x.json"), "junk").unwrap();
+        fs::write(dir.join("notes.txt"), "junk").unwrap();
+        let files = snapshot_files(&dir);
+        assert_eq!(files.iter().map(|(v, _)| *v).collect::<Vec<_>>(), [0, 1, 2]);
+        let (latest, path) = latest_snapshot(&dir).unwrap();
+        assert_eq!(latest, 2);
+        assert_eq!(next_version(&dir), 3);
+        let loaded = BenchSnapshot::load(&path).unwrap();
+        assert_eq!(loaded.version, 2);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn delta_table_renders_every_row() {
+        let cmp = compare(
+            &synthetic_snapshot(0, 1500.0),
+            &synthetic_snapshot(1, 1000.0),
+        );
+        let table = cmp.delta_table();
+        assert_eq!(table.rows.len(), cmp.rows.len());
+        let text = table.to_string();
+        assert!(text.contains("BENCH_0"));
+        assert!(text.contains("Regressed"));
+        assert!(text.contains("ips_per_node"));
+    }
+}

@@ -121,6 +121,27 @@ mod tests {
     }
 
     #[test]
+    fn to_json_escapes_quotes_and_non_ascii() {
+        let mut t = TextTable::new("W&D \"quick\"\ttable", &["モデル", "ips\n(K)"]);
+        t.row(vec!["犬\\猫".into(), "12.2K".into()]);
+        let text = t.to_json().to_json();
+        // Raw quotes/controls must not leak into the document.
+        assert!(text.contains(r#"W&D \"quick\"\ttable"#));
+        assert!(text.contains(r#"ips\n(K)"#));
+        // The document parses back with content intact.
+        let doc = picasso_obs::json::parse(&text).expect("valid JSON");
+        assert_eq!(
+            doc.get("title").and_then(Json::as_str),
+            Some("W&D \"quick\"\ttable")
+        );
+        let headers = doc.get("headers").and_then(Json::items).unwrap();
+        assert_eq!(headers[0].as_str(), Some("モデル"));
+        assert_eq!(headers[1].as_str(), Some("ips\n(K)"));
+        let rows = doc.get("rows").and_then(Json::items).unwrap();
+        assert_eq!(rows[0].items().unwrap()[0].as_str(), Some("犬\\猫"));
+    }
+
+    #[test]
     fn pct_delta_formats() {
         assert_eq!(pct_delta(130.0, 100.0), "+30%");
         assert_eq!(pct_delta(50.0, 100.0), "-50%");

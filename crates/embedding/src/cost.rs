@@ -31,16 +31,20 @@ impl TableLoad {
         };
         TableLoad { dim, freq_mass }
     }
+
+    /// This table's contribution to Eq. 1: `N * t_dim * sum_{ID in t}
+    /// ID_freq` floats, given `total_ids = N` observed IDs. Calibration
+    /// tooling uses the per-table term directly; [`calc_vparam`] sums it
+    /// over a pack.
+    pub fn volume(&self, total_ids: u64) -> f64 {
+        total_ids as f64 * self.dim as f64 * self.freq_mass
+    }
 }
 
 /// Eq. 1: estimated parameter volume (floats) processed by a packed
 /// operation covering `tables`, given `total_ids = N` observed IDs.
 pub fn calc_vparam(tables: &[TableLoad], total_ids: u64) -> f64 {
-    let n = total_ids as f64;
-    n * tables
-        .iter()
-        .map(|t| t.dim as f64 * t.freq_mass)
-        .sum::<f64>()
+    tables.iter().map(|t| t.volume(total_ids)).sum()
 }
 
 /// Number of shards a packed operation should be split into so that no shard
@@ -96,6 +100,21 @@ mod tests {
         assert!((load.freq_mass - 0.25).abs() < 1e-12);
         let empty = TableLoad::from_stats(16, &FrequencyStats::new(), 0);
         assert_eq!(empty.freq_mass, 0.0);
+    }
+
+    #[test]
+    fn per_table_volume_sums_to_vparam() {
+        let a = TableLoad {
+            dim: 8,
+            freq_mass: 0.5,
+        };
+        let b = TableLoad {
+            dim: 32,
+            freq_mass: 0.25,
+        };
+        assert_eq!(a.volume(1000), 1000.0 * 8.0 * 0.5);
+        assert!((calc_vparam(&[a, b], 1000) - (a.volume(1000) + b.volume(1000))).abs() < 1e-9);
+        assert_eq!(a.volume(0), 0.0);
     }
 
     #[test]

@@ -18,6 +18,7 @@
 
 #![warn(missing_docs)]
 
+pub mod calibration;
 pub mod collectives;
 pub mod costs;
 pub mod framework;
@@ -28,6 +29,7 @@ pub mod telemetry;
 pub mod trainer;
 pub mod warmup;
 
+pub use calibration::{CalibrationReport, CalibrationStats, CostRecord};
 pub use framework::{Framework, Optimizations};
 pub use observe::{chrome_trace, span_tracer, ScheduleScopes, TaskRange};
 pub use picasso_models::ModelKind;

@@ -208,6 +208,7 @@ pub fn telemetry_bucket(result: &RunResult) -> SimDuration {
 /// gauges and a per-iteration duration histogram.
 pub fn export_metrics(out: &SimulationOutput, registry: &MetricsRegistry) {
     picasso_sim::export_metrics(&out.result, registry, telemetry_bucket(&out.result));
+    crate::calibration::export_metrics(out, registry);
     registry.describe(
         "exec_ips_per_node",
         MetricKind::Gauge,

@@ -13,11 +13,13 @@
 //!   async PS lets every worker run free;
 //! - data loading for iteration `i+1` prefetches during iteration `i`.
 
+use crate::calibration::CostRecord;
 use crate::costs::{self, PlanContext, ResTarget, StageTask};
 use crate::observe::{ExecutorScope, IterationScope, MicroBatchScope, ScheduleScopes, TaskRange};
 use crate::strategy::Strategy;
 use picasso_graph::{OpKind, WdlSpec};
 use picasso_sim::{Cluster, Engine, EngineError, MachineSpec, RunResult, Task, TaskId};
+use std::cell::RefCell;
 
 /// Simulation shape.
 #[derive(Debug, Clone)]
@@ -74,6 +76,10 @@ pub struct SimulationOutput {
     /// Task-id ranges of every iteration / executor / micro-batch / K-group,
     /// recorded while the graph was built (see [`crate::observe`]).
     pub scopes: ScheduleScopes,
+    /// Model-predicted cost of every hardware stage, for calibration against
+    /// the engine's observed durations (see [`crate::calibration`]). Launcher
+    /// dispatch tasks are not predicted and not recorded.
+    pub costs: Vec<CostRecord>,
 }
 
 impl SimulationOutput {
@@ -178,6 +184,10 @@ pub fn simulate(
     };
 
     let dispatch_secs = cfg.machine.overheads.op_dispatch.as_secs_f64();
+    // Predicted stage costs, appended as tasks are created. A RefCell because
+    // `add` is shared by every call site below; recording is append-only
+    // bookkeeping the schedule never reads back.
+    let cost_log: RefCell<Vec<CostRecord>> = RefCell::new(Vec::new());
     let add = |engine: &mut Engine,
                exec: usize,
                st: &StageTask,
@@ -226,7 +236,18 @@ pub fn simulate(
             task.work += (st.launches - 1) as f64 * overhead * rate;
         }
         task.deps = stage_deps;
-        engine.add_task(task)
+        // Predict with the same closed-form the cost model uses — overhead
+        // plus rate-scaled work, after any server-side inflation — so the
+        // calibration gap isolates queueing and congestion.
+        let spec = engine.resource_spec(resource);
+        let predicted_secs = spec.launch_overhead.as_secs_f64() + task.work / spec.rate;
+        let id = engine.add_task(task)?;
+        cost_log.borrow_mut().push(CostRecord {
+            task: id,
+            kind: st.kind,
+            predicted_secs,
+        });
+        Ok(id)
     };
 
     // Per executor: prefetch chain + iteration dependency.
@@ -468,6 +489,7 @@ pub fn simulate(
         executors: n_exec,
         machines: cfg.machines,
         scopes,
+        costs: cost_log.into_inner(),
     })
 }
 

@@ -1,9 +1,10 @@
 //! Training-run telemetry: the DCGM-style measurements the paper reports.
 
+use crate::calibration::CalibrationReport;
 use crate::scheduler::SimulationOutput;
 use picasso_graph::GraphStats;
 use picasso_obs::Json;
-use picasso_sim::{ResourceKind, RunAnalysis, SimDuration, TaskCategory};
+use picasso_sim::{ResourceKind, ResourceTimeline, RunAnalysis, SimDuration, TaskCategory};
 use std::collections::BTreeMap;
 
 /// All metrics of one training run (one framework x model x cluster).
@@ -44,6 +45,12 @@ pub struct TrainingReport {
     /// Makespan attribution along the engine's critical path, per resource
     /// kind in seconds — names the bottleneck.
     pub critical_path_secs: Vec<(ResourceKind, f64)>,
+    /// Cost-model calibration: predicted vs. observed stage durations per
+    /// resource class and operator kind.
+    pub calibration: CalibrationReport,
+    /// Per-resource busy/idle profile over the run (Fig. 5-style breakdown
+    /// for every concrete device, link, and thread pool).
+    pub utilization: Vec<ResourceTimeline>,
     /// Executors in the run.
     pub executors: usize,
     /// Worker machines in the run.
@@ -116,6 +123,8 @@ impl TrainingReport {
             op_stats,
             cache_hit_ratio,
             critical_path_secs,
+            calibration: CalibrationReport::from_simulation(out),
+            utilization: analysis.resource_timelines(bucket),
             executors: out.executors,
             machines: out.machines,
         }
@@ -195,6 +204,24 @@ impl TrainingReport {
                     self.critical_path_secs
                         .iter()
                         .map(|&(kind, secs)| (kind.to_string(), Json::from(secs)))
+                        .collect(),
+                ),
+            ),
+            ("calibration", self.calibration.to_json()),
+            (
+                "utilization",
+                Json::Arr(
+                    self.utilization
+                        .iter()
+                        .map(|lane| {
+                            Json::obj([
+                                ("resource", Json::str(&lane.resource)),
+                                ("kind", Json::str(lane.kind.to_string())),
+                                ("node", lane.node.into()),
+                                ("busy_fraction", lane.busy_fraction.into()),
+                                ("idle_fraction", lane.idle_fraction().into()),
+                            ])
+                        })
                         .collect(),
                 ),
             ),
@@ -292,6 +319,8 @@ mod tests {
                 "op_stats",
                 "cache_hit_ratio",
                 "critical_path_secs",
+                "calibration",
+                "utilization",
                 "executors",
                 "machines",
             ]
@@ -317,6 +346,25 @@ mod tests {
                 .and_then(Json::as_f64),
             r.exposed.get(&TaskCategory::Communication).copied()
         );
+    }
+
+    #[test]
+    fn report_carries_calibration_and_utilization() {
+        let r = report();
+        assert!(!r.calibration.is_empty());
+        assert!(!r.utilization.is_empty());
+        // Every executor's SM shows up as a profiled resource, and at least
+        // one resource did real work.
+        assert!(r.utilization.iter().any(|l| l.kind == ResourceKind::GpuSm));
+        assert!(r.utilization.iter().any(|l| l.busy_fraction > 0.0));
+        let json = r.to_json();
+        let lanes = json.get("utilization").and_then(Json::items).unwrap();
+        assert_eq!(lanes.len(), r.utilization.len());
+        let first = &lanes[0];
+        let busy = first.get("busy_fraction").and_then(Json::as_f64).unwrap();
+        let idle = first.get("idle_fraction").and_then(Json::as_f64).unwrap();
+        assert!((busy + idle - 1.0).abs() < 1e-9);
+        assert!(first.get("node").and_then(Json::as_u64).is_some());
     }
 
     #[test]

@@ -1,0 +1,142 @@
+//! Snapshot diffing: relative deltas between two metric snapshots.
+//!
+//! The perf-gate compares a fresh run against a committed baseline; this
+//! module provides the value-level comparison primitives it (and any other
+//! regression tooling) builds on. A diff is computed over the *union* of the
+//! two snapshots' counter and gauge series, so metrics that appear or
+//! disappear between runs are surfaced rather than silently dropped.
+
+use crate::metrics::{Labels, MetricsSnapshot};
+use std::collections::BTreeMap;
+
+/// Relative change `new / old - 1`, or `None` when the baseline is zero or
+/// either side is non-finite (a ratio against zero is meaningless, not
+/// infinite regression).
+pub fn rel_change(old: f64, new: f64) -> Option<f64> {
+    if old == 0.0 || !old.is_finite() || !new.is_finite() {
+        return None;
+    }
+    Some(new / old - 1.0)
+}
+
+/// One metric series' before/after values.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricDelta {
+    /// Metric name.
+    pub name: String,
+    /// Label set of the series.
+    pub labels: Labels,
+    /// Baseline value (`None` when the series is new).
+    pub old: Option<f64>,
+    /// Current value (`None` when the series disappeared).
+    pub new: Option<f64>,
+}
+
+impl MetricDelta {
+    /// Relative change of the series, when both sides exist and the
+    /// baseline is nonzero.
+    pub fn rel_change(&self) -> Option<f64> {
+        match (self.old, self.new) {
+            (Some(o), Some(n)) => rel_change(o, n),
+            _ => None,
+        }
+    }
+}
+
+fn scalar_series(snapshot: &MetricsSnapshot) -> BTreeMap<(String, Labels), f64> {
+    let mut out: BTreeMap<(String, Labels), f64> = BTreeMap::new();
+    for ((name, labels), value) in &snapshot.counters {
+        out.insert((name.clone(), labels.clone()), *value as f64);
+    }
+    for ((name, labels), value) in &snapshot.gauges {
+        out.insert((name.clone(), labels.clone()), *value);
+    }
+    out
+}
+
+/// Diffs the counter and gauge series of two snapshots over their union,
+/// sorted by `(name, labels)`. Histograms and time series are distributions,
+/// not scalars, and are out of scope here — summarize them first (e.g. via
+/// [`crate::metrics::Histogram::mean`]) and record the summary as a gauge.
+pub fn snapshot_diff(old: &MetricsSnapshot, new: &MetricsSnapshot) -> Vec<MetricDelta> {
+    let old_vals = scalar_series(old);
+    let new_vals = scalar_series(new);
+    let mut keys: Vec<&(String, Labels)> = old_vals.keys().chain(new_vals.keys()).collect();
+    keys.sort();
+    keys.dedup();
+    keys.into_iter()
+        .map(|key| MetricDelta {
+            name: key.0.clone(),
+            labels: key.1.clone(),
+            old: old_vals.get(key).copied(),
+            new: new_vals.get(key).copied(),
+        })
+        .collect()
+}
+
+/// The deltas whose absolute relative change exceeds `threshold`, plus every
+/// series that appeared or disappeared (those have no ratio but always
+/// deserve attention).
+pub fn changed(deltas: &[MetricDelta], threshold: f64) -> Vec<MetricDelta> {
+    deltas
+        .iter()
+        .filter(|d| match (d.old, d.new) {
+            (Some(_), Some(_)) => d.rel_change().is_none_or(|r| r.abs() > threshold),
+            _ => true,
+        })
+        .cloned()
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::MetricsRegistry;
+
+    #[test]
+    fn rel_change_guards_zero_and_non_finite() {
+        assert_eq!(rel_change(100.0, 110.0), Some(0.10000000000000009));
+        assert_eq!(rel_change(0.0, 5.0), None);
+        assert_eq!(rel_change(f64::NAN, 5.0), None);
+        assert_eq!(rel_change(5.0, f64::INFINITY), None);
+        assert!((rel_change(200.0, 100.0).unwrap() + 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn diff_covers_union_of_series() {
+        let a = MetricsRegistry::new();
+        a.gauge_set("ips", &[], 100.0);
+        a.counter_add("tasks", &[("kind", "gpu-sm")], 10);
+        a.gauge_set("gone", &[], 1.0);
+        let b = MetricsRegistry::new();
+        b.gauge_set("ips", &[], 90.0);
+        b.counter_add("tasks", &[("kind", "gpu-sm")], 12);
+        b.gauge_set("fresh", &[], 2.0);
+
+        let deltas = snapshot_diff(&a.snapshot(), &b.snapshot());
+        assert_eq!(deltas.len(), 4);
+        let by_name = |n: &str| deltas.iter().find(|d| d.name == n).unwrap();
+        assert_eq!(by_name("fresh").old, None);
+        assert_eq!(by_name("gone").new, None);
+        assert!((by_name("ips").rel_change().unwrap() + 0.1).abs() < 1e-12);
+        assert!((by_name("tasks").rel_change().unwrap() - 0.2).abs() < 1e-12);
+        // Deterministically sorted by (name, labels).
+        let names: Vec<_> = deltas.iter().map(|d| d.name.as_str()).collect();
+        assert_eq!(names, ["fresh", "gone", "ips", "tasks"]);
+    }
+
+    #[test]
+    fn changed_filters_by_threshold_and_keeps_births_and_deaths() {
+        let a = MetricsRegistry::new();
+        a.gauge_set("stable", &[], 100.0);
+        a.gauge_set("moved", &[], 100.0);
+        a.gauge_set("gone", &[], 1.0);
+        let b = MetricsRegistry::new();
+        b.gauge_set("stable", &[], 100.5);
+        b.gauge_set("moved", &[], 120.0);
+        let deltas = snapshot_diff(&a.snapshot(), &b.snapshot());
+        let hot = changed(&deltas, 0.05);
+        let names: Vec<_> = hot.iter().map(|d| d.name.as_str()).collect();
+        assert_eq!(names, ["gone", "moved"]);
+    }
+}

@@ -22,6 +22,7 @@
 
 pub mod chrome;
 pub mod clock;
+pub mod diff;
 pub mod json;
 pub mod metrics;
 pub mod prometheus;
@@ -30,6 +31,7 @@ pub mod span;
 
 pub use chrome::ChromeTrace;
 pub use clock::{Clock, ManualClock, WallClock};
+pub use diff::{snapshot_diff, MetricDelta};
 pub use json::Json;
 pub use metrics::{MetricKind, MetricsRegistry, MetricsSnapshot};
 pub use report::{RunReport, RUN_REPORT_SCHEMA_VERSION};

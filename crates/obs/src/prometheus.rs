@@ -327,6 +327,70 @@ mod tests {
     }
 
     #[test]
+    fn labeled_histogram_series_round_trip_independently() {
+        // One histogram name, three label sets (two labels each): every
+        // series keeps its own buckets/sum/count through render + parse, and
+        // the TYPE header is emitted exactly once.
+        let reg = MetricsRegistry::new();
+        reg.describe("stage_secs", MetricKind::Histogram, "Stage durations");
+        reg.histogram_buckets("stage_secs", &[0.1, 1.0]);
+        reg.histogram_observe("stage_secs", &[("class", "compute"), ("node", "0")], 0.05);
+        reg.histogram_observe("stage_secs", &[("class", "compute"), ("node", "0")], 0.5);
+        reg.histogram_observe("stage_secs", &[("class", "comm"), ("node", "0")], 2.0);
+        reg.histogram_observe("stage_secs", &[("class", "comm"), ("node", "1")], 0.5);
+
+        let text = render(&reg.snapshot());
+        let doc = parse(&text).expect("round trip");
+
+        assert_eq!(
+            text.matches("# TYPE stage_secs histogram").count(),
+            1,
+            "one TYPE header for all series of a name"
+        );
+        let compute_count = doc
+            .find("stage_secs_count", &[("class", "compute"), ("node", "0")])
+            .unwrap();
+        assert_eq!(compute_count.value, 2.0);
+        let comm0_inf = doc
+            .find(
+                "stage_secs_bucket",
+                &[("class", "comm"), ("node", "0"), ("le", "+Inf")],
+            )
+            .unwrap();
+        assert_eq!(comm0_inf.value, 1.0);
+        // The 2.0 observation overflows every finite bucket of comm/node=0.
+        assert_eq!(
+            doc.find(
+                "stage_secs_bucket",
+                &[("class", "comm"), ("node", "0"), ("le", "1")],
+            )
+            .unwrap()
+            .value,
+            0.0
+        );
+        assert_eq!(
+            doc.find(
+                "stage_secs_bucket",
+                &[("class", "comm"), ("node", "1"), ("le", "1")],
+            )
+            .unwrap()
+            .value,
+            1.0
+        );
+        let comm1_sum = doc
+            .find("stage_secs_sum", &[("class", "comm"), ("node", "1")])
+            .unwrap();
+        assert!((comm1_sum.value - 0.5).abs() < 1e-12);
+        // Exactly 3 series x (2 finite + 1 inf bucket + sum + count) lines.
+        let lines = doc
+            .samples
+            .iter()
+            .filter(|s| s.name.starts_with("stage_secs"))
+            .count();
+        assert_eq!(lines, 15);
+    }
+
+    #[test]
     fn label_escaping_round_trips() {
         let reg = MetricsRegistry::new();
         reg.counter_add("c", &[("model", "w\"d\\l\nx")], 1);

@@ -46,7 +46,9 @@ pub mod trace;
 
 pub use engine::{Binding, Engine, EngineError, RunResult, Task, TaskCategory, TaskId, TaskRecord};
 pub use intervals::IntervalSet;
-pub use metrics::{BandwidthTimeline, Breakdown, RunAnalysis, UtilizationTimeline};
+pub use metrics::{
+    BandwidthTimeline, Breakdown, ResourceTimeline, RunAnalysis, UtilizationTimeline,
+};
 pub use observe::export_metrics;
 pub use resource::{CongestionSpec, ResourceId, ResourceKind, ResourceSpec};
 pub use time::{SimDuration, SimTime};

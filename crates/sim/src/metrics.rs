@@ -49,6 +49,31 @@ impl UtilizationTimeline {
     }
 }
 
+/// Busy/idle profile of one concrete resource (one device, link, or thread
+/// pool) over schedule time: the Fig. 5-style per-resource breakdown for any
+/// run. Multi-channel resources report the union over channels, so
+/// `busy_fraction` is "was anything in flight", not channel-weighted load.
+#[derive(Debug, Clone)]
+pub struct ResourceTimeline {
+    /// Resource name, e.g. `node0/gpu0/sm`.
+    pub resource: String,
+    /// Resource kind.
+    pub kind: ResourceKind,
+    /// Machine the resource belongs to.
+    pub node: usize,
+    /// Fraction of the makespan the resource was busy, in `[0, 1]`.
+    pub busy_fraction: f64,
+    /// Bucketed busy-fraction samples over schedule time.
+    pub timeline: UtilizationTimeline,
+}
+
+impl ResourceTimeline {
+    /// Fraction of the makespan the resource sat idle.
+    pub fn idle_fraction(&self) -> f64 {
+        (1.0 - self.busy_fraction).max(0.0)
+    }
+}
+
 /// Bucketed throughput samples (bytes/s) for one resource kind.
 #[derive(Debug, Clone)]
 pub struct BandwidthTimeline {
@@ -199,6 +224,54 @@ impl<'a> RunAnalysis<'a> {
             samples.push(overlap.as_secs_f64() / width.as_secs_f64());
         }
         UtilizationTimeline { bucket, samples }
+    }
+
+    /// Per-resource busy/idle profile over the whole run, one entry per
+    /// concrete resource in declaration order (idle resources included, with
+    /// an all-zero timeline). This is the data behind the `utilization`
+    /// section of the run report and the Chrome-trace counter lanes.
+    pub fn resource_timelines(&self, bucket: SimDuration) -> Vec<ResourceTimeline> {
+        assert!(bucket.as_nanos() > 0, "bucket must be nonzero");
+        let makespan = self.result.makespan;
+        let makespan_secs = makespan.as_secs_f64();
+        let n_buckets = makespan.as_nanos().div_ceil(bucket.as_nanos());
+        self.result
+            .resources
+            .iter()
+            .enumerate()
+            .map(|(i, res)| {
+                let busy = IntervalSet::from_spans(
+                    self.result
+                        .records
+                        .iter()
+                        .filter(|rec| rec.resource.0 == i)
+                        .map(|rec| (rec.start, rec.end))
+                        .collect(),
+                );
+                let mut samples = Vec::with_capacity(n_buckets as usize);
+                for b in 0..n_buckets {
+                    let s = SimTime(b * bucket.as_nanos());
+                    let e = SimTime(((b + 1) * bucket.as_nanos()).min(makespan.as_nanos()));
+                    let width = e - s;
+                    if width == SimDuration::ZERO {
+                        break;
+                    }
+                    samples.push(busy.overlap_with(s, e).as_secs_f64() / width.as_secs_f64());
+                }
+                let busy_fraction = if makespan_secs > 0.0 {
+                    busy.measure().as_secs_f64() / makespan_secs
+                } else {
+                    0.0
+                };
+                ResourceTimeline {
+                    resource: res.spec.name.clone(),
+                    kind: res.spec.kind,
+                    node: res.spec.node,
+                    busy_fraction,
+                    timeline: UtilizationTimeline { bucket, samples },
+                }
+            })
+            .collect()
     }
 
     /// Bandwidth timeline of a resource kind: bytes served per bucket,
@@ -352,6 +425,45 @@ mod tests {
         let union = a.utilization(ResourceKind::GpuSm, SimDuration::from_micros(100));
         assert!((avg.mean() - 0.5).abs() < 1e-9, "avg {}", avg.mean());
         assert!((union.mean() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn resource_timelines_profile_every_resource() {
+        let r = two_phase_run();
+        let a = RunAnalysis::new(&r);
+        let lanes = a.resource_timelines(SimDuration::from_micros(100));
+        assert_eq!(lanes.len(), 2);
+        let gpu = lanes.iter().find(|l| l.resource == "gpu").unwrap();
+        let net = lanes.iter().find(|l| l.resource == "net").unwrap();
+        assert_eq!(gpu.kind, ResourceKind::GpuSm);
+        // Each resource busy for exactly half the 2 ms makespan.
+        assert!((gpu.busy_fraction - 0.5).abs() < 1e-9);
+        assert!((net.busy_fraction - 0.5).abs() < 1e-9);
+        assert!((gpu.idle_fraction() - 0.5).abs() < 1e-9);
+        // The net lane pulses first, the gpu lane second.
+        assert!(net.timeline.samples[..10]
+            .iter()
+            .all(|&s| (s - 1.0).abs() < 1e-9));
+        assert!(net.timeline.samples[10..].iter().all(|&s| s == 0.0));
+        assert!(gpu.timeline.samples[..10].iter().all(|&s| s == 0.0));
+        assert!(gpu.timeline.samples[10..]
+            .iter()
+            .all(|&s| (s - 1.0).abs() < 1e-9));
+    }
+
+    #[test]
+    fn resource_timelines_include_idle_resources() {
+        let mut e = Engine::new();
+        let g0 = e.add_resource(ResourceSpec::new("gpu0", ResourceKind::GpuSm, 1e9, 0));
+        let _g1 = e.add_resource(ResourceSpec::new("gpu1", ResourceKind::GpuSm, 1e9, 0));
+        e.add_task(Task::new(g0, 1e6, TaskCategory::Computation))
+            .unwrap();
+        let r = e.run().unwrap();
+        let lanes = RunAnalysis::new(&r).resource_timelines(SimDuration::from_micros(100));
+        assert_eq!(lanes.len(), 2);
+        assert!((lanes[0].busy_fraction - 1.0).abs() < 1e-9);
+        assert_eq!(lanes[1].busy_fraction, 0.0);
+        assert!(lanes[1].timeline.samples.iter().all(|&s| s == 0.0));
     }
 
     #[test]

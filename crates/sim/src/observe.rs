@@ -60,6 +60,11 @@ pub fn export_metrics(result: &RunResult, registry: &MetricsRegistry, bucket: Si
         "Interconnect throughput per bucket, by link",
     );
     registry.describe(
+        "sim_resource_busy",
+        MetricKind::TimeSeries,
+        "Busy fraction per bucket, by concrete resource",
+    );
+    registry.describe(
         "sim_queue_depth",
         MetricKind::TimeSeries,
         "Tasks ready but not yet served, all resources",
@@ -125,6 +130,28 @@ pub fn export_metrics(result: &RunResult, registry: &MetricsRegistry, bucket: Si
             registry.record_sample(
                 "sim_link_bytes_per_sec",
                 &[("link", &link)],
+                i as u64 * bucket.as_nanos(),
+                value,
+            );
+        }
+    }
+
+    // One counter lane per resource that ever served work; all-idle resources
+    // still show up in the report's utilization block but would only clutter
+    // the trace here.
+    for lane in analysis.resource_timelines(bucket) {
+        if lane.busy_fraction == 0.0 {
+            continue;
+        }
+        let kind = lane.kind.to_string();
+        let labels = [
+            ("resource", lane.resource.as_str()),
+            ("kind", kind.as_str()),
+        ];
+        for (i, &value) in lane.timeline.samples.iter().enumerate() {
+            registry.record_sample(
+                "sim_resource_busy",
+                &labels,
                 i as u64 * bucket.as_nanos(),
                 value,
             );
@@ -241,6 +268,31 @@ mod tests {
             .expect("backlog series");
         assert_eq!(backlog.1.samples.len(), 2);
         assert!(backlog.1.samples.iter().any(|&(_, v)| v > 0.0));
+    }
+
+    #[test]
+    fn per_resource_busy_lanes_skip_idle_resources() {
+        let mut e = Engine::new();
+        let g0 = e.add_resource(ResourceSpec::new("gpu0", ResourceKind::GpuSm, 1e9, 0));
+        let _g1 = e.add_resource(ResourceSpec::new("gpu1", ResourceKind::GpuSm, 1e9, 0));
+        e.add_task(Task::new(g0, 1e6, TaskCategory::Computation))
+            .unwrap();
+        let result = e.run().unwrap();
+        let registry = MetricsRegistry::new();
+        export_metrics(&result, &registry, SimDuration::from_micros(100));
+
+        let snap = registry.snapshot();
+        let lanes: Vec<_> = snap
+            .series
+            .iter()
+            .filter(|((name, _), _)| name == "sim_resource_busy")
+            .collect();
+        // Only the busy gpu0 gets a lane; idle gpu1 is suppressed.
+        assert_eq!(lanes.len(), 1);
+        let (key, series) = lanes[0];
+        assert!(key.1.iter().any(|(k, v)| k == "resource" && v == "gpu0"));
+        assert!(key.1.iter().any(|(k, v)| k == "kind" && v == "gpu-sm"));
+        assert!(series.samples.iter().all(|&(_, v)| (v - 1.0).abs() < 1e-9));
     }
 
     #[test]
