@@ -11,7 +11,7 @@ fn main() {
             ("PS", Strategy::PsSync { servers: 1 }),
             ("MP", Strategy::ModelParallel),
         ] {
-            let r = s.run_custom(strat, Optimizations::NONE, label).report;
+            let r = s.run_custom(strat, Optimizations::none(), label).report;
             println!(
                 "{} {}: iter={:.3}s ips={:.0}",
                 kind.name(),

@@ -17,8 +17,10 @@
 //!
 //! Exit codes: 0 on success, 1 when an export fails to write, 2 on bad
 //! arguments or an unknown experiment (so scripts can tell usage errors
-//! from runtime failures). `--quiet` suppresses the tables and progress
-//! lines, leaving only errors and the export confirmations.
+//! from runtime failures), 3 when the instrumented training run itself
+//! fails (an invalid optimization pipeline or a task graph the engine
+//! rejects). `--quiet` suppresses the tables and progress lines, leaving
+//! only errors and the export confirmations.
 
 use picasso_core::exec::{ModelKind, RunArtifacts, WarmupConfig};
 use picasso_core::experiments::{
@@ -54,6 +56,7 @@ EXIT CODES:
     0  success
     1  an export failed to write
     2  bad arguments or unknown experiment
+    3  the instrumented training run failed (invalid pipeline or task graph)
 ";
 
 struct Cli {
@@ -114,6 +117,7 @@ fn parse_args() -> Cli {
 }
 
 /// One representative instrumented run feeding the exported artifacts.
+/// A failed run (invalid pipeline or task graph) exits with code 3.
 fn observed_run(scale: Scale) -> RunArtifacts {
     let config = match scale {
         Scale::Quick => PicassoConfig {
@@ -132,7 +136,12 @@ fn observed_run(scale: Scale) -> RunArtifacts {
             .machines(scale.eflops_nodes())
             .iterations(scale.iterations()),
     };
-    Session::new(ModelKind::Dlrm, config).run_picasso()
+    Session::new(ModelKind::Dlrm, config)
+        .try_run_picasso()
+        .unwrap_or_else(|err| {
+            eprintln!("instrumented training run failed: {err}");
+            std::process::exit(3);
+        })
 }
 
 fn write(path: &str, what: &str, contents: &str) {

@@ -13,7 +13,9 @@
 use picasso_core::exec::WarmupConfig;
 use picasso_core::obs::diff::rel_change;
 use picasso_core::obs::json::{self, Json};
-use picasso_core::{si, ModelKind, Optimizations, PicassoConfig, Session, Strategy, TextTable};
+use picasso_core::{
+    si, ModelKind, Optimizations, PassId, PicassoConfig, Session, Strategy, TextTable,
+};
 use std::collections::BTreeMap;
 use std::fs;
 use std::path::{Path, PathBuf};
@@ -21,47 +23,43 @@ use std::path::{Path, PathBuf};
 /// Schema version of the `BENCH_<n>.json` document.
 pub const BENCH_SCHEMA_VERSION: u64 = 1;
 
-/// One scenario of the suite: a model and an optimization set.
+/// One scenario of the suite: a model and an optimization pipeline.
 #[derive(Debug, Clone)]
 pub struct Scenario {
     /// Stable scenario name (also the JSON key).
     pub name: String,
     /// Model to train.
     pub model: ModelKind,
-    /// Optimization set in effect.
-    pub optimizations: Optimizations,
+    /// Optimization pipeline in effect, as a declarative pass list.
+    pub pipeline: Optimizations,
 }
 
 /// The fixed suite: {small = W&D, large = CAN} x {baseline, +packing,
-/// +interleaving, +caching}. The ladder mirrors the paper's ablation order,
-/// so gate failures localize to the optimization that regressed.
+/// +interleaving, +caching}. Each rung of the ladder is the previous pass
+/// list plus one optimization family, mirroring the paper's ablation order,
+/// so gate failures localize to the pass that regressed.
 pub fn scenarios() -> Vec<Scenario> {
-    const PACK: Optimizations = Optimizations {
-        packing: true,
-        kernel_packing: true,
-        k_interleaving: false,
-        d_interleaving: false,
-        caching: false,
-    };
-    const INTER: Optimizations = Optimizations {
-        packing: true,
-        kernel_packing: true,
-        k_interleaving: true,
-        d_interleaving: true,
-        caching: false,
-    };
+    let rungs: [(&str, &[PassId]); 4] = [
+        ("base", &[]),
+        ("pack", &[PassId::DPacking, PassId::KPacking]),
+        (
+            "inter",
+            &[
+                PassId::DPacking,
+                PassId::KPacking,
+                PassId::KInterleaving,
+                PassId::DInterleaving,
+            ],
+        ),
+        ("cache", &PassId::ALL),
+    ];
     let mut out = Vec::new();
     for (prefix, model) in [("wdl", ModelKind::WideDeep), ("can", ModelKind::Can)] {
-        for (suffix, opts) in [
-            ("base", Optimizations::NONE),
-            ("pack", PACK),
-            ("inter", INTER),
-            ("cache", Optimizations::ALL),
-        ] {
+        for (suffix, passes) in rungs {
             out.push(Scenario {
                 name: format!("{prefix}_{suffix}"),
                 model,
-                optimizations: opts,
+                pipeline: Optimizations::new(passes.to_vec()),
             });
         }
     }
@@ -102,7 +100,7 @@ pub struct ScenarioResult {
 /// Runs one scenario and extracts its snapshot record.
 pub fn run_scenario(sc: &Scenario) -> ScenarioResult {
     let session = Session::new(sc.model, suite_config());
-    let artifacts = session.run_custom(Strategy::Hybrid, sc.optimizations, &sc.name);
+    let artifacts = session.run_custom(Strategy::Hybrid, sc.pipeline.clone(), &sc.name);
     let mut metrics = BTreeMap::new();
     metrics.insert("ips_per_node".into(), artifacts.report.ips_per_node);
     metrics.insert(
@@ -641,6 +639,50 @@ mod tests {
         assert_eq!(canon.scenarios[0].metrics, snap.scenarios[0].metrics);
         // Wrong kind is rejected.
         assert!(BenchSnapshot::from_json(&Json::obj([("kind", Json::str("nope"))])).is_err());
+    }
+
+    #[test]
+    fn suite_pipelines_validate_and_ladder_monotonically() {
+        let suite = scenarios();
+        assert_eq!(suite.len(), 8);
+        for sc in &suite {
+            sc.pipeline.validate().unwrap();
+        }
+        // Each rung adds passes on top of the previous one.
+        for pair in suite[..4].windows(2) {
+            let (prev, next) = (&pair[0].pipeline, &pair[1].pipeline);
+            assert!(prev.passes.len() < next.passes.len());
+            assert!(prev.passes.iter().all(|id| next.enables(*id)));
+        }
+        assert_eq!(suite[3].pipeline, Optimizations::all());
+    }
+
+    /// The refactored default pipeline must reproduce the committed
+    /// baseline byte-identically (outside the volatile section): the pass
+    /// pipeline is a pure restructuring of the trainer, not a behavior
+    /// change.
+    #[test]
+    fn default_suite_reproduces_committed_baseline_byte_identically() {
+        let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../benchmarks");
+        let (version, path) = latest_snapshot(&dir).expect("a committed BENCH_<n>.json");
+        let committed = BenchSnapshot::load(&path).unwrap();
+        let fresh = BenchSnapshot::capture(version, 0);
+        let want = committed.canonical_json().to_json();
+        let got = fresh.canonical_json().to_json();
+        if want != got {
+            let at = want
+                .bytes()
+                .zip(got.bytes())
+                .position(|(a, b)| a != b)
+                .unwrap_or(want.len().min(got.len()));
+            let ctx = |s: &str| s[at.saturating_sub(80)..(at + 80).min(s.len())].to_string();
+            panic!(
+                "canonical snapshot diverged from {} at byte {at}:\n  committed: …{}…\n  fresh:     …{}…",
+                path.display(),
+                ctx(&want),
+                ctx(&got),
+            );
+        }
     }
 
     #[test]

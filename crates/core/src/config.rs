@@ -6,7 +6,7 @@ use picasso_sim::MachineSpec;
 /// Builder-style configuration of a PICASSO training session.
 #[derive(Debug, Clone)]
 pub struct PicassoConfig {
-    /// Which optimizations are enabled.
+    /// The optimization pass pipeline to apply.
     pub optimizations: Optimizations,
     /// Hot-storage budget in bytes (HybridHash).
     pub hot_bytes: u64,
@@ -34,7 +34,7 @@ pub struct PicassoConfig {
 impl Default for PicassoConfig {
     fn default() -> Self {
         PicassoConfig {
-            optimizations: Optimizations::ALL,
+            optimizations: Optimizations::all(),
             hot_bytes: 1 << 30,
             groups: None,
             micro_batches: None,
@@ -92,7 +92,7 @@ impl PicassoConfig {
         self
     }
 
-    /// Replaces the optimization set (e.g. for ablations).
+    /// Replaces the optimization pipeline (e.g. for ablations).
     pub fn optimizations(mut self, o: Optimizations) -> Self {
         self.optimizations = o;
         self
@@ -169,9 +169,10 @@ mod tests {
 
     #[test]
     fn defaults_enable_everything() {
+        use picasso_exec::PassId;
         let c = PicassoConfig::default();
-        assert!(c.optimizations.packing);
-        assert!(c.optimizations.caching);
+        assert!(c.optimizations.enables(PassId::DPacking));
+        assert!(c.optimizations.enables(PassId::Caching));
         assert!(c.batch_per_executor.is_none());
     }
 }

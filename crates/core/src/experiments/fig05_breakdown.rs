@@ -44,7 +44,7 @@ pub fn run(scale: Scale) -> TextTable {
             ),
             ("MP", Strategy::ModelParallel),
         ] {
-            let run = session.run_custom(strategy, Optimizations::NONE, label);
+            let run = session.run_custom(strategy, Optimizations::none(), label);
             let b = &run.report.busy;
             let total: f64 = b.values().sum::<f64>().max(1e-12);
             let share = |cat: TaskCategory| b[&cat] / total * 100.0;

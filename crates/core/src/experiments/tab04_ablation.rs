@@ -21,7 +21,7 @@ pub fn ablate(kind: ModelKind, scale: Scale) -> Vec<AblationRow> {
     cfg.batch_per_executor = scale.quick_batch();
     let session = Session::new(kind, cfg);
     [
-        ("PICASSO", Optimizations::ALL),
+        ("PICASSO", Optimizations::all()),
         ("w/o Packing", Optimizations::without_packing()),
         ("w/o Interleaving", Optimizations::without_interleaving()),
         ("w/o Caching", Optimizations::without_caching()),

@@ -36,4 +36,7 @@ pub use picasso_obs as obs;
 pub use picasso_sim as sim;
 pub use picasso_train as train;
 
-pub use picasso_exec::{Framework, ModelKind, Optimizations, Strategy, TrainingReport};
+pub use picasso_exec::{
+    Framework, ModelKind, Optimizations, PassId, PipelineConfig, PipelineError, Strategy,
+    TrainError, TrainingReport,
+};

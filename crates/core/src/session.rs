@@ -2,7 +2,7 @@
 
 use crate::config::PicassoConfig;
 use picasso_data::DatasetSpec;
-use picasso_exec::{Framework, ModelKind, RunArtifacts, Strategy, TrainingReport};
+use picasso_exec::{Framework, ModelKind, RunArtifacts, Strategy, TrainError, TrainingReport};
 use std::sync::Arc;
 
 /// A configured model + dataset + cluster, ready to run under any
@@ -47,21 +47,31 @@ impl Session {
         &self.config
     }
 
-    /// Trains under full PICASSO.
-    pub fn run_picasso(&self) -> RunArtifacts {
+    /// Trains under full PICASSO, surfacing pipeline-validation and
+    /// graph-lowering failures instead of panicking.
+    pub fn try_run_picasso(&self) -> Result<RunArtifacts, TrainError> {
         picasso_exec::run(
             self.model,
             &self.data,
             Strategy::Hybrid,
-            self.config.optimizations,
+            self.config.optimizations.clone(),
             "PICASSO",
             &self.config.trainer_options(),
         )
     }
 
+    /// Trains under full PICASSO.
+    ///
+    /// Panics on an invalid pipeline or task graph; use
+    /// [`Session::try_run_picasso`] to handle those as errors.
+    pub fn run_picasso(&self) -> RunArtifacts {
+        self.try_run_picasso()
+            .unwrap_or_else(|e| panic!("PICASSO run failed: {e}"))
+    }
+
     /// Trains under a named framework preset (baselines ignore the
-    /// session's optimization set).
-    pub fn run_framework(&self, framework: Framework) -> RunArtifacts {
+    /// session's optimization pipeline), surfacing failures as errors.
+    pub fn try_run_framework(&self, framework: Framework) -> Result<RunArtifacts, TrainError> {
         picasso_exec::train(
             self.model,
             &self.data,
@@ -70,13 +80,24 @@ impl Session {
         )
     }
 
-    /// Trains with an explicit strategy + optimization combination.
-    pub fn run_custom(
+    /// Trains under a named framework preset (baselines ignore the
+    /// session's optimization pipeline).
+    ///
+    /// Panics on an invalid pipeline or task graph; use
+    /// [`Session::try_run_framework`] to handle those as errors.
+    pub fn run_framework(&self, framework: Framework) -> RunArtifacts {
+        self.try_run_framework(framework)
+            .unwrap_or_else(|e| panic!("{} run failed: {e}", framework.name()))
+    }
+
+    /// Trains with an explicit strategy + pipeline combination, surfacing
+    /// failures as errors.
+    pub fn try_run_custom(
         &self,
         strategy: Strategy,
         optimizations: picasso_exec::Optimizations,
         label: &str,
-    ) -> RunArtifacts {
+    ) -> Result<RunArtifacts, TrainError> {
         picasso_exec::run(
             self.model,
             &self.data,
@@ -85,6 +106,20 @@ impl Session {
             label,
             &self.config.trainer_options(),
         )
+    }
+
+    /// Trains with an explicit strategy + pipeline combination.
+    ///
+    /// Panics on an invalid pipeline or task graph; use
+    /// [`Session::try_run_custom`] to handle those as errors.
+    pub fn run_custom(
+        &self,
+        strategy: Strategy,
+        optimizations: picasso_exec::Optimizations,
+        label: &str,
+    ) -> RunArtifacts {
+        self.try_run_custom(strategy, optimizations, label)
+            .unwrap_or_else(|e| panic!("{label} run failed: {e}"))
     }
 
     /// Convenience: just the report of a full PICASSO run.
@@ -120,6 +155,16 @@ mod tests {
         let b = s.run_framework(Framework::TfPs);
         assert!(p.report.ips_per_node > b.report.ips_per_node);
         assert_eq!(p.report.model, "DLRM");
+    }
+
+    #[test]
+    fn invalid_pipelines_return_errors_instead_of_reports() {
+        use picasso_exec::{Optimizations, PassId, Strategy, TrainError};
+        let s = Session::new(ModelKind::Dlrm, quick());
+        let bad = Optimizations::new(vec![PassId::Caching, PassId::Caching]);
+        let err = s.try_run_custom(Strategy::Hybrid, bad, "dup").unwrap_err();
+        assert!(matches!(err, TrainError::Pipeline(_)));
+        assert!(s.try_run_picasso().is_ok());
     }
 
     #[test]

@@ -57,6 +57,18 @@ impl PackPlan {
         self.packs.len()
     }
 
+    /// The Eq. 1 assignment in the form the D-Packing pass consumes:
+    /// embedding table group → pack index.
+    pub fn table_to_pack(&self) -> BTreeMap<usize, usize> {
+        let mut out = BTreeMap::new();
+        for (p, pack) in self.packs.iter().enumerate() {
+            for &t in &pack.tables {
+                out.insert(t, p);
+            }
+        }
+        out
+    }
+
     /// Plans packs for `spec`.
     ///
     /// Without warm-up statistics the planner assumes each field contributes
@@ -173,6 +185,13 @@ mod tests {
             for (i, &p) in plan.field_to_pack.iter().enumerate() {
                 assert!(plan.packs[p].fields.contains(&i));
                 assert_eq!(plan.packs[p].dim, spec.fields[i].dim);
+            }
+            // The table-to-pack view is consistent with the pack list.
+            let t2p = plan.table_to_pack();
+            for (p, pack) in plan.packs.iter().enumerate() {
+                for t in &pack.tables {
+                    assert_eq!(t2p[t], p, "{}", spec.name);
+                }
             }
         }
     }

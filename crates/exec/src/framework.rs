@@ -8,68 +8,15 @@
 //! the Fig. 13 / Table IV ablation isolates.
 
 use crate::strategy::Strategy;
+use picasso_graph::PipelineConfig;
 use serde::{Deserialize, Serialize};
 
-/// Which optimizations a framework applies.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
-pub struct Optimizations {
-    /// D-Packing (merge per-table chains into packed operations).
-    pub packing: bool,
-    /// K-Packing (same-resource kernel fusion).
-    pub kernel_packing: bool,
-    /// K-Interleaving (grouped, staggered packed operations).
-    pub k_interleaving: bool,
-    /// D-Interleaving (micro-batch pipelining).
-    pub d_interleaving: bool,
-    /// HybridHash caching.
-    pub caching: bool,
-}
-
-impl Optimizations {
-    /// Everything off (baselines and PICASSO(Base)).
-    pub const NONE: Optimizations = Optimizations {
-        packing: false,
-        kernel_packing: false,
-        k_interleaving: false,
-        d_interleaving: false,
-        caching: false,
-    };
-
-    /// Everything on (full PICASSO).
-    pub const ALL: Optimizations = Optimizations {
-        packing: true,
-        kernel_packing: true,
-        k_interleaving: true,
-        d_interleaving: true,
-        caching: true,
-    };
-
-    /// Full PICASSO minus packing (Table IV "w/o Packing").
-    pub fn without_packing() -> Optimizations {
-        Optimizations {
-            packing: false,
-            kernel_packing: false,
-            ..Optimizations::ALL
-        }
-    }
-
-    /// Full PICASSO minus interleaving (Table IV "w/o Interleaving").
-    pub fn without_interleaving() -> Optimizations {
-        Optimizations {
-            k_interleaving: false,
-            d_interleaving: false,
-            ..Optimizations::ALL
-        }
-    }
-
-    /// Full PICASSO minus caching (Table IV "w/o Caching").
-    pub fn without_caching() -> Optimizations {
-        Optimizations {
-            caching: false,
-            ..Optimizations::ALL
-        }
-    }
-}
+/// Which optimizations a framework applies: a declarative, ordered pass
+/// pipeline. The `Optimizations::all()` / `none()` / `without_*()`
+/// constructors mirror the paper's ablation vocabulary; arbitrary pass
+/// lists come from [`PipelineConfig::new`] or
+/// [`PipelineConfig::from_names`].
+pub type Optimizations = PipelineConfig;
 
 /// A named framework preset.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -132,11 +79,11 @@ impl Framework {
         }
     }
 
-    /// The optimizations this preset applies.
+    /// The optimization pipeline this preset applies.
     pub fn optimizations(self) -> Optimizations {
         match self {
-            Framework::Picasso => Optimizations::ALL,
-            _ => Optimizations::NONE,
+            Framework::Picasso => Optimizations::all(),
+            _ => Optimizations::none(),
         }
     }
 }
@@ -150,9 +97,9 @@ mod tests {
         for f in Framework::ALL {
             let o = f.optimizations();
             if f == Framework::Picasso {
-                assert_eq!(o, Optimizations::ALL);
+                assert_eq!(o, Optimizations::all());
             } else {
-                assert_eq!(o, Optimizations::NONE, "{}", f.name());
+                assert_eq!(o, Optimizations::none(), "{}", f.name());
             }
         }
     }
@@ -171,14 +118,15 @@ mod tests {
 
     #[test]
     fn ablation_configs_differ_from_full() {
-        let all = Optimizations::ALL;
+        use picasso_graph::PassId;
+        let all = Optimizations::all();
         assert_ne!(Optimizations::without_packing(), all);
         assert_ne!(Optimizations::without_interleaving(), all);
         assert_ne!(Optimizations::without_caching(), all);
-        assert!(!Optimizations::without_packing().packing);
-        assert!(Optimizations::without_packing().caching);
-        assert!(!Optimizations::without_interleaving().d_interleaving);
-        assert!(!Optimizations::without_caching().caching);
-        assert!(Optimizations::without_caching().packing);
+        assert!(!Optimizations::without_packing().enables(PassId::DPacking));
+        assert!(Optimizations::without_packing().enables(PassId::Caching));
+        assert!(!Optimizations::without_interleaving().enables(PassId::DInterleaving));
+        assert!(!Optimizations::without_caching().enables(PassId::Caching));
+        assert!(Optimizations::without_caching().enables(PassId::DPacking));
     }
 }

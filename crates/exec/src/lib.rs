@@ -12,7 +12,8 @@
 //! use picasso_exec::{train, Framework, ModelKind, TrainerOptions};
 //!
 //! let data = DatasetSpec::criteo().shared();
-//! let run = train(ModelKind::Dlrm, &data, Framework::Picasso, &TrainerOptions::default());
+//! let run = train(ModelKind::Dlrm, &data, Framework::Picasso, &TrainerOptions::default())
+//!     .expect("valid pipeline and task graph");
 //! println!("{:.0} instances/sec/node", run.report.ips_per_node);
 //! ```
 
@@ -32,9 +33,10 @@ pub mod warmup;
 pub use calibration::{CalibrationReport, CalibrationStats, CostRecord};
 pub use framework::{Framework, Optimizations};
 pub use observe::{chrome_trace, span_tracer, ScheduleScopes, TaskRange};
+pub use picasso_graph::{PassId, PipelineConfig, PipelineError};
 pub use picasso_models::ModelKind;
 pub use scheduler::{simulate, SimConfig, SimulationOutput};
 pub use strategy::{DenseSync, EmbeddingExchange, Strategy};
 pub use telemetry::TrainingReport;
-pub use trainer::{run, train, RunArtifacts, TrainerOptions, MEMORY_AMPLIFICATION};
+pub use trainer::{run, train, RunArtifacts, TrainError, TrainerOptions, MEMORY_AMPLIFICATION};
 pub use warmup::{run_warmup, TableStats, WarmupConfig, WarmupReport};

@@ -9,24 +9,57 @@ use crate::warmup::{run_warmup, WarmupConfig, WarmupReport};
 use picasso_data::DatasetSpec;
 use picasso_embedding::{PackPlan, PlannerConfig};
 use picasso_graph::{
-    d_interleaving, d_packing, graph_stats, k_interleaving, k_packing, run_pass, Layer, PassReport,
-    WdlSpec,
+    graph_stats, PassId, PassReport, Pipeline, PipelineError, PlanContext, WdlSpec,
 };
 use picasso_models::ModelKind;
 use picasso_obs::{Tracer, WallClock};
-use picasso_sim::MachineSpec;
+use picasso_sim::{EngineError, MachineSpec};
 use std::collections::BTreeMap;
+use std::fmt;
 use std::sync::Arc;
 
-/// Memory amplification of framework execution over the analytic
-/// feature-map volume: retained per-op activations, gradient buffers,
-/// allocator fragmentation and workspace. Applied when deriving the largest
-/// feasible batch from GPU memory (Eq. 2's device-memory case).
-pub const MEMORY_AMPLIFICATION: f64 = 16.0;
+pub use picasso_graph::MEMORY_AMPLIFICATION;
 
-/// Pipeline-depth window used to derive the Eq. 3 group capacity: a group
-/// should occupy its tightest resource for at most this long.
-const GROUP_WINDOW_SECS: f64 = 0.002;
+/// Why a training run could not produce a report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TrainError {
+    /// The optimization pipeline failed validation (bad ordering,
+    /// duplicate or unknown passes).
+    Pipeline(PipelineError),
+    /// Lowering produced an invalid task graph (a dependency cycle or a
+    /// dangling reference the engine rejected).
+    Lowering(EngineError),
+}
+
+impl fmt::Display for TrainError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TrainError::Pipeline(e) => write!(f, "invalid optimization pipeline: {e}"),
+            TrainError::Lowering(e) => write!(f, "lowering produced an invalid task graph: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TrainError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TrainError::Pipeline(e) => Some(e),
+            TrainError::Lowering(e) => Some(e),
+        }
+    }
+}
+
+impl From<PipelineError> for TrainError {
+    fn from(e: PipelineError) -> TrainError {
+        TrainError::Pipeline(e)
+    }
+}
+
+impl From<EngineError> for TrainError {
+    fn from(e: EngineError) -> TrainError {
+        TrainError::Lowering(e)
+    }
+}
 
 /// Options for one training run.
 #[derive(Debug, Clone)]
@@ -100,7 +133,7 @@ pub fn train(
     data: &Arc<DatasetSpec>,
     framework: Framework,
     opts: &TrainerOptions,
-) -> RunArtifacts {
+) -> Result<RunArtifacts, TrainError> {
     let strategy = framework.strategy(opts.machines);
     run(
         model,
@@ -112,8 +145,8 @@ pub fn train(
     )
 }
 
-/// Runs `model` with an explicit strategy and optimization set (used by the
-/// Table IV ablation and the Fig. 14 sweeps).
+/// Runs `model` with an explicit strategy and optimization pipeline (used
+/// by the Table IV ablation and the Fig. 14 sweeps).
 pub fn run(
     model: ModelKind,
     data: &Arc<DatasetSpec>,
@@ -121,8 +154,10 @@ pub fn run(
     optimizations: Optimizations,
     label: &str,
     opts: &TrainerOptions,
-) -> RunArtifacts {
-    let mut spec = model.build(data);
+) -> Result<RunArtifacts, TrainError> {
+    let pipeline = Pipeline::from_config(&optimizations)?;
+    let spec = model.build(data);
+    let caching = optimizations.enables(PassId::Caching);
 
     // Warm-up on real batches: per-table ID masses for the packing planner
     // and coverage verification. (Dedup and hit ratios at the *training*
@@ -130,109 +165,47 @@ pub fn run(
     // clamping would distort them at production vocabulary scales — see
     // DESIGN.md.)
     let mut wcfg = opts.warmup.clone();
-    wcfg.hot_bytes = if optimizations.caching {
-        opts.hot_bytes
-    } else {
-        0
-    };
+    wcfg.hot_bytes = if caching { opts.hot_bytes } else { 0 };
     let warmup = run_warmup(data, &wcfg);
 
-    // Optimization passes run instrumented: wall-clock spans on the
-    // `passes` track plus before/after op accounting (Table V).
-    let pass_tracer = Tracer::new(WallClock::new());
-    let mut pass_reports: Vec<PassReport> = Vec::new();
-
-    // D-Packing / K-Packing.
-    if optimizations.packing {
+    // The plan context carries everything the pass planners consume:
+    // machine preset, memory budgets, knob overrides, and the Eq. 1
+    // table-to-pack mapping from the planner over the warm-up ID masses.
+    let mut ctx = PlanContext::new(opts.machine.clone());
+    ctx.hot_bytes = if caching { opts.hot_bytes } else { 0 };
+    ctx.max_batch = opts.max_batch;
+    ctx.micro_batches = opts.micro_batches;
+    ctx.groups = opts.groups;
+    ctx.excluded_tables = opts.excluded_tables.clone();
+    if optimizations.enables(PassId::DPacking) {
         let plan = PackPlan::with_loads(
             data,
             &PlannerConfig::default(),
             &warmup.table_loads(),
             warmup.total_ids,
         );
-        let mut table_to_pack: BTreeMap<usize, usize> = BTreeMap::new();
-        for (p, pack) in plan.packs.iter().enumerate() {
-            for &t in &pack.tables {
-                table_to_pack.insert(t, p);
+        ctx.table_to_pack = plan.table_to_pack();
+    }
+
+    // The pipeline runs instrumented: wall-clock spans on the `passes`
+    // track plus before/after op accounting (Table V). Every configured
+    // pass reports, including ones whose planner derived a no-op.
+    let pass_tracer = Tracer::new(WallClock::new());
+    let (mut spec, pass_reports) = pipeline.run(&spec, &mut ctx, &pass_tracer);
+
+    let micro = ctx.derived.micro_batches;
+    let groups = ctx.derived.groups;
+    let batch = match opts.batch_per_executor {
+        Some(b) => b,
+        None => {
+            let base = ctx.plan_base_batch(&spec);
+            if micro > 1 {
+                ((base as f64 * micro as f64 * 0.9) as usize).min(opts.max_batch)
+            } else {
+                base
             }
         }
-        let (packed, report) = run_pass("d_packing", &spec, &pass_tracer, |s| {
-            d_packing::apply(s, &table_to_pack)
-        });
-        spec = packed;
-        pass_reports.push(report);
-    }
-    if optimizations.kernel_packing {
-        let (packed, report) = run_pass("k_packing", &spec, &pass_tracer, k_packing::apply);
-        spec = packed;
-        pass_reports.push(report);
-    }
-
-    // Batch sizing (Eq. 2's device-memory case).
-    let resident = spec.dense_params() * 4.0 * 3.0; // params + grads + slots
-    let hot = if optimizations.caching {
-        opts.hot_bytes as f64
-    } else {
-        0.0
     };
-    let base_batch = d_interleaving::memory_bound_batch(
-        opts.machine.gpu.mem_capacity as f64,
-        hot,
-        resident,
-        spec.feature_map_bytes_per_instance() * MEMORY_AMPLIFICATION,
-    )
-    .clamp(256, opts.max_batch);
-
-    // Interleaving.
-    let micro = if optimizations.d_interleaving {
-        opts.micro_batches
-            .unwrap_or_else(|| default_micro_batches(&spec))
-    } else {
-        1
-    };
-    let groups = if optimizations.k_interleaving {
-        opts.groups
-            .unwrap_or_else(|| auto_groups(&spec, &opts.machine, base_batch))
-    } else {
-        1
-    };
-    if groups > 1 {
-        let (grouped, report) = run_pass("k_interleaving", &spec, &pass_tracer, |s| {
-            let mut s = s.clone();
-            k_interleaving::apply(&mut s, groups);
-            s
-        });
-        spec = grouped;
-        pass_reports.push(report);
-    }
-    if micro > 1 {
-        let (pipelined, report) = run_pass("d_interleaving", &spec, &pass_tracer, |s| {
-            let mut s = s.clone();
-            d_interleaving::apply(&mut s, micro, Layer::Embedding);
-            s
-        });
-        spec = pipelined;
-        pass_reports.push(report);
-    }
-    if !opts.excluded_tables.is_empty() {
-        for chain in &mut spec.chains {
-            if chain
-                .tables
-                .iter()
-                .any(|t| opts.excluded_tables.contains(t))
-            {
-                chain.interleave_excluded = true;
-            }
-        }
-    }
-
-    let batch = opts.batch_per_executor.unwrap_or_else(|| {
-        if micro > 1 {
-            ((base_batch as f64 * micro as f64 * 0.9) as usize).min(opts.max_batch)
-        } else {
-            base_batch
-        }
-    });
 
     // Analytic dedup and cache-hit ratios at the actual lookup granularity
     // (one micro-batch) over the *real* vocabulary sizes and skews.
@@ -240,11 +213,7 @@ pub fn run(
         &mut spec,
         data,
         batch.div_ceil(micro),
-        if optimizations.caching {
-            opts.hot_bytes as f64
-        } else {
-            0.0
-        },
+        ctx.hot_bytes as f64,
         &warmup,
     );
 
@@ -255,7 +224,7 @@ pub fn run(
         machine: opts.machine.clone(),
         quantized_comm: opts.quantized_comm,
     };
-    let out = simulate(&spec, strategy, &cfg).expect("lowering produced an acyclic task graph");
+    let out = simulate(&spec, strategy, &cfg)?;
     let report = TrainingReport::from_simulation(
         label,
         spec.name.clone(),
@@ -265,13 +234,13 @@ pub fn run(
         groups,
         hit,
     );
-    RunArtifacts {
+    Ok(RunArtifacts {
         report,
         spec,
         warmup,
         output: out,
         pass_reports,
-    }
+    })
 }
 
 /// Sets every chain's `unique_ratio` and `cache_hit_ratio` from the
@@ -333,39 +302,6 @@ fn apply_analytic_ratios(
     overall_hit
 }
 
-/// Micro-batch heuristic: compute-heavy models pipeline deeper (the Fig. 14
-/// observation that CAN and MMoE profit from more micro-batches), but
-/// fragmentary graphs (packing disabled) cap the depth — each extra
-/// micro-batch re-dispatches every chain's operations, and with hundreds of
-/// unpacked chains the framework dispatch cost outweighs the overlap.
-fn default_micro_batches(spec: &WdlSpec) -> usize {
-    let flops = spec.dense_flops_per_instance();
-    let by_compute = if flops > 5e6 {
-        4
-    } else if flops > 5e5 {
-        3
-    } else {
-        2
-    };
-    if spec.chains.len() > 64 {
-        by_compute.min(2)
-    } else {
-        by_compute
-    }
-}
-
-/// Eq. 3-derived group count for the machine's interconnect bounds.
-fn auto_groups(spec: &WdlSpec, machine: &MachineSpec, batch: usize) -> usize {
-    // Params one group may process per pipeline window on its tightest
-    // resource (network and PCIe both move ~4 bytes per parameter).
-    let capacity_batch = k_interleaving::eq3_capacity(&[
-        (machine.nic_bw * GROUP_WINDOW_SECS, 4.0),
-        (machine.pcie_bw * GROUP_WINDOW_SECS, 4.0),
-    ]);
-    let capacity_per_instance = capacity_batch / batch.max(1) as f64;
-    k_interleaving::auto_group_count(spec, capacity_per_instance).clamp(1, 11)
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -389,9 +325,9 @@ mod tests {
     fn picasso_beats_every_baseline_on_dlrm() {
         let data = DatasetSpec::criteo().shared();
         let opts = quick_opts();
-        let picasso = train(ModelKind::Dlrm, &data, Framework::Picasso, &opts);
+        let picasso = train(ModelKind::Dlrm, &data, Framework::Picasso, &opts).unwrap();
         for baseline in [Framework::TfPs, Framework::Horovod, Framework::PyTorch] {
-            let b = train(ModelKind::Dlrm, &data, baseline, &opts);
+            let b = train(ModelKind::Dlrm, &data, baseline, &opts).unwrap();
             assert!(
                 picasso.report.ips_per_node > b.report.ips_per_node,
                 "PICASSO {} <= {} {}",
@@ -406,8 +342,8 @@ mod tests {
     fn packing_reduces_chain_count() {
         let data = DatasetSpec::product1().shared();
         let opts = quick_opts();
-        let full = train(ModelKind::WideDeep, &data, Framework::Picasso, &opts);
-        let base = train(ModelKind::WideDeep, &data, Framework::PicassoBase, &opts);
+        let full = train(ModelKind::WideDeep, &data, Framework::Picasso, &opts).unwrap();
+        let base = train(ModelKind::WideDeep, &data, Framework::PicassoBase, &opts).unwrap();
         assert!(full.spec.chains.len() < base.spec.chains.len() / 3);
         assert!(
             full.report.op_stats.total_ops < base.report.op_stats.total_ops / 2,
@@ -425,10 +361,11 @@ mod tests {
             ModelKind::WideDeep,
             &data,
             Strategy::Hybrid,
-            Optimizations::ALL,
+            Optimizations::all(),
             "full",
             &opts,
-        );
+        )
+        .unwrap();
         for (label, o) in [
             ("w/o packing", Optimizations::without_packing()),
             ("w/o interleaving", Optimizations::without_interleaving()),
@@ -441,7 +378,8 @@ mod tests {
                 o,
                 label,
                 &opts,
-            );
+            )
+            .unwrap();
             assert!(
                 r.report.ips_per_node <= full.report.ips_per_node * 1.03,
                 "{label}: {} > full {}",
@@ -455,7 +393,7 @@ mod tests {
     fn caching_improves_cache_hit_and_batch_accounting() {
         let data = DatasetSpec::alibaba().shared();
         let opts = quick_opts();
-        let with = train(ModelKind::Din, &data, Framework::Picasso, &opts);
+        let with = train(ModelKind::Din, &data, Framework::Picasso, &opts).unwrap();
         assert!(with.report.cache_hit_ratio > 0.0);
         let without = run(
             ModelKind::Din,
@@ -464,7 +402,8 @@ mod tests {
             Optimizations::without_caching(),
             "w/o caching",
             &opts,
-        );
+        )
+        .unwrap();
         assert_eq!(without.report.cache_hit_ratio, 0.0);
     }
 
@@ -475,11 +414,76 @@ mod tests {
         opts.batch_per_executor = Some(1000);
         opts.micro_batches = Some(5);
         opts.groups = Some(3);
-        let r = train(ModelKind::DeepFm, &data, Framework::Picasso, &opts);
+        let r = train(ModelKind::DeepFm, &data, Framework::Picasso, &opts).unwrap();
         assert_eq!(r.report.batch_per_executor, 1000);
         assert_eq!(r.report.micro_batches, 5);
         assert_eq!(r.report.groups, 3);
         assert_eq!(r.spec.micro_batches, 5);
+    }
+
+    #[test]
+    fn every_configured_pass_reports_even_when_noop() {
+        // Force both interleaving planners into a no-op (1 group, 1
+        // micro-batch): the passes must still land in pass_reports so
+        // ablation tables and metrics lanes stay complete.
+        let data = DatasetSpec::criteo().shared();
+        let mut opts = quick_opts();
+        opts.micro_batches = Some(1);
+        opts.groups = Some(1);
+        let r = train(ModelKind::Dlrm, &data, Framework::Picasso, &opts).unwrap();
+        let names: Vec<&str> = r.pass_reports.iter().map(|p| p.pass.as_str()).collect();
+        assert_eq!(
+            names,
+            [
+                "d_packing",
+                "k_packing",
+                "k_interleaving",
+                "d_interleaving",
+                "caching"
+            ]
+        );
+        let noop = |name: &str| {
+            let p = r.pass_reports.iter().find(|p| p.pass == name).unwrap();
+            assert_eq!(p.ops_before, p.ops_after, "{name} should be a no-op");
+        };
+        noop("k_interleaving");
+        noop("d_interleaving");
+        assert_eq!(r.report.micro_batches, 1);
+        assert_eq!(r.report.groups, 1);
+    }
+
+    #[test]
+    fn invalid_pipelines_surface_as_train_errors() {
+        use picasso_graph::{PassId, PipelineError};
+        let data = DatasetSpec::criteo().shared();
+        let opts = quick_opts();
+        let bad = Optimizations::new(vec![PassId::KInterleaving, PassId::DPacking]);
+        let err = run(ModelKind::Dlrm, &data, Strategy::Hybrid, bad, "bad", &opts).unwrap_err();
+        assert!(matches!(
+            err,
+            TrainError::Pipeline(PipelineError::OrderingViolation { .. })
+        ));
+        assert!(err.to_string().contains("invalid optimization pipeline"));
+    }
+
+    #[test]
+    fn exclusion_rides_the_k_interleaving_pass() {
+        let data = DatasetSpec::criteo().shared();
+        let mut opts = quick_opts();
+        opts.excluded_tables = vec![0];
+        let with = train(ModelKind::Dlrm, &data, Framework::Picasso, &opts).unwrap();
+        assert!(with.spec.chains.iter().any(|c| c.interleave_excluded));
+        // Without the K-Interleaving pass, exclusion has nothing to ride.
+        let without = run(
+            ModelKind::Dlrm,
+            &data,
+            Strategy::Hybrid,
+            Optimizations::none(),
+            "base",
+            &opts,
+        )
+        .unwrap();
+        assert!(without.spec.chains.iter().all(|c| !c.interleave_excluded));
     }
 
     #[test]
@@ -488,8 +492,8 @@ mod tests {
         // effective batches within the same device memory.
         let data = DatasetSpec::criteo().shared();
         let opts = quick_opts();
-        let p = train(ModelKind::Dlrm, &data, Framework::Picasso, &opts);
-        let b = train(ModelKind::Dlrm, &data, Framework::PicassoBase, &opts);
+        let p = train(ModelKind::Dlrm, &data, Framework::Picasso, &opts).unwrap();
+        let b = train(ModelKind::Dlrm, &data, Framework::PicassoBase, &opts).unwrap();
         assert!(p.report.batch_per_executor >= b.report.batch_per_executor);
     }
 }

@@ -16,6 +16,10 @@ pub mod spec;
 pub mod stats;
 
 pub use ops::{OpClass, OpKind};
+pub use passes::pipeline::{
+    DerivedPlan, Pass, PassId, Pipeline, PipelineConfig, PipelineError, PlanContext,
+    GROUP_WINDOW_SECS, MEMORY_AMPLIFICATION,
+};
 pub use passes::report::{run_pass, PassReport};
 pub use passes::{d_interleaving, d_packing, k_interleaving, k_packing};
 pub use spec::{EmbeddingChain, InteractionModule, Layer, MlpSpec, ModuleKind, WdlSpec};

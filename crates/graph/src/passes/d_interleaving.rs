@@ -19,12 +19,35 @@ pub fn eq2_micro_batch(ops: &[(f64, f64)]) -> f64 {
         .fold(f64::INFINITY, f64::min)
 }
 
-/// Enables D-interleaving on `spec` with `micro_batches` slices starting at
-/// `from` (Fig. 8a: `Layer::Mlp`; Fig. 8b: `Layer::Embedding`).
-pub fn apply(spec: &mut WdlSpec, micro_batches: usize, from: Layer) {
+/// Returns `spec` with D-interleaving enabled: `micro_batches` slices
+/// starting at `from` (Fig. 8a: `Layer::Mlp`; Fig. 8b: `Layer::Embedding`).
+pub fn apply(spec: &WdlSpec, micro_batches: usize, from: Layer) -> WdlSpec {
     assert!(micro_batches >= 1, "micro_batches must be >= 1");
+    let mut spec = spec.clone();
     spec.micro_batches = micro_batches;
     spec.interleave_from = from;
+    spec
+}
+
+/// Micro-batch heuristic: compute-heavy models pipeline deeper (the Fig. 14
+/// observation that CAN and MMoE profit from more micro-batches), but
+/// fragmentary graphs (packing disabled) cap the depth — each extra
+/// micro-batch re-dispatches every chain's operations, and with hundreds of
+/// unpacked chains the framework dispatch cost outweighs the overlap.
+pub fn default_micro_batches(spec: &WdlSpec) -> usize {
+    let flops = spec.dense_flops_per_instance();
+    let by_compute = if flops > 5e6 {
+        4
+    } else if flops > 5e5 {
+        3
+    } else {
+        2
+    };
+    if spec.chains.len() > 64 {
+        by_compute.min(2)
+    } else {
+        by_compute
+    }
 }
 
 /// Derives the micro-batch count for a target `batch` size from the Eq. 2
@@ -80,11 +103,26 @@ mod tests {
 
     #[test]
     fn apply_sets_fields() {
-        let mut s = spec();
-        apply(&mut s, 4, Layer::Mlp);
+        let s = apply(&spec(), 4, Layer::Mlp);
         assert_eq!(s.micro_batches, 4);
         assert_eq!(s.interleave_from, Layer::Mlp);
         s.validate().unwrap();
+    }
+
+    #[test]
+    fn default_micro_batches_scales_with_compute() {
+        let mut s = spec();
+        assert_eq!(default_micro_batches(&s), 2, "light MLP pipelines shallow");
+        s.mlp = MlpSpec::new(1024, vec![1024, 1024, 1]);
+        assert!(
+            default_micro_batches(&s) >= 3,
+            "compute-heavy models pipeline deeper"
+        );
+        // Fragmentary graphs cap the depth regardless of compute.
+        s.chains = (0..100)
+            .map(|t| EmbeddingChain::for_table(t, 8, vec![t as u32], 1.0))
+            .collect();
+        assert_eq!(default_micro_batches(&s), 2);
     }
 
     #[test]
@@ -109,7 +147,6 @@ mod tests {
     #[test]
     #[should_panic(expected = "micro_batches must be >= 1")]
     fn zero_micro_batches_rejected() {
-        let mut s = spec();
-        apply(&mut s, 0, Layer::Mlp);
+        apply(&spec(), 0, Layer::Mlp);
     }
 }

@@ -22,15 +22,17 @@ pub fn eq3_capacity(ops: &[(f64, f64)]) -> f64 {
         .fold(f64::INFINITY, f64::min)
 }
 
-/// Assigns the spec's chains to `n_groups` interleaving groups.
+/// Returns `spec` with its chains assigned to `n_groups` interleaving
+/// groups.
 ///
 /// Chains are sorted by the smallest module index consuming any of their
 /// fields (so a group's outputs feed a compact set of modules and its
 /// downstream compute can start as soon as the group lands), then split into
 /// contiguous groups balanced by embedding byte volume. Excluded chains
 /// (`interleave_excluded`) stay in group 0 with no ordering constraint.
-pub fn apply(spec: &mut WdlSpec, n_groups: usize) {
+pub fn apply(spec: &WdlSpec, n_groups: usize) -> WdlSpec {
     assert!(n_groups >= 1, "need at least one group");
+    let mut spec = spec.clone();
     // Affinity: first consuming module per field.
     let affinity = |chain_fields: &[u32]| -> usize {
         spec.modules
@@ -61,6 +63,24 @@ pub fn apply(spec: &mut WdlSpec, n_groups: usize) {
     for c in spec.chains.iter_mut().filter(|c| c.interleave_excluded) {
         c.group = 0;
     }
+    spec
+}
+
+/// Returns `spec` with every chain touching one of `tables` marked
+/// `interleave_excluded` (the paper's *preset excluded embedding*, §III-C:
+/// outputs that feed no concatenation can advance their downstream freely).
+/// Marked chains keep group 0 in [`apply`] and don't count toward the Eq. 3
+/// volume in [`auto_group_count`].
+pub fn mark_excluded(spec: &WdlSpec, tables: &[usize]) -> WdlSpec {
+    let mut spec = spec.clone();
+    if !tables.is_empty() {
+        for chain in &mut spec.chains {
+            if chain.tables.iter().any(|t| tables.contains(t)) {
+                chain.interleave_excluded = true;
+            }
+        }
+    }
+    spec
 }
 
 /// Chooses a group count from the Eq. 3 capacity: enough groups that no
@@ -133,8 +153,7 @@ mod tests {
 
     #[test]
     fn groups_are_contiguous_over_module_affinity() {
-        let mut s = spec(8);
-        apply(&mut s, 2);
+        let s = apply(&spec(8), 2);
         assert_eq!(s.group_count(), 2);
         // Chains feeding module 0 (fields 0..4) land in group 0; module 1's
         // in group 1 — downstream compute of group 0 can start early.
@@ -146,8 +165,7 @@ mod tests {
 
     #[test]
     fn group_volumes_are_balanced() {
-        let mut s = spec(12);
-        apply(&mut s, 3);
+        let s = apply(&spec(12), 3);
         let mut vol = [0.0f64; 3];
         for c in &s.chains {
             vol[c.group as usize] += c.embedding_bytes_per_instance();
@@ -160,8 +178,7 @@ mod tests {
 
     #[test]
     fn one_group_means_no_interleaving() {
-        let mut s = spec(6);
-        apply(&mut s, 1);
+        let s = apply(&spec(6), 1);
         assert!(s.chains.iter().all(|c| c.group == 0));
         assert_eq!(s.group_count(), 1);
     }
@@ -170,8 +187,19 @@ mod tests {
     fn excluded_chains_stay_in_group_zero() {
         let mut s = spec(8);
         s.chains[7].interleave_excluded = true;
-        apply(&mut s, 4);
+        let s = apply(&s, 4);
         assert_eq!(s.chains[7].group, 0);
+    }
+
+    #[test]
+    fn mark_excluded_flags_matching_chains_only() {
+        let s = mark_excluded(&spec(8), &[2, 5]);
+        for c in &s.chains {
+            assert_eq!(c.interleave_excluded, c.tables == [2] || c.tables == [5]);
+        }
+        // Empty exclusion list marks nothing.
+        let base = mark_excluded(&spec(4), &[]);
+        assert!(base.chains.iter().all(|c| !c.interleave_excluded));
     }
 
     #[test]
@@ -186,8 +214,7 @@ mod tests {
 
     #[test]
     fn more_groups_than_chains_is_clamped_by_assignment() {
-        let mut s = spec(2);
-        apply(&mut s, 8);
+        let s = apply(&spec(2), 8);
         // Only 2 chains exist; group ids stay dense and small.
         assert!(s.group_count() <= 2);
     }

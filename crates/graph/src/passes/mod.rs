@@ -11,10 +11,12 @@
 //! - [`d_interleaving`] enables micro-batch pipelining sized by Eq. 2.
 //!
 //! [`report::run_pass`] wraps any of them with span tracing and
-//! before/after operation accounting.
+//! before/after operation accounting, and [`pipeline`] composes them into a
+//! validated, declarative pass sequence driven by a [`pipeline::PlanContext`].
 
 pub mod d_interleaving;
 pub mod d_packing;
 pub mod k_interleaving;
 pub mod k_packing;
+pub mod pipeline;
 pub mod report;

@@ -105,8 +105,7 @@ proptest! {
     /// all volume fields untouched.
     #[test]
     fn k_interleaving_only_touches_groups(spec in spec_strategy(), n_groups in 1usize..8) {
-        let mut out = spec.clone();
-        k_interleaving::apply(&mut out, n_groups);
+        let out = k_interleaving::apply(&spec, n_groups);
         prop_assert!(out.group_count() <= n_groups);
         for (a, b) in spec.chains.iter().zip(&out.chains) {
             prop_assert_eq!(&a.fields, &b.fields);
@@ -120,8 +119,7 @@ proptest! {
     /// Group ids are dense: every group below group_count is nonempty.
     #[test]
     fn k_interleaving_groups_are_dense(spec in spec_strategy(), n_groups in 1usize..8) {
-        let mut out = spec.clone();
-        k_interleaving::apply(&mut out, n_groups);
+        let out = k_interleaving::apply(&spec, n_groups);
         let gc = out.group_count();
         for g in 0..gc {
             prop_assert!(

@@ -31,7 +31,7 @@ fn escape(s: &str) -> String {
 /// Resources become "threads" (tid = resource index, pinned in that order by
 /// `thread_sort_index` metadata), tasks become complete (`"ph":"X"`) events
 /// with microsecond timestamps; the task's category and work volume ride
-/// along as arguments. Control dependencies ([`Binding::Dependency`]) are
+/// along as arguments. Control dependencies ([`crate::Binding::Dependency`]) are
 /// exported as flow arrows (`"ph":"s"` at the producer's completion,
 /// `"ph":"f"` binding to the consumer's enclosing slice), so Perfetto draws
 /// the task graph over the lanes.

@@ -66,7 +66,7 @@ fn optimizations_compose_monotonically() {
     let session = Session::new(ModelKind::WideDeep, quick(2));
     let full = session.run_picasso().report.ips_per_node;
     let base = session
-        .run_custom(Strategy::Hybrid, Optimizations::NONE, "base")
+        .run_custom(Strategy::Hybrid, Optimizations::none(), "base")
         .report
         .ips_per_node;
     for o in [
