@@ -3,7 +3,7 @@
 //! ```text
 //! repro <experiment|all> [quick|full]
 //!       [--trace-out PATH] [--metrics-out PATH] [--report-json PATH]
-//!       [--quiet]
+//!       [--lint] [--lint-json PATH] [--quiet]
 //! ```
 //!
 //! Experiments: fig1 fig3 fig5 fig10 fig11 fig12 fig13 fig14 fig15
@@ -15,20 +15,28 @@
 //! exposition, and the versioned JSON run report (which also embeds every
 //! regenerated table).
 //!
+//! `--lint` skips the experiments and instead runs the static analyzer
+//! over every bench-suite scenario (spec, plan, and lowered stage graph),
+//! printing the aggregated report; `--lint-json PATH` (which implies
+//! `--lint`) also writes the structured `picasso.lint_report` document.
+//!
 //! Exit codes: 0 on success, 1 when an export fails to write, 2 on bad
 //! arguments or an unknown experiment (so scripts can tell usage errors
 //! from runtime failures), 3 when the instrumented training run itself
 //! fails (an invalid optimization pipeline or a task graph the engine
-//! rejects). `--quiet` suppresses the tables and progress lines, leaving
+//! rejects), 4 when static analysis finds error-severity diagnostics —
+//! either under `--lint` or when the instrumented run is rejected before
+//! scheduling. `--quiet` suppresses the tables and progress lines, leaving
 //! only errors and the export confirmations.
 
+use picasso_bench::snapshot::lint_suite;
 use picasso_core::exec::{ModelKind, RunArtifacts, WarmupConfig};
 use picasso_core::experiments::{
     fig01_util_trend, fig03_id_cdf, fig05_breakdown, fig10_walltime, fig11_sm_cdf, fig12_bandwidth,
     fig13_ips, fig14_groups, fig15_scaling, tab03_auc, tab04_ablation, tab05_opcount, tab06_cache,
     tab07_zoo, tab08_fields, tab09_production, tab10_scale, Scale,
 };
-use picasso_core::{observe, PicassoConfig, Session, TextTable};
+use picasso_core::{observe, PicassoConfig, Session, TextTable, TrainError};
 use std::time::Instant;
 
 type Runner = fn(Scale) -> TextTable;
@@ -39,7 +47,7 @@ repro: regenerate the paper's tables and figures
 USAGE:
     repro <experiment|all> [quick|full]
           [--trace-out PATH] [--metrics-out PATH] [--report-json PATH]
-          [--quiet]
+          [--lint] [--lint-json PATH] [--quiet]
 
 EXPERIMENTS:
     fig1 fig3 fig5 fig10 fig11 fig12 fig13 fig14 fig15
@@ -49,6 +57,10 @@ FLAGS:
     --trace-out PATH    Export a Chrome trace of one instrumented run.
     --metrics-out PATH  Export the Prometheus text exposition.
     --report-json PATH  Export the versioned JSON run report.
+    --lint              Statically analyze the bench suite instead of
+                        running experiments; exit 4 on error findings.
+    --lint-json PATH    Also write the structured lint report (implies
+                        --lint).
     --quiet             Suppress tables and progress lines.
     --help              Print this help.
 
@@ -57,6 +69,7 @@ EXIT CODES:
     1  an export failed to write
     2  bad arguments or unknown experiment
     3  the instrumented training run failed (invalid pipeline or task graph)
+    4  static analysis found error-severity diagnostics
 ";
 
 struct Cli {
@@ -65,6 +78,8 @@ struct Cli {
     trace_out: Option<String>,
     metrics_out: Option<String>,
     report_json: Option<String>,
+    lint: bool,
+    lint_json: Option<String>,
     quiet: bool,
 }
 
@@ -75,6 +90,8 @@ fn parse_args() -> Cli {
         trace_out: None,
         metrics_out: None,
         report_json: None,
+        lint: false,
+        lint_json: None,
         quiet: false,
     };
     let mut positional = 0;
@@ -90,6 +107,11 @@ fn parse_args() -> Cli {
             "--trace-out" => cli.trace_out = Some(value("--trace-out")),
             "--metrics-out" => cli.metrics_out = Some(value("--metrics-out")),
             "--report-json" => cli.report_json = Some(value("--report-json")),
+            "--lint" => cli.lint = true,
+            "--lint-json" => {
+                cli.lint = true;
+                cli.lint_json = Some(value("--lint-json"));
+            }
             "--quiet" => cli.quiet = true,
             "--help" | "-h" => {
                 print!("{USAGE}");
@@ -140,8 +162,31 @@ fn observed_run(scale: Scale) -> RunArtifacts {
         .try_run_picasso()
         .unwrap_or_else(|err| {
             eprintln!("instrumented training run failed: {err}");
-            std::process::exit(3);
+            // Lint rejections get their own exit code so CI can tell a
+            // broken invariant from a broken engine.
+            std::process::exit(if matches!(err, TrainError::Lint(_)) {
+                4
+            } else {
+                3
+            });
         })
+}
+
+/// `--lint` mode: statically analyze every bench-suite scenario, render
+/// the aggregated report, optionally export it, and exit — 4 when any
+/// error-severity diagnostic exists, 0 otherwise.
+fn lint_mode(cli: &Cli) -> ! {
+    let report = lint_suite().unwrap_or_else(|err| {
+        eprintln!("lint planning failed: {err}");
+        std::process::exit(3);
+    });
+    if !cli.quiet || !report.is_clean() {
+        print!("{}", report.render_text("bench suite"));
+    }
+    if let Some(path) = &cli.lint_json {
+        write(path, "lint report", &(report.to_json().to_json() + "\n"));
+    }
+    std::process::exit(if report.is_clean() { 0 } else { 4 });
 }
 
 fn write(path: &str, what: &str, contents: &str) {
@@ -156,6 +201,9 @@ fn write(path: &str, what: &str, contents: &str) {
 
 fn main() {
     let cli = parse_args();
+    if cli.lint {
+        lint_mode(&cli);
+    }
     let scale_name = match cli.scale {
         Scale::Quick => "quick",
         Scale::Full => "full",

@@ -14,7 +14,7 @@ use picasso_core::exec::WarmupConfig;
 use picasso_core::obs::diff::rel_change;
 use picasso_core::obs::json::{self, Json};
 use picasso_core::{
-    si, ModelKind, Optimizations, PassId, PicassoConfig, Session, Strategy, TextTable,
+    si, LintReport, ModelKind, Optimizations, PassId, PicassoConfig, Session, Strategy, TextTable,
 };
 use std::collections::BTreeMap;
 use std::fs;
@@ -82,6 +82,26 @@ fn suite_config() -> PicassoConfig {
         ..PicassoConfig::default()
     }
     .machines(1)
+}
+
+/// Runs the static analyzer over every suite scenario without simulating:
+/// spec, plan, and lowered-stage-graph surfaces, all severities. Each
+/// diagnostic message is prefixed with its scenario name so one aggregated
+/// report stays attributable. Planning failures (an invalid pass list)
+/// surface as `Err` rather than diagnostics.
+pub fn lint_suite() -> Result<LintReport, String> {
+    let mut all = Vec::new();
+    for sc in scenarios() {
+        let config = suite_config().optimizations(sc.pipeline.clone());
+        let diags = Session::new(sc.model, config)
+            .try_lint()
+            .map_err(|e| format!("{}: {e}", sc.name))?;
+        for mut d in diags {
+            d.message = format!("[{}] {}", sc.name, d.message);
+            all.push(d);
+        }
+    }
+    Ok(LintReport::new(all))
 }
 
 /// Results of one scenario run.
@@ -683,6 +703,18 @@ mod tests {
                 ctx(&got),
             );
         }
+    }
+
+    #[test]
+    fn suite_lints_clean_of_errors() {
+        // `repro --lint` gates CI on this exact report: every committed
+        // scenario must plan without error-severity findings.
+        let report = lint_suite().expect("suite plans cleanly");
+        assert!(
+            report.is_clean(),
+            "error diagnostics in the bench suite:\n{}",
+            report.render_text("bench suite")
+        );
     }
 
     #[test]

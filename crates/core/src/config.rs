@@ -29,6 +29,10 @@ pub struct PicassoConfig {
     pub excluded_tables: Vec<usize>,
     /// Half-precision quantized communication (precision-lossy extension).
     pub quantized_comm: bool,
+    /// Extra control-dependency edges between K-interleaving groups
+    /// (layered over the implicit Fig. 8c stagger). Self/backward edges
+    /// are rejected by static analysis before scheduling.
+    pub group_deps: Vec<(u32, u32)>,
 }
 
 impl Default for PicassoConfig {
@@ -45,6 +49,7 @@ impl Default for PicassoConfig {
             warmup: WarmupConfig::default(),
             excluded_tables: Vec::new(),
             quantized_comm: false,
+            group_deps: Vec::new(),
         }
     }
 }
@@ -110,6 +115,13 @@ impl PicassoConfig {
         self
     }
 
+    /// Declares extra control-dependency edges between K-interleaving
+    /// groups.
+    pub fn group_dependencies(mut self, deps: Vec<(u32, u32)>) -> Self {
+        self.group_deps = deps;
+        self
+    }
+
     /// Sets iterations simulated per run.
     pub fn iterations(mut self, iterations: usize) -> Self {
         assert!(iterations >= 1);
@@ -131,6 +143,7 @@ impl PicassoConfig {
             max_batch: 65_536,
             excluded_tables: self.excluded_tables.clone(),
             quantized_comm: self.quantized_comm,
+            group_deps: self.group_deps.clone(),
         }
     }
 }

@@ -37,6 +37,6 @@ pub use picasso_sim as sim;
 pub use picasso_train as train;
 
 pub use picasso_exec::{
-    Framework, ModelKind, Optimizations, PassId, PipelineConfig, PipelineError, Strategy,
-    TrainError, TrainingReport,
+    Diagnostic, Framework, LintReport, ModelKind, Optimizations, PassId, PipelineConfig,
+    PipelineError, Severity, Strategy, TrainError, TrainingReport,
 };

@@ -44,7 +44,8 @@ pub fn prometheus_text(artifacts: &RunArtifacts) -> String {
 
 /// Builds the versioned JSON run report for an experiment: every rendered
 /// table as a payload document, plus (when a run is supplied) the full
-/// telemetry report and metrics dump.
+/// telemetry report, any static-analysis findings the run survived with
+/// (warnings — errors abort before a report exists), and the metrics dump.
 pub fn run_report(
     experiment: &str,
     scale: &str,
@@ -57,6 +58,9 @@ pub fn run_report(
     }
     if let Some(artifacts) = artifacts {
         report.push(artifacts.report.to_json());
+        if !artifacts.lint.is_empty() {
+            report.push(picasso_exec::LintReport::new(artifacts.lint.clone()).to_json());
+        }
         let registry = MetricsRegistry::new();
         export_metrics(artifacts, &registry);
         report.set_metrics(&registry.snapshot());
@@ -139,13 +143,60 @@ mod tests {
         let text = report.to_json();
         let doc = RunReport::validate(&text).expect("document validates");
         let reports = doc.get("reports").and_then(Json::items).unwrap();
-        assert_eq!(reports.len(), 2, "table + telemetry payloads");
+        // Table + telemetry, plus a lint payload when the run carried
+        // warnings (errors never get this far).
+        assert!(
+            reports.len() == 2 + usize::from(!a.lint.is_empty()),
+            "unexpected payload count {}",
+            reports.len()
+        );
         assert_eq!(
             reports[0].get("kind").and_then(Json::as_str),
             Some("picasso.table")
         );
         assert_eq!(reports[1].get("model").and_then(Json::as_str), Some("DLRM"));
+        if let Some(lint) = reports.get(2) {
+            assert_eq!(
+                lint.get("kind").and_then(Json::as_str),
+                Some("picasso.lint_report")
+            );
+        }
         assert!(doc.get("metrics").is_some());
+    }
+
+    #[test]
+    fn run_report_carries_lint_warnings() {
+        // A run that survives with warnings ships them in the report.
+        let config = PicassoConfig {
+            iterations: 3,
+            warmup: WarmupConfig {
+                batches: 4,
+                batch_size: 256,
+                max_vocab: 1000,
+                hot_bytes: 1 << 24,
+                seed: 1,
+            },
+            batch_per_executor: Some(1024),
+            // Table 9999 backs no chain -> a guaranteed
+            // `plan.excluded-unknown` warning that survives the run.
+            excluded_tables: vec![9999],
+            ..PicassoConfig::default()
+        };
+        let a = Session::new(ModelKind::Dlrm, config).run_picasso();
+        assert!(!a.lint.is_empty(), "expected at least one finding");
+        let report = run_report("lint", "quick", &[], Some(&a));
+        let doc = RunReport::validate(&report.to_json()).unwrap();
+        let reports = doc.get("reports").and_then(Json::items).unwrap();
+        let lint = reports
+            .iter()
+            .find(|r| r.get("kind").and_then(Json::as_str) == Some("picasso.lint_report"))
+            .expect("lint payload present");
+        assert!(
+            lint.get("diagnostics")
+                .and_then(Json::items)
+                .is_some_and(|d| !d.is_empty()),
+            "diagnostics array populated"
+        );
     }
 
     #[test]

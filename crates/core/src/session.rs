@@ -108,6 +108,27 @@ impl Session {
         )
     }
 
+    /// Runs the static analyzer over the session's planned PICASSO run
+    /// without simulating: spec, plan, and stage surfaces, all severities.
+    pub fn try_lint(&self) -> Result<Vec<picasso_exec::Diagnostic>, TrainError> {
+        picasso_exec::lint(
+            self.model,
+            &self.data,
+            Strategy::Hybrid,
+            self.config.optimizations.clone(),
+            &self.config.trainer_options(),
+        )
+    }
+
+    /// Runs the static analyzer over the session's planned PICASSO run.
+    ///
+    /// Panics on an invalid pipeline; use [`Session::try_lint`] to handle
+    /// that as an error.
+    pub fn lint(&self) -> Vec<picasso_exec::Diagnostic> {
+        self.try_lint()
+            .unwrap_or_else(|e| panic!("lint failed: {e}"))
+    }
+
     /// Trains with an explicit strategy + pipeline combination.
     ///
     /// Panics on an invalid pipeline or task graph; use
@@ -165,6 +186,28 @@ mod tests {
         let err = s.try_run_custom(Strategy::Hybrid, bad, "dup").unwrap_err();
         assert!(matches!(err, TrainError::Pipeline(_)));
         assert!(s.try_run_picasso().is_ok());
+    }
+
+    #[test]
+    fn lint_surfaces_cycles_the_run_would_reject() {
+        use picasso_exec::{Optimizations, Severity};
+        // Packing disabled so DLRM keeps all 26 chains and the 3 requested
+        // groups all exist (a declared dep on a missing group is ignored).
+        let mut cfg = quick()
+            .optimizations(Optimizations::without_packing())
+            .interleaving_groups(3);
+        cfg.group_deps = vec![(2, 0)];
+        let s = Session::new(ModelKind::Dlrm, cfg);
+        let diags = s.lint();
+        assert!(diags.iter().any(|d| d.rule == "stage.dependency-cycle"));
+        let err = s.try_run_picasso().unwrap_err();
+        assert!(matches!(err, TrainError::Lint(_)));
+        // A healthy session lints clean of errors.
+        let clean = Session::new(ModelKind::Dlrm, quick()).lint();
+        assert!(
+            clean.iter().all(|d| d.severity < Severity::Error),
+            "{clean:?}"
+        );
     }
 
     #[test]

@@ -23,6 +23,7 @@ pub mod calibration;
 pub mod collectives;
 pub mod costs;
 pub mod framework;
+pub mod lint;
 pub mod observe;
 pub mod scheduler;
 pub mod strategy;
@@ -32,11 +33,15 @@ pub mod warmup;
 
 pub use calibration::{CalibrationReport, CalibrationStats, CostRecord};
 pub use framework::{Framework, Optimizations};
+pub use lint::{stage_graph, stage_lints};
 pub use observe::{chrome_trace, span_tracer, ScheduleScopes, TaskRange};
-pub use picasso_graph::{PassId, PipelineConfig, PipelineError};
+pub use picasso_graph::{Diagnostic, LintReport, PassId, PipelineConfig, PipelineError, Severity};
+pub use picasso_lint::{StageEdge, StageFusion, StageGraph, StageNode};
 pub use picasso_models::ModelKind;
 pub use scheduler::{simulate, SimConfig, SimulationOutput};
 pub use strategy::{DenseSync, EmbeddingExchange, Strategy};
 pub use telemetry::TrainingReport;
-pub use trainer::{run, train, RunArtifacts, TrainError, TrainerOptions, MEMORY_AMPLIFICATION};
+pub use trainer::{
+    lint, run, train, RunArtifacts, TrainError, TrainerOptions, MEMORY_AMPLIFICATION,
+};
 pub use warmup::{run_warmup, TableStats, WarmupConfig, WarmupReport};

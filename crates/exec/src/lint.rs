@@ -1,0 +1,386 @@
+//! Stage-surface static analysis: lowers a spec into a [`StageGraph`] and
+//! runs the `picasso-lint` stage rules on it *before* the scheduler builds
+//! the real task graph.
+//!
+//! The builder mirrors [`crate::scheduler::simulate`]'s wiring for one
+//! executor, one iteration, and the first micro-batch — enough to expose
+//! every structural property the stage rules check (control-dependency
+//! cycles from `WdlSpec::group_deps`, K-Packed fusion membership,
+//! reachability from the data-load entry, and cost-model sanity) without
+//! paying for a full cluster lowering. Declared group dependencies are
+//! added verbatim, *including* self and backward edges the scheduler would
+//! refuse to honor, precisely so the cycle rule can reject them first.
+
+use crate::costs::{self, PlanContext, ResTarget, StageTask};
+use crate::scheduler::{split_batch, SimConfig};
+use crate::strategy::Strategy;
+use picasso_graph::{OpKind, WdlSpec};
+use picasso_lint::{Diagnostic, StageFusion, StageGraph, StageNode};
+
+/// Resource class (the vocabulary of `stage.cross-class-fusion`) a stage
+/// target is bound by.
+fn class_of(target: ResTarget) -> &'static str {
+    match target {
+        ResTarget::GpuSm => "compute",
+        ResTarget::GpuMem => "device_memory",
+        ResTarget::Pcie => "intra_comm",
+        ResTarget::Dram | ResTarget::ServerDram => "host_memory",
+        ResTarget::Cpu => "host_compute",
+        ResTarget::Nic | ResTarget::NvLink | ResTarget::ServerNic => "inter_comm",
+    }
+}
+
+fn node_of(label: String, st: &StageTask) -> StageNode {
+    StageNode::new(
+        &label,
+        &format!("{:?}", st.kind),
+        class_of(st.target),
+        st.work,
+        st.launches,
+    )
+}
+
+/// Lowers `spec` into the analyzable stage graph (one executor, one
+/// iteration, first micro-batch).
+pub fn stage_graph(spec: &WdlSpec, strategy: Strategy, cfg: &SimConfig) -> StageGraph {
+    let per_node = cfg.machine.gpus_per_node.max(1);
+    let ctx = PlanContext {
+        n_exec: (cfg.machines * per_node).max(1),
+        per_node,
+        has_nvlink: cfg.machine.nvlink_bw.is_some(),
+        strategy,
+        comm_scale: if cfg.quantized_comm { 0.5 } else { 1.0 },
+    };
+    let micro = spec.micro_batches.max(1);
+    let b = split_batch(cfg.batch_per_executor, micro, 0).max(1);
+
+    // Chains ordered into K-interleaving groups (same binning as the
+    // scheduler).
+    let n_groups = spec.group_count().max(1);
+    let mut groups: Vec<Vec<usize>> = vec![Vec::new(); n_groups];
+    for (i, c) in spec.chains.iter().enumerate() {
+        groups[(c.group as usize).min(n_groups - 1)].push(i);
+    }
+
+    // field -> chain and chain -> consuming modules.
+    let max_field = spec
+        .chains
+        .iter()
+        .flat_map(|c| c.fields.iter())
+        .copied()
+        .max()
+        .map(|f| f as usize + 1)
+        .unwrap_or(0);
+    let mut field_chain = vec![usize::MAX; max_field];
+    for (i, c) in spec.chains.iter().enumerate() {
+        for &f in &c.fields {
+            field_chain[f as usize] = i;
+        }
+    }
+    let mut chain_consumers: Vec<Vec<usize>> = vec![Vec::new(); spec.chains.len()];
+    let mut module_chains: Vec<Vec<usize>> = Vec::with_capacity(spec.modules.len());
+    for (mi, m) in spec.modules.iter().enumerate() {
+        let mut chains: Vec<usize> = m
+            .input_fields
+            .iter()
+            .filter(|&&f| (f as usize) < max_field)
+            .map(|&f| field_chain[f as usize])
+            .filter(|&c| c != usize::MAX)
+            .collect();
+        chains.sort_unstable();
+        chains.dedup();
+        for &c in &chains {
+            chain_consumers[c].push(mi);
+        }
+        module_chains.push(chains);
+    }
+
+    let mut g = StageGraph::default();
+    let load = g.push(
+        StageNode::new(
+            "load",
+            "DataLoad",
+            "io",
+            cfg.batch_per_executor as f64 * spec.io_bytes_per_instance / costs::NET_EFF,
+            OpKind::DataLoad.micro_ops(),
+        )
+        .entry(),
+    );
+
+    // Embedding forward, group by group, with the Fig. 8c comm gate.
+    let mut chain_last: Vec<Option<usize>> = vec![None; spec.chains.len()];
+    let mut group_comm: Vec<Vec<usize>> = vec![Vec::new(); n_groups];
+    let mut gate: Vec<usize> = Vec::new();
+    for (gi, group) in groups.iter().enumerate() {
+        let mut next_gate: Vec<usize> = Vec::new();
+        for &ci in group {
+            let chain = &spec.chains[ci];
+            let (stages, comm_idx) = costs::chain_forward(chain, b, &ctx);
+            let mut fused_unique: Vec<usize> = Vec::new();
+            let mut fused_shuffle: Vec<usize> = Vec::new();
+            let mut prev: Option<usize> = None;
+            for (si, st) in stages.iter().enumerate() {
+                let node = g.push(node_of(format!("chain{ci}/f{si}"), st));
+                match prev {
+                    Some(p) => g.dep(p, node),
+                    None => g.dep(load, node),
+                }
+                if si == comm_idx && !chain.interleave_excluded {
+                    for &t in &gate {
+                        g.dep(t, node);
+                    }
+                    next_gate.push(node);
+                }
+                match st.kind {
+                    OpKind::UniquePartition => fused_unique.push(node),
+                    OpKind::ShuffleStitch => fused_shuffle.push(node),
+                    _ => {}
+                }
+                prev = Some(node);
+            }
+            chain_last[ci] = prev;
+            for (label, nodes) in [
+                ("unique_partition", fused_unique),
+                ("shuffle_stitch", fused_shuffle),
+            ] {
+                if !nodes.is_empty() {
+                    g.fusions.push(StageFusion {
+                        label: format!("chain{ci}/{label}"),
+                        nodes,
+                    });
+                }
+            }
+        }
+        group_comm[gi] = next_gate.clone();
+        if !next_gate.is_empty() {
+            gate = next_gate;
+        }
+    }
+    // Declared inter-group dependencies, verbatim: a backward or self edge
+    // combined with the implicit stagger closes a cycle the analyzer must
+    // see, so no direction filtering happens here.
+    for &(from, to) in &spec.group_deps {
+        let (from, to) = (from as usize, to as usize);
+        if from >= n_groups || to >= n_groups {
+            continue;
+        }
+        for &f in &group_comm[from] {
+            for &t in &group_comm[to] {
+                g.dep(f, t);
+            }
+        }
+    }
+
+    // Interaction modules.
+    let mut module_fwd: Vec<usize> = Vec::with_capacity(spec.modules.len());
+    for (mi, module) in spec.modules.iter().enumerate() {
+        let node = g.push(node_of(
+            format!("module{mi}/fwd"),
+            &costs::module_forward(module, b),
+        ));
+        let deps: Vec<usize> = module_chains[mi]
+            .iter()
+            .filter_map(|&c| chain_last[c])
+            .collect();
+        if deps.is_empty() {
+            g.dep(load, node);
+        }
+        for d in deps {
+            g.dep(d, node);
+        }
+        module_fwd.push(node);
+    }
+
+    // MLP forward + backward.
+    let fwd = g.push(node_of("mlp/fwd".into(), &costs::mlp_forward(&spec.mlp, b)));
+    if module_fwd.is_empty() {
+        let lasts: Vec<usize> = chain_last.iter().filter_map(|&t| t).collect();
+        if lasts.is_empty() {
+            g.dep(load, fwd);
+        }
+        for d in lasts {
+            g.dep(d, fwd);
+        }
+    } else {
+        for &m in &module_fwd {
+            g.dep(m, fwd);
+        }
+    }
+    let bwd = g.push(node_of(
+        "mlp/bwd".into(),
+        &costs::mlp_backward(&spec.mlp, b),
+    ));
+    g.dep(fwd, bwd);
+
+    // Module backward.
+    let mut module_bwd: Vec<usize> = Vec::with_capacity(spec.modules.len());
+    for (mi, module) in spec.modules.iter().enumerate() {
+        let node = g.push(node_of(
+            format!("module{mi}/bwd"),
+            &costs::module_backward(module, b),
+        ));
+        g.dep(bwd, node);
+        module_bwd.push(node);
+    }
+
+    // Embedding backward per chain.
+    let mut bwd_ends: Vec<usize> = Vec::new();
+    for (ci, chain) in spec.chains.iter().enumerate() {
+        let deps: Vec<usize> = if chain_consumers[ci].is_empty() {
+            vec![bwd]
+        } else {
+            chain_consumers[ci]
+                .iter()
+                .map(|&mi| module_bwd[mi])
+                .collect()
+        };
+        let mut prev: Option<usize> = None;
+        for (si, st) in costs::chain_backward(chain, b, &ctx).iter().enumerate() {
+            let node = g.push(node_of(format!("chain{ci}/b{si}"), st));
+            match prev {
+                Some(p) => g.dep(p, node),
+                None => {
+                    for &d in &deps {
+                        g.dep(d, node);
+                    }
+                }
+            }
+            prev = Some(node);
+        }
+        if let Some(p) = prev {
+            bwd_ends.push(p);
+        }
+    }
+    bwd_ends.push(bwd);
+    bwd_ends.extend(module_bwd);
+
+    // Dense parameter synchronization.
+    let sparse_grad_bytes = if matches!(strategy, Strategy::DataParallel) {
+        spec.chains
+            .iter()
+            .map(|c| {
+                cfg.batch_per_executor as f64
+                    * c.ids_per_instance
+                    * c.unique_ratio
+                    * c.dim as f64
+                    * 4.0
+            })
+            .sum()
+    } else {
+        0.0
+    };
+    let mut prev: Option<usize> = None;
+    for (si, st) in costs::dense_sync_stages(spec.dense_params(), sparse_grad_bytes, &ctx)
+        .iter()
+        .enumerate()
+    {
+        let node = g.push(node_of(format!("sync/{si}"), st));
+        match prev {
+            Some(p) => g.dep(p, node),
+            None => {
+                for &d in &bwd_ends {
+                    g.dep(d, node);
+                }
+            }
+        }
+        prev = Some(node);
+    }
+    g
+}
+
+/// Runs the stage-surface rules on the lowered graph of `spec`.
+pub fn stage_lints(spec: &WdlSpec, strategy: Strategy, cfg: &SimConfig) -> Vec<Diagnostic> {
+    stage_graph(spec, strategy, cfg).analyze()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use picasso_data::DatasetSpec;
+    use picasso_graph::k_interleaving;
+    use picasso_models::ModelKind;
+    use picasso_sim::MachineSpec;
+
+    fn cfg() -> SimConfig {
+        SimConfig {
+            batch_per_executor: 1024,
+            iterations: 1,
+            machines: 2,
+            machine: MachineSpec::eflops(),
+            quantized_comm: false,
+        }
+    }
+
+    #[test]
+    fn lowered_dlrm_graph_is_lint_clean() {
+        let data = DatasetSpec::criteo();
+        let spec = ModelKind::Dlrm.build(&data);
+        let diags = stage_lints(&spec, Strategy::Hybrid, &cfg());
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn every_framework_strategy_lowers_clean() {
+        let data = DatasetSpec::criteo();
+        let spec = ModelKind::WideDeep.build(&data);
+        for strategy in [
+            Strategy::Hybrid,
+            Strategy::DataParallel,
+            Strategy::PsAsync { servers: 1 },
+            Strategy::PsSync { servers: 1 },
+        ] {
+            let diags = stage_lints(&spec, strategy, &cfg());
+            assert!(diags.is_empty(), "{strategy:?}: {diags:?}");
+        }
+    }
+
+    #[test]
+    fn fused_chains_record_same_class_fusions() {
+        let data = DatasetSpec::criteo();
+        let mut spec = ModelKind::Dlrm.build(&data);
+        for c in &mut spec.chains {
+            c.fused_unique_partition = true;
+            c.fused_shuffle_stitch = true;
+        }
+        let g = stage_graph(&spec, Strategy::Hybrid, &cfg());
+        assert_eq!(g.fusions.len(), spec.chains.len() * 2);
+        let diags = g.analyze();
+        assert!(
+            diags.iter().all(|d| d.rule != "stage.cross-class-fusion"),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn backward_group_dep_closes_a_cycle() {
+        let data = DatasetSpec::criteo();
+        let mut spec = k_interleaving::apply(&ModelKind::Dlrm.build(&data), 3);
+        assert!(spec.group_count() >= 2, "need at least two groups");
+        spec.group_deps = vec![(1, 0)];
+        let diags = stage_lints(&spec, Strategy::Hybrid, &cfg());
+        assert!(
+            diags.iter().any(|d| d.rule == "stage.dependency-cycle"),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn forward_group_dep_stays_acyclic() {
+        let data = DatasetSpec::criteo();
+        let mut spec = k_interleaving::apply(&ModelKind::Dlrm.build(&data), 3);
+        spec.group_deps = vec![(0, spec.group_count() as u32 - 1)];
+        let diags = stage_lints(&spec, Strategy::Hybrid, &cfg());
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn out_of_range_group_deps_are_ignored_by_the_builder() {
+        // The spec rule `spec.group-dep-range` warns on these; the builder
+        // must not panic or fabricate edges.
+        let data = DatasetSpec::criteo();
+        let mut spec = ModelKind::Dlrm.build(&data);
+        spec.group_deps = vec![(7, 9)];
+        let diags = stage_lints(&spec, Strategy::Hybrid, &cfg());
+        assert!(diags.iter().all(|d| d.rule != "stage.dependency-cycle"));
+    }
+}

@@ -299,9 +299,20 @@ pub fn simulate(
                 // Embedding layer, group by group.
                 let mut gate: Vec<TaskId> = Vec::new();
                 let mut chain_last: Vec<Option<TaskId>> = vec![None; spec.chains.len()];
-                for group in &groups {
+                // Communication tasks per group, for declared `group_deps`
+                // edges. Only forward edges (from < to) are honored here;
+                // the lint layer rejects self/backward edges before the
+                // scheduler runs.
+                let mut group_comm: Vec<Vec<TaskId>> = Vec::with_capacity(groups.len());
+                for (gi, group) in groups.iter().enumerate() {
                     let group_start = engine.task_count();
                     let mut next_gate: Vec<TaskId> = Vec::new();
+                    let extra: Vec<TaskId> = spec
+                        .group_deps
+                        .iter()
+                        .filter(|&&(from, to)| to as usize == gi && (from as usize) < gi)
+                        .flat_map(|&(from, _)| group_comm[from as usize].iter().copied())
+                        .collect();
                     for &ci in group {
                         let chain = &spec.chains[ci];
                         let (stages, comm_idx) = costs::chain_forward(chain, b, &ctx);
@@ -322,6 +333,11 @@ pub fn simulate(
                             // interconnect sees paced, not bursty, arrivals.
                             if si == comm_idx && !chain.interleave_excluded {
                                 deps.extend(gate.iter().copied());
+                                for &t in &extra {
+                                    if !deps.contains(&t) {
+                                        deps.push(t);
+                                    }
+                                }
                             }
                             let t = add(&mut engine, e, st, &deps, dispatch_scale)?;
                             if si == comm_idx {
@@ -335,6 +351,7 @@ pub fn simulate(
                         chain_last[ci] = prev;
                         prev_micro_comm[ci] = comm_task.or(prev);
                     }
+                    group_comm.push(next_gate.clone());
                     if !next_gate.is_empty() {
                         gate = next_gate;
                     }
@@ -495,7 +512,7 @@ pub fn simulate(
 
 /// Splits `batch` into `micro` near-equal parts; part `m` gets the
 /// remainder-adjusted share.
-fn split_batch(batch: usize, micro: usize, m: usize) -> usize {
+pub(crate) fn split_batch(batch: usize, micro: usize, m: usize) -> usize {
     let base = batch / micro;
     let rem = batch % micro;
     base + usize::from(m < rem)

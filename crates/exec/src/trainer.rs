@@ -9,7 +9,8 @@ use crate::warmup::{run_warmup, WarmupConfig, WarmupReport};
 use picasso_data::DatasetSpec;
 use picasso_embedding::{PackPlan, PlannerConfig};
 use picasso_graph::{
-    graph_stats, PassId, PassReport, Pipeline, PipelineError, PlanContext, WdlSpec,
+    graph_stats, lint_spec, Diagnostic, PassId, PassReport, Pipeline, PipelineError, PlanContext,
+    Severity, WdlSpec,
 };
 use picasso_models::ModelKind;
 use picasso_obs::{Tracer, WallClock};
@@ -29,6 +30,10 @@ pub enum TrainError {
     /// Lowering produced an invalid task graph (a dependency cycle or a
     /// dangling reference the engine rejected).
     Lowering(EngineError),
+    /// Static analysis found error-severity diagnostics; the run was
+    /// aborted before scheduling. The payload holds only the errors —
+    /// call [`lint`] for the full report including warnings.
+    Lint(Vec<Diagnostic>),
 }
 
 impl fmt::Display for TrainError {
@@ -36,6 +41,17 @@ impl fmt::Display for TrainError {
         match self {
             TrainError::Pipeline(e) => write!(f, "invalid optimization pipeline: {e}"),
             TrainError::Lowering(e) => write!(f, "lowering produced an invalid task graph: {e}"),
+            TrainError::Lint(diags) => {
+                write!(
+                    f,
+                    "static analysis rejected the run: {} error(s)",
+                    diags.len()
+                )?;
+                for d in diags {
+                    write!(f, "\n  {d}")?;
+                }
+                Ok(())
+            }
         }
     }
 }
@@ -45,6 +61,7 @@ impl std::error::Error for TrainError {
         match self {
             TrainError::Pipeline(e) => Some(e),
             TrainError::Lowering(e) => Some(e),
+            TrainError::Lint(_) => None,
         }
     }
 }
@@ -90,6 +107,11 @@ pub struct TrainerOptions {
     /// "quantitative communication" extension; orthogonal to the PICASSO
     /// optimizations and off by default because it is precision-lossy).
     pub quantized_comm: bool,
+    /// Extra control-dependency edges `(from, to)` between K-interleaving
+    /// groups, layered over the implicit Fig. 8c stagger. Overrides the
+    /// spec's own `group_deps` when nonempty. Self/backward edges are
+    /// rejected by static analysis before the scheduler runs.
+    pub group_deps: Vec<(u32, u32)>,
 }
 
 impl Default for TrainerOptions {
@@ -106,6 +128,7 @@ impl Default for TrainerOptions {
             max_batch: 65_536,
             excluded_tables: Vec::new(),
             quantized_comm: false,
+            group_deps: Vec::new(),
         }
     }
 }
@@ -125,6 +148,9 @@ pub struct RunArtifacts {
     pub output: SimulationOutput,
     /// What each applied optimization pass did to the graph, in order.
     pub pass_reports: Vec<PassReport>,
+    /// Every static-analysis finding (all of warning severity or below —
+    /// errors abort the run with [`TrainError::Lint`] instead).
+    pub lint: Vec<Diagnostic>,
 }
 
 /// Runs `model` on `data` under a named framework preset.
@@ -145,6 +171,20 @@ pub fn train(
     )
 }
 
+/// Runs the full static analyzer over the planned run without simulating:
+/// spec rules (with the dataset's per-table dims as the Eq. 1 oracle),
+/// plan rules on the pass pipeline, and stage rules on the lowered graph.
+/// Returns *all* diagnostics, errors included.
+pub fn lint(
+    model: ModelKind,
+    data: &Arc<DatasetSpec>,
+    strategy: Strategy,
+    optimizations: Optimizations,
+    opts: &TrainerOptions,
+) -> Result<Vec<Diagnostic>, TrainError> {
+    Ok(prepare(model, data, strategy, optimizations, opts)?.diagnostics)
+}
+
 /// Runs `model` with an explicit strategy and optimization pipeline (used
 /// by the Table IV ablation and the Fig. 14 sweeps).
 pub fn run(
@@ -155,6 +195,59 @@ pub fn run(
     label: &str,
     opts: &TrainerOptions,
 ) -> Result<RunArtifacts, TrainError> {
+    let p = prepare(model, data, strategy, optimizations, opts)?;
+    let errors: Vec<Diagnostic> = p
+        .diagnostics
+        .iter()
+        .filter(|d| d.severity == Severity::Error)
+        .cloned()
+        .collect();
+    if !errors.is_empty() {
+        return Err(TrainError::Lint(errors));
+    }
+    let out = simulate(&p.spec, strategy, &p.cfg)?;
+    let report = TrainingReport::from_simulation(
+        label,
+        p.spec.name.clone(),
+        &out,
+        graph_stats(&p.spec),
+        p.micro,
+        p.groups,
+        p.hit,
+    );
+    Ok(RunArtifacts {
+        report,
+        spec: p.spec,
+        warmup: p.warmup,
+        output: out,
+        pass_reports: p.pass_reports,
+        lint: p.diagnostics,
+    })
+}
+
+/// Everything [`prepare`] derives before the simulation gate: the planned
+/// spec, measurement context, simulation shape, and every static-analysis
+/// finding over all three surfaces.
+struct Prepared {
+    spec: WdlSpec,
+    warmup: WarmupReport,
+    pass_reports: Vec<PassReport>,
+    diagnostics: Vec<Diagnostic>,
+    cfg: SimConfig,
+    micro: usize,
+    groups: usize,
+    hit: f64,
+}
+
+/// Warm-up, pass pipeline, batch sizing, analytic ratios, and the full
+/// static analysis — everything up to (but excluding) the simulation.
+fn prepare(
+    model: ModelKind,
+    data: &Arc<DatasetSpec>,
+    strategy: Strategy,
+    optimizations: Optimizations,
+    opts: &TrainerOptions,
+) -> Result<Prepared, TrainError> {
     let pipeline = Pipeline::from_config(&optimizations)?;
     let spec = model.build(data);
     let caching = optimizations.enables(PassId::Caching);
@@ -191,7 +284,10 @@ pub fn run(
     // track plus before/after op accounting (Table V). Every configured
     // pass reports, including ones whose planner derived a no-op.
     let pass_tracer = Tracer::new(WallClock::new());
-    let (mut spec, pass_reports) = pipeline.run(&spec, &mut ctx, &pass_tracer);
+    let (mut spec, pass_reports, mut diagnostics) = pipeline.run(&spec, &mut ctx, &pass_tracer);
+    if !opts.group_deps.is_empty() {
+        spec.group_deps = opts.group_deps.clone();
+    }
 
     let micro = ctx.derived.micro_batches;
     let groups = ctx.derived.groups;
@@ -224,22 +320,27 @@ pub fn run(
         machine: opts.machine.clone(),
         quantized_comm: opts.quantized_comm,
     };
-    let out = simulate(&spec, strategy, &cfg)?;
-    let report = TrainingReport::from_simulation(
-        label,
-        spec.name.clone(),
-        &out,
-        graph_stats(&spec),
+
+    // Static analysis over the remaining two surfaces (the plan surface
+    // was linted inside `pipeline.run`): spec rules against the dataset's
+    // per-table dims (the Eq. 1 homogeneity oracle), then stage rules on
+    // the lowered execution graph.
+    let table_dims: BTreeMap<usize, usize> =
+        data.fields.iter().map(|f| (f.table_group, f.dim)).collect();
+    let mut spec_diags = lint_spec(&spec, Some(&table_dims));
+    spec_diags.append(&mut diagnostics);
+    let mut diagnostics = spec_diags;
+    diagnostics.extend(crate::lint::stage_lints(&spec, strategy, &cfg));
+
+    Ok(Prepared {
+        spec,
+        warmup,
+        pass_reports,
+        diagnostics,
+        cfg,
         micro,
         groups,
         hit,
-    );
-    Ok(RunArtifacts {
-        report,
-        spec,
-        warmup,
-        output: out,
-        pass_reports,
     })
 }
 
@@ -450,6 +551,71 @@ mod tests {
         noop("d_interleaving");
         assert_eq!(r.report.micro_batches, 1);
         assert_eq!(r.report.groups, 1);
+    }
+
+    #[test]
+    fn cyclic_group_deps_are_rejected_before_scheduling() {
+        let data = DatasetSpec::criteo().shared();
+        let mut opts = quick_opts();
+        opts.groups = Some(3);
+        // Group 1 already waits on group 0 through the implicit stagger;
+        // declaring 1 -> 0 closes a control-dependency cycle.
+        opts.group_deps = vec![(1, 0)];
+        let err = train(ModelKind::Dlrm, &data, Framework::Picasso, &opts).unwrap_err();
+        match &err {
+            TrainError::Lint(diags) => {
+                assert!(
+                    diags.iter().any(|d| d.rule == "stage.dependency-cycle"),
+                    "{diags:?}"
+                );
+                assert!(diags.iter().all(|d| d.severity == Severity::Error));
+            }
+            other => panic!("expected a lint rejection, got {other:?}"),
+        }
+        assert!(err.to_string().contains("static analysis rejected the run"));
+    }
+
+    #[test]
+    fn forward_group_deps_schedule_and_lint_clean() {
+        let data = DatasetSpec::criteo().shared();
+        let mut opts = quick_opts();
+        opts.groups = Some(3);
+        opts.group_deps = vec![(0, 2)];
+        let r = train(ModelKind::Dlrm, &data, Framework::Picasso, &opts).unwrap();
+        assert!(r.report.ips_per_node > 0.0);
+        assert!(r.lint.iter().all(|d| d.severity < Severity::Error));
+    }
+
+    #[test]
+    fn healthy_runs_carry_no_lint_errors() {
+        let data = DatasetSpec::criteo().shared();
+        let opts = quick_opts();
+        for framework in [Framework::Picasso, Framework::TfPs, Framework::Horovod] {
+            let r = train(ModelKind::Dlrm, &data, framework, &opts).unwrap();
+            assert!(
+                r.lint.iter().all(|d| d.severity < Severity::Error),
+                "{framework:?}: {:?}",
+                r.lint
+            );
+        }
+    }
+
+    #[test]
+    fn lint_returns_all_diagnostics_without_simulating() {
+        let data = DatasetSpec::criteo().shared();
+        let mut opts = quick_opts();
+        opts.groups = Some(2);
+        opts.group_deps = vec![(1, 1)];
+        // Unlike `run`, `lint` reports the errors instead of failing.
+        let diags = lint(
+            ModelKind::Dlrm,
+            &data,
+            Strategy::Hybrid,
+            Optimizations::all(),
+            &opts,
+        )
+        .unwrap();
+        assert!(diags.iter().any(|d| d.rule == "stage.dependency-cycle"));
     }
 
     #[test]

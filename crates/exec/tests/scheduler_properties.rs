@@ -37,6 +37,7 @@ fn small_spec_strategy() -> impl Strategy<Value = WdlSpec> {
             mlp: MlpSpec::new(16, vec![8, 1]),
             micro_batches: micro,
             interleave_from: Layer::Embedding,
+            group_deps: Vec::new(),
         }
     })
 }

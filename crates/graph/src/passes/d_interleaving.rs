@@ -89,6 +89,7 @@ mod tests {
             mlp: MlpSpec::new(8, vec![1]),
             micro_batches: 1,
             interleave_from: Layer::Embedding,
+            group_deps: Vec::new(),
         }
     }
 

@@ -139,6 +139,7 @@ mod tests {
             mlp: MlpSpec::new(16, vec![1]),
             micro_batches: 1,
             interleave_from: Layer::Embedding,
+            group_deps: Vec::new(),
         }
     }
 

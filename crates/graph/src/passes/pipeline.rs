@@ -87,11 +87,11 @@ impl PassId {
     }
 
     /// Packing passes must run before interleaving passes.
-    fn is_packing(self) -> bool {
+    pub(crate) fn is_packing(self) -> bool {
         matches!(self, PassId::DPacking | PassId::KPacking)
     }
 
-    fn is_interleaving(self) -> bool {
+    pub(crate) fn is_interleaving(self) -> bool {
         matches!(self, PassId::KInterleaving | PassId::DInterleaving)
     }
 }
@@ -395,18 +395,19 @@ impl Pass for KPackingPass {
 /// participate in volume balancing.
 struct KInterleavingPass;
 
-impl KInterleavingPass {
-    /// Eq. 3-derived group count for the machine's interconnect bounds.
-    fn auto_groups(spec: &WdlSpec, ctx: &PlanContext, batch: usize) -> usize {
-        // Params one group may process per pipeline window on its tightest
-        // resource (network and PCIe both move ~4 bytes per parameter).
-        let capacity_batch = k_interleaving::eq3_capacity(&[
-            (ctx.machine.nic_bw * ctx.group_window_secs, 4.0),
-            (ctx.machine.pcie_bw * ctx.group_window_secs, 4.0),
-        ]);
-        let capacity_per_instance = capacity_batch / batch.max(1) as f64;
-        k_interleaving::auto_group_count(spec, capacity_per_instance).clamp(1, 11)
-    }
+/// Eq. 3-derived group count for the machine's interconnect bounds. Shared
+/// between the K-Interleaving planner and the plan-surface lint (which
+/// re-derives the capacity-respecting count to flag explicit overrides
+/// that overfill a group).
+pub(crate) fn eq3_auto_groups(spec: &WdlSpec, ctx: &PlanContext, batch: usize) -> usize {
+    // Params one group may process per pipeline window on its tightest
+    // resource (network and PCIe both move ~4 bytes per parameter).
+    let capacity_batch = k_interleaving::eq3_capacity(&[
+        (ctx.machine.nic_bw * ctx.group_window_secs, 4.0),
+        (ctx.machine.pcie_bw * ctx.group_window_secs, 4.0),
+    ]);
+    let capacity_per_instance = capacity_batch / batch.max(1) as f64;
+    k_interleaving::auto_group_count(spec, capacity_per_instance).clamp(1, 11)
 }
 
 impl Pass for KInterleavingPass {
@@ -418,11 +419,11 @@ impl Pass for KInterleavingPass {
         let base = ctx.plan_base_batch(spec);
         ctx.derived.groups = match ctx.groups {
             Some(g) => g,
-            None if ctx.excluded_tables.is_empty() => Self::auto_groups(spec, ctx, base),
+            None if ctx.excluded_tables.is_empty() => eq3_auto_groups(spec, ctx, base),
             None => {
                 // Excluded chains don't count toward the Eq. 3 volume.
                 let marked = k_interleaving::mark_excluded(spec, &ctx.excluded_tables);
-                Self::auto_groups(&marked, ctx, base)
+                eq3_auto_groups(&marked, ctx, base)
             }
         };
     }
@@ -511,13 +512,17 @@ impl Pipeline {
 
     /// Plans and applies every pass in order, instrumented: each pass —
     /// including ones that derive a no-op — lands a span on the tracer's
-    /// `passes` track and a [`PassReport`] in the returned list.
+    /// `passes` track and a [`PassReport`] in the returned list. The
+    /// plan-surface analyzer then runs over the transformed spec and the
+    /// derived plan; its findings are returned as the third element
+    /// (enabled-but-no-op passes, Eq. 2 split problems, Eq. 3 capacity
+    /// violations — see `crate::lint`).
     pub fn run<C: Clock>(
         &self,
         spec: &WdlSpec,
         ctx: &mut PlanContext,
         tracer: &Tracer<C>,
-    ) -> (WdlSpec, Vec<PassReport>) {
+    ) -> (WdlSpec, Vec<PassReport>, Vec<picasso_lint::Diagnostic>) {
         let mut spec = spec.clone();
         let mut reports = Vec::with_capacity(self.passes.len());
         for pass in &self.passes {
@@ -526,7 +531,8 @@ impl Pipeline {
             spec = next;
             reports.push(report);
         }
-        (spec, reports)
+        let diagnostics = crate::lint::lint_plan(&spec, ctx, &self.config, &reports);
+        (spec, reports, diagnostics)
     }
 }
 
@@ -547,6 +553,7 @@ mod tests {
             mlp: MlpSpec::new(8, vec![64, 1]),
             micro_batches: 1,
             interleave_from: Layer::Embedding,
+            group_deps: Vec::new(),
         }
     }
 
@@ -648,7 +655,7 @@ mod tests {
         ctx.micro_batches = Some(1);
         let tracer = Tracer::new(ManualClock::new());
         let base = spec(6);
-        let (out, reports) = pipeline.run(&base, &mut ctx, &tracer);
+        let (out, reports, diags) = pipeline.run(&base, &mut ctx, &tracer);
         assert_eq!(reports.len(), 2);
         assert_eq!(reports[0].pass, "k_interleaving");
         assert_eq!(reports[1].pass, "d_interleaving");
@@ -658,6 +665,16 @@ mod tests {
         assert_eq!(out.micro_batches, 1);
         assert_eq!(out.group_count(), 1);
         assert_eq!(tracer.spans().len(), 2);
+        // Both passes were enabled but planned no-ops: the plan analyzer
+        // flags each as a warning, never an error.
+        let noops: Vec<_> = diags
+            .iter()
+            .filter(|d| d.rule == "plan.noop-pass")
+            .collect();
+        assert_eq!(noops.len(), 2, "{diags:?}");
+        assert!(diags
+            .iter()
+            .all(|d| d.severity != picasso_lint::Severity::Error));
     }
 
     #[test]
@@ -669,7 +686,13 @@ mod tests {
         ctx.micro_batches = Some(3);
         let pipeline = Pipeline::from_config(&PipelineConfig::all()).unwrap();
         let tracer = Tracer::new(ManualClock::new());
-        let (out, reports) = pipeline.run(&base, &mut ctx, &tracer);
+        let (out, reports, diags) = pipeline.run(&base, &mut ctx, &tracer);
+        assert!(
+            diags
+                .iter()
+                .all(|d| d.severity != picasso_lint::Severity::Error),
+            "{diags:?}"
+        );
         assert_eq!(out.chains.len(), 4);
         assert_eq!(out.group_count(), 2);
         assert_eq!(out.micro_batches, 3);
@@ -689,7 +712,7 @@ mod tests {
         let pipeline =
             Pipeline::from_config(&PipelineConfig::new(vec![PassId::KInterleaving])).unwrap();
         let tracer = Tracer::new(ManualClock::new());
-        let (out, _) = pipeline.run(&base, &mut ctx, &tracer);
+        let (out, _, _) = pipeline.run(&base, &mut ctx, &tracer);
         let excluded: Vec<_> = out
             .chains
             .iter()

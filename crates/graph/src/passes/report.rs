@@ -137,6 +137,7 @@ mod tests {
             mlp: MlpSpec::new(8, vec![64, 1]),
             micro_batches: 1,
             interleave_from: Layer::Embedding,
+            group_deps: Vec::new(),
         }
     }
 

@@ -222,6 +222,13 @@ pub struct WdlSpec {
     pub micro_batches: usize,
     /// Layer from which D-interleaving applies (Fig. 8a vs 8b).
     pub interleave_from: Layer,
+    /// Extra control-dependency edges `(from, to)` between K-interleaving
+    /// groups, on top of the implicit `g -> g+1` stagger chain (Fig. 8c).
+    /// Group `to`'s communication gate additionally waits on group
+    /// `from`'s. Only forward edges (`from < to`) are schedulable; the
+    /// lint layer rejects self/backward edges (which would close a cycle
+    /// with the implicit chain) before the scheduler ever sees them.
+    pub group_deps: Vec<(u32, u32)>,
 }
 
 impl WdlSpec {
@@ -277,29 +284,21 @@ impl WdlSpec {
             .unwrap_or(0)
     }
 
-    /// Validates internal consistency (field coverage, group compactness).
-    pub fn validate(&self) -> Result<(), String> {
-        let mut fields: Vec<u32> = self.chains.iter().flat_map(|c| c.fields.clone()).collect();
-        let n = fields.len();
-        fields.sort_unstable();
-        fields.dedup();
-        if fields.len() != n {
-            return Err("a field appears in more than one chain".into());
+    /// Validates internal consistency by running the spec-surface lint
+    /// rules (see [`crate::lint::lint_spec`]) and keeping the
+    /// error-severity findings. `Ok(())` means the spec is structurally
+    /// sound; warnings (unused fields, out-of-range group deps) do not
+    /// fail validation.
+    pub fn validate(&self) -> Result<(), Vec<picasso_lint::Diagnostic>> {
+        let errors: Vec<_> = crate::lint::lint_spec(self, None)
+            .into_iter()
+            .filter(|d| d.severity == picasso_lint::Severity::Error)
+            .collect();
+        if errors.is_empty() {
+            Ok(())
+        } else {
+            Err(errors)
         }
-        for m in &self.modules {
-            for f in &m.input_fields {
-                if !fields.contains(f) {
-                    return Err(format!(
-                        "module {:?} consumes field {f} not produced by any chain",
-                        m.kind
-                    ));
-                }
-            }
-        }
-        if self.micro_batches == 0 {
-            return Err("micro_batches must be >= 1".into());
-        }
-        Ok(())
     }
 }
 
@@ -329,6 +328,7 @@ mod tests {
             mlp: MlpSpec::new(16, vec![64, 1]),
             micro_batches: 1,
             interleave_from: Layer::Embedding,
+            group_deps: Vec::new(),
         }
     }
 
@@ -384,5 +384,40 @@ mod tests {
         let mut s = small_spec();
         s.micro_batches = 0;
         assert!(s.validate().is_err());
+    }
+
+    #[test]
+    fn validate_catches_empty_chain_fields() {
+        let mut s = small_spec();
+        s.chains[1].fields.clear();
+        s.modules[0].input_fields = vec![0, 1];
+        let errs = s.validate().unwrap_err();
+        assert!(
+            errs.iter().any(|d| d.rule == "spec.empty-chain"),
+            "{errs:?}"
+        );
+    }
+
+    #[test]
+    fn validate_catches_module_with_no_inputs() {
+        let mut s = small_spec();
+        // Dense DnnTowers may take zero embedding inputs; an FM cannot.
+        s.modules[0].kind = ModuleKind::Fm;
+        s.modules[0].input_fields.clear();
+        let errs = s.validate().unwrap_err();
+        assert!(
+            errs.iter().any(|d| d.rule == "spec.no-input-module"),
+            "{errs:?}"
+        );
+    }
+
+    #[test]
+    fn validate_reports_every_violation_not_just_the_first() {
+        let mut s = small_spec();
+        s.chains[1].fields = vec![0]; // duplicate of chain 0's field
+        s.micro_batches = 0;
+        let errs = s.validate().unwrap_err();
+        assert!(errs.iter().any(|d| d.rule == "spec.duplicate-field"));
+        assert!(errs.iter().any(|d| d.rule == "spec.zero-micro-batches"));
     }
 }

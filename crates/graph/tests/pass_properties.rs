@@ -21,7 +21,9 @@ fn spec_strategy() -> impl Strategy<Value = WdlSpec> {
                 c
             })
             .collect();
-        let n_modules = 1 + n_modules_seed % 5;
+        // Cap the module count at the table count: a module whose field
+        // filter comes up empty would violate `spec.no-input-module`.
+        let n_modules = (1 + n_modules_seed % 5).min(n);
         let modules: Vec<InteractionModule> = (0..n_modules)
             .map(|m| {
                 let fields: Vec<u32> = (0..n as u32)
@@ -46,6 +48,7 @@ fn spec_strategy() -> impl Strategy<Value = WdlSpec> {
             mlp: MlpSpec::new(64, vec![32, 1]),
             micro_batches: 1,
             interleave_from: Layer::Embedding,
+            group_deps: Vec::new(),
         }
     })
 }

@@ -1,0 +1,261 @@
+//! The rule registry: every rule id the analyzer can emit, its surface,
+//! default severity, and paper grounding.
+//!
+//! Rule ids are stable strings of the form `surface.rule-name`. The
+//! registry is the single source of truth for documentation (`DESIGN.md`
+//! §11 is generated from the same facts) and lets renderers and tests
+//! check that no diagnostic is emitted under an unregistered id.
+
+use crate::Severity;
+
+/// Which artifact a rule inspects.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Surface {
+    /// The `WdlSpec` before any pass runs.
+    Spec,
+    /// A planned pass pipeline (`PlanContext` + pass reports).
+    Plan,
+    /// The lowered execution stage graph.
+    Stage,
+}
+
+impl Surface {
+    /// Stable lowercase name (also the rule-id prefix).
+    pub fn name(self) -> &'static str {
+        match self {
+            Surface::Spec => "spec",
+            Surface::Plan => "plan",
+            Surface::Stage => "stage",
+        }
+    }
+}
+
+/// Static description of one rule.
+#[derive(Debug, Clone, Copy)]
+pub struct RuleInfo {
+    /// Stable id, `surface.rule-name`.
+    pub id: &'static str,
+    /// Which artifact the rule inspects.
+    pub surface: Surface,
+    /// Severity the rule emits at (fixed per rule).
+    pub severity: Severity,
+    /// One-line description.
+    pub summary: &'static str,
+    /// Where in the paper the invariant comes from.
+    pub grounding: &'static str,
+}
+
+/// Every rule the analyzer can emit, grouped by surface.
+pub const RULES: &[RuleInfo] = &[
+    // ------------------------------------------------------------------
+    // Spec surface.
+    // ------------------------------------------------------------------
+    RuleInfo {
+        id: "spec.duplicate-field",
+        surface: Surface::Spec,
+        severity: Severity::Error,
+        summary: "a feature field is produced by more than one embedding chain",
+        grounding: "Eq. 1 sharding assigns each field to exactly one packed shard",
+    },
+    RuleInfo {
+        id: "spec.dangling-input",
+        surface: Surface::Spec,
+        severity: Severity::Error,
+        summary: "an interaction module consumes a field no chain produces",
+        grounding: "Fig. 2 WDL dataflow: every module input is an embedding output",
+    },
+    RuleInfo {
+        id: "spec.empty-chain",
+        surface: Surface::Spec,
+        severity: Severity::Error,
+        summary: "an embedding chain produces no fields",
+        grounding: "a chain with no fields lowers to zero-volume stages that still gate groups",
+    },
+    RuleInfo {
+        id: "spec.no-input-module",
+        surface: Surface::Spec,
+        severity: Severity::Error,
+        summary: "an interaction module consumes zero fields",
+        grounding: "Fig. 2 WDL dataflow: interaction ops combine embedding outputs",
+    },
+    RuleInfo {
+        id: "spec.zero-cardinality",
+        surface: Surface::Spec,
+        severity: Severity::Error,
+        summary: "a chain has no tables, a zero embedding dim, or no ids per instance",
+        grounding: "Eq. 1/§III-B: packed shards are sized by table count × dim × lookups",
+    },
+    RuleInfo {
+        id: "spec.dim-mismatch",
+        surface: Surface::Spec,
+        severity: Severity::Error,
+        summary: "a chain packs tables whose embedding dims disagree with the chain dim",
+        grounding: "Eq. 1: D-Packing merges only dim-homogeneous tables into one shard",
+    },
+    RuleInfo {
+        id: "spec.unused-field",
+        surface: Surface::Spec,
+        severity: Severity::Warn,
+        summary: "a produced field is consumed by no interaction module",
+        grounding: "dead embedding output wastes Gather/Shuffle volume (§III-B)",
+    },
+    RuleInfo {
+        id: "spec.zero-micro-batches",
+        surface: Surface::Spec,
+        severity: Severity::Error,
+        summary: "micro_batches is zero",
+        grounding: "Eq. 2: D-Interleaving divides the batch into at least one micro-batch",
+    },
+    RuleInfo {
+        id: "spec.group-dep-range",
+        surface: Surface::Spec,
+        severity: Severity::Warn,
+        summary: "a declared group dependency references a group no chain belongs to",
+        grounding: "Fig. 8c: control dependencies only exist between populated groups",
+    },
+    // ------------------------------------------------------------------
+    // Plan surface.
+    // ------------------------------------------------------------------
+    RuleInfo {
+        id: "plan.pass-duplicate",
+        surface: Surface::Plan,
+        severity: Severity::Error,
+        summary: "the same pass is listed twice in the pipeline",
+        grounding: "§III passes are idempotent rewrites; re-running one double-applies Eq. 1/2/3",
+    },
+    RuleInfo {
+        id: "plan.pass-order",
+        surface: Surface::Plan,
+        severity: Severity::Error,
+        summary: "a packing pass runs after an interleaving pass",
+        grounding: "§III-C: interleaving groups are formed over the packed graph",
+    },
+    RuleInfo {
+        id: "plan.micro-split",
+        surface: Surface::Plan,
+        severity: Severity::Error,
+        summary: "the derived micro-batch count cannot split the Eq. 2 base batch",
+        grounding: "Eq. 2: micro-batches partition the batch; more splits than instances is degenerate",
+    },
+    RuleInfo {
+        id: "plan.micro-uneven",
+        surface: Surface::Plan,
+        severity: Severity::Info,
+        summary: "the base batch does not divide evenly into the derived micro-batches",
+        grounding: "Eq. 2 assumes equal micro-batches; a remainder skews the last split",
+    },
+    RuleInfo {
+        id: "plan.group-capacity",
+        surface: Surface::Plan,
+        severity: Severity::Warn,
+        summary: "an explicit group count leaves per-group volume above the Eq. 3 capacity",
+        grounding: "Eq. 3: RBound/RParam bounds the parameters one group may move per window",
+    },
+    RuleInfo {
+        id: "plan.excluded-unknown",
+        surface: Surface::Plan,
+        severity: Severity::Warn,
+        summary: "an excluded table id is covered by no chain",
+        grounding: "§III-C preset excluded embedding must name real tables to take effect",
+    },
+    RuleInfo {
+        id: "plan.noop-pass",
+        surface: Surface::Plan,
+        severity: Severity::Warn,
+        summary: "an enabled pass planned a no-op",
+        grounding: "an enabled-but-inert pass (1 group, 1 micro-batch, empty pack map) hides a config mistake",
+    },
+    // ------------------------------------------------------------------
+    // Stage surface.
+    // ------------------------------------------------------------------
+    RuleInfo {
+        id: "stage.dependency-cycle",
+        surface: Surface::Stage,
+        severity: Severity::Error,
+        summary: "the control-dependency graph contains a cycle",
+        grounding: "Fig. 8c chained control dependencies must stay acyclic or scheduling deadlocks",
+    },
+    RuleInfo {
+        id: "stage.cross-class-fusion",
+        surface: Surface::Stage,
+        severity: Severity::Error,
+        summary: "a fused kernel spans more than one hardware resource class",
+        grounding: "Fig. 7: K-Packing fuses ops bound by the same resource (e.g. Shuffle+Stitch on interconnect)",
+    },
+    RuleInfo {
+        id: "stage.unreachable",
+        surface: Surface::Stage,
+        severity: Severity::Warn,
+        summary: "a stage is unreachable from the graph entry points",
+        grounding: "a disconnected stage never runs; its predicted cost silently vanishes from the makespan",
+    },
+    RuleInfo {
+        id: "stage.cost-sanity",
+        surface: Surface::Stage,
+        severity: Severity::Error,
+        summary: "a stage predicts a negative or non-finite cost",
+        grounding: "§IV calibration divides by predicted cost; bad values corrupt the fit",
+    },
+    RuleInfo {
+        id: "stage.zero-cost",
+        surface: Surface::Stage,
+        severity: Severity::Warn,
+        summary: "a stage predicts exactly zero cost (no work and no launches)",
+        grounding: "§IV calibration: a zero-cost stage yields an undefined observed/predicted ratio",
+    },
+];
+
+/// Looks up a rule by id.
+pub fn rule(id: &str) -> Option<&'static RuleInfo> {
+    RULES.iter().find(|r| r.id == id)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rule_ids_are_unique_and_prefixed_by_surface() {
+        let mut seen = std::collections::BTreeSet::new();
+        for r in RULES {
+            assert!(seen.insert(r.id), "duplicate rule id {}", r.id);
+            let prefix = format!("{}.", r.surface.name());
+            assert!(
+                r.id.starts_with(&prefix),
+                "rule {} does not start with its surface prefix {prefix}",
+                r.id
+            );
+        }
+    }
+
+    #[test]
+    fn registry_covers_all_three_surfaces_with_ten_plus_rules() {
+        assert!(
+            RULES.len() >= 10,
+            "expected >= 10 rules, got {}",
+            RULES.len()
+        );
+        for surface in [Surface::Spec, Surface::Plan, Surface::Stage] {
+            assert!(
+                RULES.iter().any(|r| r.surface == surface),
+                "no rules registered for surface {}",
+                surface.name()
+            );
+        }
+    }
+
+    #[test]
+    fn every_rule_documents_summary_and_grounding() {
+        for r in RULES {
+            assert!(!r.summary.is_empty(), "{} has no summary", r.id);
+            assert!(!r.grounding.is_empty(), "{} has no grounding", r.id);
+        }
+    }
+
+    #[test]
+    fn lookup_finds_known_rules_only() {
+        assert!(rule("spec.duplicate-field").is_some());
+        assert!(rule("stage.dependency-cycle").is_some());
+        assert!(rule("spec.not-a-rule").is_none());
+    }
+}

@@ -1,0 +1,440 @@
+//! A backend-agnostic model of the lowered execution graph, plus the
+//! stage-surface rules.
+//!
+//! `picasso-exec` lowers a `WdlSpec` into per-resource stage tasks; this
+//! module models just enough of that graph — labels, resource classes,
+//! predicted costs, dependency edges, and which nodes were fused into one
+//! kernel — for the analyzer to check the invariants that the simulation
+//! engine either cannot see (a cyclic spec never reaches it) or would
+//! only surface as silently-wrong numbers (zero-cost calibration points).
+
+use crate::{Diagnostic, Severity, Span};
+
+/// One lowered stage.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StageNode {
+    /// Unique human-readable label (`chain2/shuffle_stitch`, `mlp/fwd`).
+    pub label: String,
+    /// Operator kind name (informational).
+    pub kind: String,
+    /// Hardware resource class the stage is bound by (`compute`,
+    /// `device_memory`, `host_memory`, `intra_comm`, `inter_comm`,
+    /// `host_compute`, `io`).
+    pub class: String,
+    /// Predicted cost in abstract work units (bytes or FLOPs).
+    pub cost: f64,
+    /// Kernel-launch count the stage contributes (dispatch overhead);
+    /// a stage with zero cost *and* zero launches predicts zero time.
+    pub launches: u32,
+    /// True for graph entry points (stages with no intrinsic inputs,
+    /// e.g. the data-load stage).
+    pub entry: bool,
+}
+
+impl StageNode {
+    /// A new stage node (non-entry).
+    pub fn new(label: &str, kind: &str, class: &str, cost: f64, launches: u32) -> StageNode {
+        StageNode {
+            label: label.to_string(),
+            kind: kind.to_string(),
+            class: class.to_string(),
+            cost,
+            launches,
+            entry: false,
+        }
+    }
+
+    /// Marks the node as a graph entry point (builder style).
+    pub fn entry(mut self) -> StageNode {
+        self.entry = true;
+        self
+    }
+}
+
+/// A control dependency: `to` may start only after `from` completes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StageEdge {
+    /// Index of the prerequisite node.
+    pub from: usize,
+    /// Index of the dependent node.
+    pub to: usize,
+}
+
+/// A set of stages fused into one kernel by K-Packing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StageFusion {
+    /// Label of the fused kernel (e.g. `chain0/shuffle_stitch`).
+    pub label: String,
+    /// Node indices lowered from the fused kernel. The fusion is legal
+    /// only when every member is bound by the same resource class.
+    pub nodes: Vec<usize>,
+}
+
+/// The lowered execution graph handed to the stage-surface rules.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct StageGraph {
+    /// All stages.
+    pub nodes: Vec<StageNode>,
+    /// Control-dependency edges between stages.
+    pub edges: Vec<StageEdge>,
+    /// K-Packed kernels and the stages they lowered to.
+    pub fusions: Vec<StageFusion>,
+}
+
+impl StageGraph {
+    /// Adds a node and returns its index.
+    pub fn push(&mut self, node: StageNode) -> usize {
+        self.nodes.push(node);
+        self.nodes.len() - 1
+    }
+
+    /// Adds a dependency edge `from -> to`.
+    pub fn dep(&mut self, from: usize, to: usize) {
+        self.edges.push(StageEdge { from, to });
+    }
+
+    /// Runs every stage-surface rule and returns the findings.
+    pub fn analyze(&self) -> Vec<Diagnostic> {
+        let mut out = Vec::new();
+        self.check_cycles(&mut out);
+        self.check_fusions(&mut out);
+        self.check_reachability(&mut out);
+        self.check_costs(&mut out);
+        out
+    }
+
+    /// `stage.dependency-cycle`: Kahn's algorithm; any node left with a
+    /// nonzero in-degree sits on (or downstream of) a cycle. The cycle
+    /// itself is recovered by walking unresolved predecessors.
+    fn check_cycles(&self, out: &mut Vec<Diagnostic>) {
+        let n = self.nodes.len();
+        let mut indeg = vec![0usize; n];
+        let mut succ: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for e in &self.edges {
+            if e.from < n && e.to < n {
+                indeg[e.to] += 1;
+                succ[e.from].push(e.to);
+            }
+        }
+        let mut ready: Vec<usize> = (0..n).filter(|&i| indeg[i] == 0).collect();
+        let mut done = 0usize;
+        while let Some(i) = ready.pop() {
+            done += 1;
+            for &j in &succ[i] {
+                indeg[j] -= 1;
+                if indeg[j] == 0 {
+                    ready.push(j);
+                }
+            }
+        }
+        if done == n {
+            return;
+        }
+        // Recover one concrete cycle among the stuck nodes: repeatedly
+        // step to an unresolved predecessor until a node repeats.
+        let stuck: Vec<usize> = (0..n).filter(|&i| indeg[i] > 0).collect();
+        let mut pred: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for e in &self.edges {
+            if indeg[e.from] > 0 && indeg[e.to] > 0 {
+                pred[e.to].push(e.from);
+            }
+        }
+        let mut path = vec![stuck[0]];
+        let cycle = loop {
+            let cur = *path.last().unwrap();
+            let prev = pred[cur][0];
+            if let Some(pos) = path.iter().position(|&x| x == prev) {
+                let mut cycle: Vec<usize> = path[pos..].to_vec();
+                cycle.reverse();
+                cycle.push(prev);
+                break cycle;
+            }
+            path.push(prev);
+        };
+        let labels: Vec<&str> = cycle
+            .iter()
+            .map(|&i| self.nodes[i].label.as_str())
+            .collect();
+        out.push(
+            Diagnostic::new(
+                "stage.dependency-cycle",
+                Severity::Error,
+                Span::Stage(self.nodes[cycle[0]].label.clone()),
+                format!(
+                    "control dependencies form a cycle ({} stage(s) can never start): {}",
+                    stuck.len(),
+                    labels.join(" -> "),
+                ),
+            )
+            .with_hint("break the cycle: group dependencies must point at earlier groups only"),
+        );
+    }
+
+    /// `stage.cross-class-fusion`: every stage lowered from one fused
+    /// kernel must be bound by the same resource class.
+    fn check_fusions(&self, out: &mut Vec<Diagnostic>) {
+        for fusion in &self.fusions {
+            let mut classes: Vec<&str> = fusion
+                .nodes
+                .iter()
+                .filter_map(|&i| self.nodes.get(i))
+                .map(|node| node.class.as_str())
+                .collect();
+            classes.sort_unstable();
+            classes.dedup();
+            if classes.len() > 1 {
+                out.push(
+                    Diagnostic::new(
+                        "stage.cross-class-fusion",
+                        Severity::Error,
+                        Span::Stage(fusion.label.clone()),
+                        format!(
+                            "fused kernel spans {} resource classes ({})",
+                            classes.len(),
+                            classes.join(", "),
+                        ),
+                    )
+                    .with_hint("K-Packing may only fuse ops bound by the same resource class"),
+                );
+            }
+        }
+    }
+
+    /// `stage.unreachable`: nodes not reachable from any entry node. With
+    /// no declared entries the rule is vacuous (nothing to reach from).
+    fn check_reachability(&self, out: &mut Vec<Diagnostic>) {
+        if !self.nodes.iter().any(|node| node.entry) {
+            return;
+        }
+        let n = self.nodes.len();
+        let mut succ: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for e in &self.edges {
+            if e.from < n && e.to < n {
+                succ[e.from].push(e.to);
+            }
+        }
+        let mut seen = vec![false; n];
+        let mut stack: Vec<usize> = (0..n).filter(|&i| self.nodes[i].entry).collect();
+        for &i in &stack {
+            seen[i] = true;
+        }
+        while let Some(i) = stack.pop() {
+            for &j in &succ[i] {
+                if !seen[j] {
+                    seen[j] = true;
+                    stack.push(j);
+                }
+            }
+        }
+        for (i, node) in self.nodes.iter().enumerate() {
+            if !seen[i] {
+                out.push(
+                    Diagnostic::new(
+                        "stage.unreachable",
+                        Severity::Warn,
+                        Span::Stage(node.label.clone()),
+                        "stage is unreachable from the graph entry points and will never run",
+                    )
+                    .with_hint("connect the stage to the data-load entry or remove it"),
+                );
+            }
+        }
+    }
+
+    /// `stage.cost-sanity` / `stage.zero-cost`: negative or non-finite
+    /// predicted costs are errors; a stage with zero cost *and* zero
+    /// launches predicts zero time, which calibration cannot divide by.
+    fn check_costs(&self, out: &mut Vec<Diagnostic>) {
+        for node in &self.nodes {
+            if node.cost < 0.0 || !node.cost.is_finite() {
+                out.push(
+                    Diagnostic::new(
+                        "stage.cost-sanity",
+                        Severity::Error,
+                        Span::Stage(node.label.clone()),
+                        format!("stage predicts an invalid cost ({})", node.cost),
+                    )
+                    .with_hint("cost-model inputs must be finite and non-negative"),
+                );
+            } else if node.cost == 0.0 && node.launches == 0 {
+                out.push(
+                    Diagnostic::new(
+                        "stage.zero-cost",
+                        Severity::Warn,
+                        Span::Stage(node.label.clone()),
+                        "stage predicts exactly zero cost (no work, no launches)",
+                    )
+                    .with_hint("zero-cost stages corrupt calibration ratios; drop or cost them"),
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// entry -> a -> b, all costed: clean for every rule.
+    fn clean_graph() -> StageGraph {
+        let mut g = StageGraph::default();
+        let load = g.push(StageNode::new("load", "DataLoad", "io", 64.0, 1).entry());
+        let a = g.push(StageNode::new(
+            "chain0/gather",
+            "Gather",
+            "host_memory",
+            32.0,
+            1,
+        ));
+        let b = g.push(StageNode::new(
+            "chain0/reduce",
+            "SegmentReduce",
+            "device_memory",
+            8.0,
+            1,
+        ));
+        g.dep(load, a);
+        g.dep(a, b);
+        g
+    }
+
+    #[test]
+    fn clean_graph_has_no_findings() {
+        assert!(clean_graph().analyze().is_empty());
+    }
+
+    #[test]
+    fn cycle_is_detected_with_its_path() {
+        let mut g = clean_graph();
+        // b -> a closes a cycle with the existing a -> b.
+        g.dep(2, 1);
+        let diags = g.analyze();
+        let cycle: Vec<_> = diags
+            .iter()
+            .filter(|d| d.rule == "stage.dependency-cycle")
+            .collect();
+        assert_eq!(cycle.len(), 1, "{diags:?}");
+        assert_eq!(cycle[0].severity, Severity::Error);
+        assert!(cycle[0].message.contains("chain0/gather"));
+        assert!(cycle[0].message.contains("chain0/reduce"));
+    }
+
+    #[test]
+    fn self_dependency_is_a_cycle() {
+        let mut g = clean_graph();
+        g.dep(1, 1);
+        let diags = g.analyze();
+        assert!(diags.iter().any(|d| d.rule == "stage.dependency-cycle"));
+    }
+
+    #[test]
+    fn same_class_fusion_is_clean() {
+        let mut g = clean_graph();
+        let s1 = g.push(StageNode::new(
+            "chain0/shuffle",
+            "Shuffle",
+            "inter_comm",
+            10.0,
+            1,
+        ));
+        let s2 = g.push(StageNode::new(
+            "chain0/stitch",
+            "Stitch",
+            "inter_comm",
+            10.0,
+            1,
+        ));
+        g.dep(0, s1);
+        g.dep(s1, s2);
+        g.fusions.push(StageFusion {
+            label: "chain0/shuffle_stitch".into(),
+            nodes: vec![s1, s2],
+        });
+        assert!(g.analyze().is_empty());
+    }
+
+    #[test]
+    fn cross_class_fusion_is_an_error() {
+        let mut g = clean_graph();
+        let s1 = g.push(StageNode::new(
+            "chain0/shuffle",
+            "Shuffle",
+            "inter_comm",
+            10.0,
+            1,
+        ));
+        let s2 = g.push(StageNode::new(
+            "chain0/reduce2",
+            "SegmentReduce",
+            "compute",
+            10.0,
+            1,
+        ));
+        g.dep(0, s1);
+        g.dep(0, s2);
+        g.fusions.push(StageFusion {
+            label: "chain0/bad_fuse".into(),
+            nodes: vec![s1, s2],
+        });
+        let diags = g.analyze();
+        let fusion: Vec<_> = diags
+            .iter()
+            .filter(|d| d.rule == "stage.cross-class-fusion")
+            .collect();
+        assert_eq!(fusion.len(), 1);
+        assert!(fusion[0].message.contains("compute, inter_comm"));
+    }
+
+    #[test]
+    fn disconnected_stage_is_unreachable() {
+        let mut g = clean_graph();
+        g.push(StageNode::new("orphan", "Gather", "host_memory", 5.0, 1));
+        let diags = g.analyze();
+        let unreachable: Vec<_> = diags
+            .iter()
+            .filter(|d| d.rule == "stage.unreachable")
+            .collect();
+        assert_eq!(unreachable.len(), 1);
+        assert_eq!(unreachable[0].severity, Severity::Warn);
+        assert_eq!(unreachable[0].span, crate::Span::Stage("orphan".into()));
+    }
+
+    #[test]
+    fn reachability_is_vacuous_without_entries() {
+        let mut g = StageGraph::default();
+        g.push(StageNode::new("a", "Gather", "host_memory", 5.0, 1));
+        assert!(g.analyze().iter().all(|d| d.rule != "stage.unreachable"));
+    }
+
+    #[test]
+    fn negative_and_nan_costs_are_errors() {
+        let mut g = clean_graph();
+        let bad = g.push(StageNode::new("neg", "Gather", "host_memory", -1.0, 1));
+        let nan = g.push(StageNode::new("nan", "Gather", "host_memory", f64::NAN, 1));
+        g.dep(0, bad);
+        g.dep(0, nan);
+        let diags = g.analyze();
+        let costs: Vec<_> = diags
+            .iter()
+            .filter(|d| d.rule == "stage.cost-sanity")
+            .collect();
+        assert_eq!(costs.len(), 2);
+        assert!(costs.iter().all(|d| d.severity == Severity::Error));
+    }
+
+    #[test]
+    fn zero_cost_zero_launch_stage_warns_but_launches_excuse_zero_work() {
+        let mut g = clean_graph();
+        let free = g.push(StageNode::new("free", "Shuffle", "inter_comm", 0.0, 0));
+        let overhead_only = g.push(StageNode::new("dispatch", "Shuffle", "inter_comm", 0.0, 2));
+        g.dep(0, free);
+        g.dep(0, overhead_only);
+        let diags = g.analyze();
+        let zero: Vec<_> = diags
+            .iter()
+            .filter(|d| d.rule == "stage.zero-cost")
+            .collect();
+        assert_eq!(zero.len(), 1);
+        assert_eq!(zero[0].span, crate::Span::Stage("free".into()));
+    }
+}

@@ -113,6 +113,7 @@ pub fn assemble(
         mlp,
         micro_batches: 1,
         interleave_from: Layer::Embedding,
+        group_deps: Vec::new(),
     };
     debug_assert!(spec.validate().is_ok(), "{:?}", spec.validate());
     spec
@@ -255,7 +256,7 @@ mod tests {
             let data = kind.default_dataset();
             let spec = kind.build(&data);
             spec.validate()
-                .unwrap_or_else(|e| panic!("{}: {e}", kind.name()));
+                .unwrap_or_else(|e| panic!("{}: {e:?}", kind.name()));
             assert!(!spec.chains.is_empty(), "{}", kind.name());
             assert!(spec.mlp.flops_per_instance > 0.0, "{}", kind.name());
             assert_eq!(spec.micro_batches, 1);
@@ -269,7 +270,7 @@ mod tests {
         for kind in ModelKind::ALL {
             let spec = kind.build(&data);
             spec.validate()
-                .unwrap_or_else(|e| panic!("{}: {e}", kind.name()));
+                .unwrap_or_else(|e| panic!("{}: {e:?}", kind.name()));
         }
     }
 

@@ -31,9 +31,6 @@
 //! ```
 
 #![warn(missing_docs)]
-// Numeric kernels index several parallel buffers at once; indexed loops
-// are clearer than nested zips there.
-#![allow(clippy::needless_range_loop)]
 
 pub mod engine;
 pub mod intervals;

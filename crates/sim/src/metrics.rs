@@ -292,13 +292,13 @@ impl<'a> RunAnalysis<'a> {
             let rate = r.work / dur;
             let first = (r.start.as_nanos() / bucket.as_nanos()) as usize;
             let last = ((r.end.as_nanos().saturating_sub(1)) / bucket.as_nanos()) as usize;
-            for b in first..=last.min(n_buckets.saturating_sub(1)) {
+            for (b, slot) in bytes.iter_mut().enumerate().take(last + 1).skip(first) {
                 let bs = SimTime(b as u64 * bucket.as_nanos());
                 let be = SimTime((b as u64 + 1) * bucket.as_nanos());
                 let lo = bs.max(r.start);
                 let hi = be.min(r.end);
                 if hi > lo {
-                    bytes[b] += rate * (hi - lo).as_secs_f64();
+                    *slot += rate * (hi - lo).as_secs_f64();
                 }
             }
         }

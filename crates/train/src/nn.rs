@@ -89,9 +89,9 @@ pub fn bce_with_logits(logits: &Matrix, labels: &[f32]) -> (f64, Matrix) {
     let n = labels.len() as f64;
     let mut loss = 0.0;
     let mut grad = Matrix::zeros(logits.rows(), 1);
-    for i in 0..labels.len() {
+    for (i, &label) in labels.iter().enumerate() {
         let z = logits.get(i, 0) as f64;
-        let y = labels[i] as f64;
+        let y = label as f64;
         let p = sigmoid(z);
         // Numerically stable BCE: max(z,0) - z*y + ln(1+e^{-|z|}).
         loss += z.max(0.0) - z * y + (1.0 + (-z.abs()).exp()).ln();
@@ -152,14 +152,14 @@ mod tests {
                 "w1[{r},{c}]: numeric {numeric} vs analytic {analytic}"
             );
         }
-        for c in 0..1 {
+        for (c, &db) in db2.iter().enumerate() {
             let mut lp = l2.clone();
             lp.b[c] += eps;
             let up = loss_fn(&l1, &lp);
             lp.b[c] -= 2.0 * eps;
             let down = loss_fn(&l1, &lp);
             let numeric = (up - down) / (2.0 * eps as f64);
-            assert!((numeric - db2[c] as f64).abs() < 1e-3);
+            assert!((numeric - db as f64).abs() < 1e-3);
         }
     }
 
@@ -364,7 +364,7 @@ mod batchnorm_tests {
         }
         // dgamma check.
         let base_gamma = bn.gamma.clone();
-        for c in 0..2 {
+        for (c, &dg) in dgamma.iter().enumerate() {
             let mut bp = bn.clone();
             bp.gamma = base_gamma.clone();
             bp.gamma[c] += eps;
@@ -373,9 +373,8 @@ mod batchnorm_tests {
             let down = loss(&bp, &x);
             let numeric = (up - down) / (2.0 * eps as f64);
             assert!(
-                (numeric - dgamma[c] as f64).abs() < 2e-3,
-                "dgamma[{c}] numeric {numeric} analytic {}",
-                dgamma[c]
+                (numeric - dg as f64).abs() < 2e-3,
+                "dgamma[{c}] numeric {numeric} analytic {dg}"
             );
         }
     }

@@ -159,7 +159,7 @@ impl Lamb {
 
         // Weight matrix: compute the layer-wise trust ratio.
         let mut update = vec![0.0f32; w.as_slice().len()];
-        for i in 0..update.len() {
+        for (i, u) in update.iter_mut().enumerate() {
             let g = dw.as_slice()[i];
             self.m_w.as_mut_slice()[i] =
                 self.beta1 * self.m_w.as_slice()[i] + (1.0 - self.beta1) * g;
@@ -167,7 +167,7 @@ impl Lamb {
                 self.beta2 * self.v_w.as_slice()[i] + (1.0 - self.beta2) * g * g;
             let m_hat = self.m_w.as_slice()[i] / bc1;
             let v_hat = self.v_w.as_slice()[i] / bc2;
-            update[i] = m_hat / (v_hat.sqrt() + self.eps) + self.weight_decay * w.as_slice()[i];
+            *u = m_hat / (v_hat.sqrt() + self.eps) + self.weight_decay * w.as_slice()[i];
         }
         let w_norm: f32 = w.as_slice().iter().map(|x| x * x).sum::<f32>().sqrt();
         let u_norm: f32 = update.iter().map(|x| x * x).sum::<f32>().sqrt();
