@@ -16,26 +16,40 @@
 //! regenerated table).
 //!
 //! `--lint` skips the experiments and instead runs the static analyzer
-//! over every bench-suite scenario (spec, plan, and lowered stage graph),
-//! printing the aggregated report; `--lint-json PATH` (which implies
-//! `--lint`) also writes the structured `picasso.lint_report` document.
+//! over every bench-suite scenario (spec, plan, lowered stage graph, and
+//! the run surface of the recovery scenarios), printing the aggregated
+//! report; `--lint-json PATH` (which implies `--lint`) also writes the
+//! structured `picasso.lint_report` document.
+//!
+//! `--fault-plan SPEC` (and/or `--ckpt-dir DIR`) switches to the
+//! crash-and-recover mode: the real trainer runs once uninterrupted and
+//! once under the fault plan with checkpointing against `--ckpt-dir`
+//! (interval `--ckpt-every`, default from the suite scenario), then the
+//! two final model states are compared bit for bit. `--report-json`
+//! exports the `picasso.recovery_report` document and `--trace-out` the
+//! recovered run's Chrome trace.
 //!
 //! Exit codes: 0 on success, 1 when an export fails to write, 2 on bad
 //! arguments or an unknown experiment (so scripts can tell usage errors
 //! from runtime failures), 3 when the instrumented training run itself
-//! fails (an invalid optimization pipeline or a task graph the engine
-//! rejects), 4 when static analysis finds error-severity diagnostics —
-//! either under `--lint` or when the instrumented run is rejected before
-//! scheduling. `--quiet` suppresses the tables and progress lines, leaving
-//! only errors and the export confirmations.
+//! fails (an invalid optimization pipeline, a task graph the engine
+//! rejects, or an unrecoverable/diverging fault run), 4 when static
+//! analysis finds error-severity diagnostics — either under `--lint` or
+//! when the instrumented run is rejected before scheduling. `--quiet`
+//! suppresses the tables and progress lines, leaving only errors and the
+//! export confirmations.
 
+use picasso_bench::recovery::run_scenario;
+use picasso_bench::scenarios::recovery_scenarios;
 use picasso_bench::snapshot::lint_suite;
+use picasso_core::exec::lint_recovery;
 use picasso_core::exec::{ModelKind, RunArtifacts, WarmupConfig};
 use picasso_core::experiments::{
     fig01_util_trend, fig03_id_cdf, fig05_breakdown, fig10_walltime, fig11_sm_cdf, fig12_bandwidth,
     fig13_ips, fig14_groups, fig15_scaling, tab03_auc, tab04_ablation, tab05_opcount, tab06_cache,
     tab07_zoo, tab08_fields, tab09_production, tab10_scale, Scale,
 };
+use picasso_core::sim::FaultPlan;
 use picasso_core::{observe, PicassoConfig, Session, TextTable, TrainError};
 use std::time::Instant;
 
@@ -48,6 +62,8 @@ USAGE:
     repro <experiment|all> [quick|full]
           [--trace-out PATH] [--metrics-out PATH] [--report-json PATH]
           [--lint] [--lint-json PATH] [--quiet]
+    repro --fault-plan SPEC [--ckpt-dir DIR] [--ckpt-every N]
+          [--report-json PATH] [--trace-out PATH] [--quiet]
 
 EXPERIMENTS:
     fig1 fig3 fig5 fig10 fig11 fig12 fig13 fig14 fig15
@@ -61,6 +77,15 @@ FLAGS:
                         running experiments; exit 4 on error findings.
     --lint-json PATH    Also write the structured lint report (implies
                         --lint).
+    --fault-plan SPEC   Crash-and-recover mode: train under this fault
+                        plan (e.g. \"seed=41;crash@13\") and verify the
+                        recovered run is bit-identical to an uninterrupted
+                        one.
+    --ckpt-dir DIR      Checkpoint directory for the fault run; without it
+                        checkpointing is disabled and a crash restarts
+                        training from scratch.
+    --ckpt-every N      Checkpoint interval in iterations (needs
+                        --ckpt-dir; default from the suite scenario).
     --quiet             Suppress tables and progress lines.
     --help              Print this help.
 
@@ -68,7 +93,8 @@ EXIT CODES:
     0  success
     1  an export failed to write
     2  bad arguments or unknown experiment
-    3  the instrumented training run failed (invalid pipeline or task graph)
+    3  the instrumented training run failed (invalid pipeline, task graph,
+       or an unrecoverable/diverging fault run)
     4  static analysis found error-severity diagnostics
 ";
 
@@ -80,6 +106,9 @@ struct Cli {
     report_json: Option<String>,
     lint: bool,
     lint_json: Option<String>,
+    fault_plan: Option<String>,
+    ckpt_dir: Option<String>,
+    ckpt_every: Option<u64>,
     quiet: bool,
 }
 
@@ -92,6 +121,9 @@ fn parse_args() -> Cli {
         report_json: None,
         lint: false,
         lint_json: None,
+        fault_plan: None,
+        ckpt_dir: None,
+        ckpt_every: None,
         quiet: false,
     };
     let mut positional = 0;
@@ -111,6 +143,15 @@ fn parse_args() -> Cli {
             "--lint-json" => {
                 cli.lint = true;
                 cli.lint_json = Some(value("--lint-json"));
+            }
+            "--fault-plan" => cli.fault_plan = Some(value("--fault-plan")),
+            "--ckpt-dir" => cli.ckpt_dir = Some(value("--ckpt-dir")),
+            "--ckpt-every" => {
+                let raw = value("--ckpt-every");
+                cli.ckpt_every = Some(raw.parse().unwrap_or_else(|_| {
+                    eprintln!("--ckpt-every expects an iteration count, got '{raw}'");
+                    std::process::exit(2);
+                }));
             }
             "--quiet" => cli.quiet = true,
             "--help" | "-h" => {
@@ -189,6 +230,72 @@ fn lint_mode(cli: &Cli) -> ! {
     std::process::exit(if report.is_clean() { 0 } else { 4 });
 }
 
+/// `--fault-plan` / `--ckpt-dir` mode: run the crash-and-recover scenario
+/// and verify the recovered run matches the uninterrupted one bit for bit.
+fn recovery_mode(cli: &Cli) -> ! {
+    // Start from the suite's registered scenario so the CLI and the
+    // `recovery` CI job exercise the same configuration by default.
+    let mut sc = recovery_scenarios()
+        .into_iter()
+        .next()
+        .expect("the suite registers a recovery scenario");
+    if let Some(spec) = &cli.fault_plan {
+        sc.opts.fault_plan = FaultPlan::parse(spec).unwrap_or_else(|err| {
+            eprintln!("bad --fault-plan: {err}");
+            std::process::exit(2);
+        });
+        sc.opts.seed = sc.opts.fault_plan.seed;
+        sc.name = "cli".into();
+    }
+    if let Some(every) = cli.ckpt_every {
+        sc.opts.ckpt_every = every;
+    }
+    if cli.ckpt_dir.is_none() {
+        // Checkpointing is enabled iff a directory is given; the run
+        // lint below flags crash plans left without one.
+        sc.opts.ckpt_every = 0;
+    }
+    for d in lint_recovery(&sc.opts) {
+        eprintln!("{d}");
+    }
+    let outcome = run_scenario(&sc, cli.ckpt_dir.as_deref().map(std::path::Path::new))
+        .unwrap_or_else(|err| {
+            eprintln!("crash-and-recover run failed: {err}");
+            std::process::exit(3);
+        });
+    if !cli.quiet {
+        println!("{}", outcome.summary_table());
+    }
+    if let Some(path) = &cli.report_json {
+        write(
+            path,
+            "recovery report",
+            &(outcome.report_json().to_json() + "\n"),
+        );
+    }
+    if let Some(path) = &cli.trace_out {
+        write(
+            path,
+            "chrome trace",
+            &outcome.recovered.chrome_trace().to_json(),
+        );
+    }
+    if !outcome.bit_identical() {
+        eprintln!(
+            "recovered model state diverged from the uninterrupted run \
+             ({:016x} != {:016x})",
+            outcome.recovered.final_digest, outcome.baseline.final_digest
+        );
+        std::process::exit(3);
+    }
+    println!(
+        "recovery OK: {} crash(es), {} lost iteration(s), bit-identical final state",
+        outcome.recovered.recoveries.len(),
+        outcome.recovered.lost_iterations()
+    );
+    std::process::exit(0);
+}
+
 fn write(path: &str, what: &str, contents: &str) {
     match std::fs::write(path, contents) {
         Ok(()) => println!("  [{what} written to {path}]"),
@@ -203,6 +310,13 @@ fn main() {
     let cli = parse_args();
     if cli.lint {
         lint_mode(&cli);
+    }
+    if cli.ckpt_every.is_some() && cli.ckpt_dir.is_none() && cli.fault_plan.is_none() {
+        eprintln!("--ckpt-every needs --ckpt-dir or --fault-plan\n\n{USAGE}");
+        std::process::exit(2);
+    }
+    if cli.fault_plan.is_some() || cli.ckpt_dir.is_some() {
+        recovery_mode(&cli);
     }
     let scale_name = match cli.scale {
         Scale::Quick => "quick",

@@ -14,6 +14,8 @@
 
 #![warn(missing_docs)]
 
+pub mod recovery;
+pub mod scenarios;
 pub mod snapshot;
 
 use picasso_core::{Framework, ModelKind};

@@ -1,0 +1,164 @@
+//! The single shared scenario table of the bench suite.
+//!
+//! Every consumer registers scenarios exactly once, from here: the
+//! `perfgate` snapshot suite runs [`perf_scenarios`], `repro --lint`
+//! statically analyzes both [`perf_scenarios`] and [`recovery_scenarios`],
+//! and the `recovery` CI job runs [`recovery_scenarios`] through
+//! [`crate::recovery::run_scenario`]. Adding a scenario in one consumer
+//! but not the others is therefore impossible by construction.
+//!
+//! The perf scenario names and order are pinned by the committed
+//! `BENCH_<n>.json` baselines (the gate compares by name and the
+//! determinism test compares bytes) — append new perf scenarios at the
+//! end, never rename or reorder the existing eight. Recovery scenarios
+//! live in their own list precisely so they stay out of the snapshot
+//! document.
+
+use picasso_core::exec::{ModelKind, Optimizations, RecoveryOptions, WarmupConfig};
+use picasso_core::sim::FaultPlan;
+use picasso_core::{PassId, PicassoConfig};
+
+/// One perf scenario of the suite: a model and an optimization pipeline.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// Stable scenario name (also the JSON key).
+    pub name: String,
+    /// Model to train.
+    pub model: ModelKind,
+    /// Optimization pipeline in effect, as a declarative pass list.
+    pub pipeline: Optimizations,
+}
+
+/// One fault-tolerance scenario: a fault plan plus checkpoint cadence run
+/// through the real trainer, verified bit-identical against an
+/// uninterrupted run of the same seed.
+#[derive(Debug, Clone)]
+pub struct RecoveryScenario {
+    /// Stable scenario name.
+    pub name: String,
+    /// Full run configuration, fault plan included.
+    pub opts: RecoveryOptions,
+}
+
+/// The fixed perf suite: {small = W&D, large = CAN} x {baseline, +packing,
+/// +interleaving, +caching}. Each rung of the ladder is the previous pass
+/// list plus one optimization family, mirroring the paper's ablation order,
+/// so gate failures localize to the pass that regressed.
+pub fn perf_scenarios() -> Vec<Scenario> {
+    let rungs: [(&str, &[PassId]); 4] = [
+        ("base", &[]),
+        ("pack", &[PassId::DPacking, PassId::KPacking]),
+        (
+            "inter",
+            &[
+                PassId::DPacking,
+                PassId::KPacking,
+                PassId::KInterleaving,
+                PassId::DInterleaving,
+            ],
+        ),
+        ("cache", &PassId::ALL),
+    ];
+    let mut out = Vec::new();
+    for (prefix, model) in [("wdl", ModelKind::WideDeep), ("can", ModelKind::Can)] {
+        for (suffix, passes) in rungs {
+            out.push(Scenario {
+                name: format!("{prefix}_{suffix}"),
+                model,
+                pipeline: Optimizations::new(passes.to_vec()),
+            });
+        }
+    }
+    out
+}
+
+/// The fault-tolerance suite: one deterministic crash-and-recover run.
+///
+/// The plan crashes worker 0 one iteration after the third checkpoint, so
+/// recovery restores an incremental chain (full at step 8, delta at 12)
+/// and loses exactly one iteration of work.
+pub fn recovery_scenarios() -> Vec<RecoveryScenario> {
+    vec![RecoveryScenario {
+        name: "crash_recover".into(),
+        opts: RecoveryOptions {
+            iterations: 24,
+            batch_size: 16,
+            seed: 41,
+            ckpt_every: 4,
+            full_every: 2,
+            keep_full: 2,
+            fault_plan: FaultPlan::parse("seed=41;crash@13").expect("static plan parses"),
+            ..RecoveryOptions::default()
+        },
+    }]
+}
+
+/// The session shape every perf scenario runs under: one EFLOPS node, two
+/// iterations, fixed batch, fully seeded warm-up — deterministic end to
+/// end.
+pub fn suite_config() -> PicassoConfig {
+    PicassoConfig {
+        iterations: 2,
+        warmup: WarmupConfig {
+            batches: 4,
+            batch_size: 256,
+            max_vocab: 1000,
+            hot_bytes: 1 << 24,
+            seed: 17,
+        },
+        batch_per_executor: Some(1024),
+        ..PicassoConfig::default()
+    }
+    .machines(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perf_scenario_names_are_pinned_by_the_committed_baseline() {
+        let names: Vec<_> = perf_scenarios().into_iter().map(|s| s.name).collect();
+        assert_eq!(
+            names,
+            [
+                "wdl_base",
+                "wdl_pack",
+                "wdl_inter",
+                "wdl_cache",
+                "can_base",
+                "can_pack",
+                "can_inter",
+                "can_cache"
+            ],
+            "BENCH_<n>.json compares scenarios by these exact names"
+        );
+    }
+
+    #[test]
+    fn scenario_names_are_unique_across_both_lists() {
+        let mut names: Vec<String> = perf_scenarios().into_iter().map(|s| s.name).collect();
+        names.extend(recovery_scenarios().into_iter().map(|s| s.name));
+        let mut dedup = names.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), names.len(), "duplicate scenario name");
+    }
+
+    #[test]
+    fn recovery_scenarios_checkpoint_and_schedule_a_crash() {
+        for sc in recovery_scenarios() {
+            assert!(
+                sc.opts.ckpt_every > 0,
+                "{}: checkpointing disabled",
+                sc.name
+            );
+            assert!(
+                sc.opts.ckpt_every <= sc.opts.iterations,
+                "{}: no checkpoint fits the horizon",
+                sc.name
+            );
+            assert!(!sc.opts.fault_plan.is_empty(), "{}: empty plan", sc.name);
+        }
+    }
+}

@@ -10,93 +10,48 @@
 //! optimization-pass wall times) is excluded from comparison and from the
 //! determinism guarantee; the rest of the document is byte-reproducible.
 
-use picasso_core::exec::WarmupConfig;
+use crate::scenarios::{perf_scenarios, recovery_scenarios, suite_config};
+use picasso_core::exec::lint_recovery;
 use picasso_core::obs::diff::rel_change;
 use picasso_core::obs::json::{self, Json};
-use picasso_core::{
-    si, LintReport, ModelKind, Optimizations, PassId, PicassoConfig, Session, Strategy, TextTable,
-};
+use picasso_core::{si, LintReport, Session, Strategy, TextTable};
 use std::collections::BTreeMap;
 use std::fs;
 use std::path::{Path, PathBuf};
 
+pub use crate::scenarios::Scenario;
+
 /// Schema version of the `BENCH_<n>.json` document.
 pub const BENCH_SCHEMA_VERSION: u64 = 1;
 
-/// One scenario of the suite: a model and an optimization pipeline.
-#[derive(Debug, Clone)]
-pub struct Scenario {
-    /// Stable scenario name (also the JSON key).
-    pub name: String,
-    /// Model to train.
-    pub model: ModelKind,
-    /// Optimization pipeline in effect, as a declarative pass list.
-    pub pipeline: Optimizations,
-}
-
-/// The fixed suite: {small = W&D, large = CAN} x {baseline, +packing,
-/// +interleaving, +caching}. Each rung of the ladder is the previous pass
-/// list plus one optimization family, mirroring the paper's ablation order,
-/// so gate failures localize to the pass that regressed.
+/// The perf suite the snapshot captures (see [`crate::scenarios`] — the
+/// shared table both `perfgate` and `repro --lint` register from).
 pub fn scenarios() -> Vec<Scenario> {
-    let rungs: [(&str, &[PassId]); 4] = [
-        ("base", &[]),
-        ("pack", &[PassId::DPacking, PassId::KPacking]),
-        (
-            "inter",
-            &[
-                PassId::DPacking,
-                PassId::KPacking,
-                PassId::KInterleaving,
-                PassId::DInterleaving,
-            ],
-        ),
-        ("cache", &PassId::ALL),
-    ];
-    let mut out = Vec::new();
-    for (prefix, model) in [("wdl", ModelKind::WideDeep), ("can", ModelKind::Can)] {
-        for (suffix, passes) in rungs {
-            out.push(Scenario {
-                name: format!("{prefix}_{suffix}"),
-                model,
-                pipeline: Optimizations::new(passes.to_vec()),
-            });
-        }
-    }
-    out
+    perf_scenarios()
 }
 
-/// The session shape every scenario runs under: one EFLOPS node, two
-/// iterations, fixed batch, fully seeded warm-up — deterministic end to end.
-fn suite_config() -> PicassoConfig {
-    PicassoConfig {
-        iterations: 2,
-        warmup: WarmupConfig {
-            batches: 4,
-            batch_size: 256,
-            max_vocab: 1000,
-            hot_bytes: 1 << 24,
-            seed: 17,
-        },
-        batch_per_executor: Some(1024),
-        ..PicassoConfig::default()
-    }
-    .machines(1)
-}
-
-/// Runs the static analyzer over every suite scenario without simulating:
-/// spec, plan, and lowered-stage-graph surfaces, all severities. Each
-/// diagnostic message is prefixed with its scenario name so one aggregated
-/// report stays attributable. Planning failures (an invalid pass list)
-/// surface as `Err` rather than diagnostics.
+/// Runs the static analyzer over every suite scenario without simulating.
+///
+/// Perf scenarios are analyzed over the spec, plan, and lowered-stage-graph
+/// surfaces; recovery scenarios over the run surface (fault plan +
+/// checkpoint policy). Each diagnostic message is prefixed with its
+/// scenario name so one aggregated report stays attributable. Planning
+/// failures (an invalid pass list) surface as `Err` rather than
+/// diagnostics.
 pub fn lint_suite() -> Result<LintReport, String> {
     let mut all = Vec::new();
-    for sc in scenarios() {
+    for sc in perf_scenarios() {
         let config = suite_config().optimizations(sc.pipeline.clone());
         let diags = Session::new(sc.model, config)
             .try_lint()
             .map_err(|e| format!("{}: {e}", sc.name))?;
         for mut d in diags {
+            d.message = format!("[{}] {}", sc.name, d.message);
+            all.push(d);
+        }
+    }
+    for sc in recovery_scenarios() {
+        for mut d in lint_recovery(&sc.opts) {
             d.message = format!("[{}] {}", sc.name, d.message);
             all.push(d);
         }
@@ -555,6 +510,7 @@ pub fn compare(baseline: &BenchSnapshot, current: &BenchSnapshot) -> Comparison 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use picasso_core::Optimizations;
 
     fn synthetic(name: &str, ips: f64, secs: f64) -> ScenarioResult {
         let mut metrics = BTreeMap::new();

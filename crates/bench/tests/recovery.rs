@@ -1,0 +1,53 @@
+//! End-to-end crash-and-recover guarantee of the bench suite: the
+//! registered recovery scenario checkpoints, crashes, restores, and
+//! finishes in bit-identical model state to an uninterrupted run.
+
+use picasso_bench::recovery::{run_scenario, RECOVERY_REPORT_KIND};
+use picasso_bench::scenarios::recovery_scenarios;
+use picasso_core::obs::json::Json;
+
+#[test]
+fn suite_recovery_scenario_recovers_bit_identically() {
+    let dir = std::env::temp_dir().join(format!("picasso-bench-recovery-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let scenarios = recovery_scenarios();
+    assert!(
+        !scenarios.is_empty(),
+        "the suite registers a recovery scenario"
+    );
+    for sc in &scenarios {
+        let outcome = run_scenario(sc, Some(&dir)).expect("scenario runs");
+        // The crash actually happened, was recovered from a checkpoint,
+        // and cost a bounded amount of work.
+        assert!(!outcome.recovered.recoveries.is_empty(), "{}", sc.name);
+        let rec = &outcome.recovered.recoveries[0];
+        assert!(
+            !rec.from_scratch,
+            "{}: recovery must restore a checkpoint",
+            sc.name
+        );
+        assert!(rec.restored_step > 0);
+        assert!(rec.time_to_recover_s > 0.0);
+        assert!(
+            outcome.bit_identical(),
+            "{}: recovered digest {:016x} != baseline {:016x}",
+            sc.name,
+            outcome.recovered.final_digest,
+            outcome.baseline.final_digest
+        );
+
+        // The CI artifact carries the headline recovery metrics.
+        let report = outcome.report_json();
+        assert_eq!(
+            report.get("kind").and_then(Json::as_str),
+            Some(RECOVERY_REPORT_KIND)
+        );
+        assert_eq!(report.get("bit_identical"), Some(&Json::Bool(true)));
+        let recovered = report.get("recovered").expect("recovered section");
+        for key in ["time_to_recover_s", "lost_iterations", "ckpt_bytes"] {
+            assert!(recovered.get(key).is_some(), "{key} missing from report");
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

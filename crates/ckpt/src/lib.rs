@@ -1,0 +1,33 @@
+//! # picasso-ckpt
+//!
+//! The fault-tolerance foundation of the PICASSO reproduction: a versioned
+//! on-disk checkpoint format and the store that manages it.
+//!
+//! Production WDL training jobs run for days; XDL2 (the productized
+//! PICASSO) survives worker crashes by periodically persisting model state
+//! and restoring the last valid snapshot. This crate owns that format:
+//!
+//! * [`codec`] — a deterministic little-endian binary codec plus the FNV-1a
+//!   checksum every shard is integrity-checked with. No external
+//!   dependencies (the build container has no registry access).
+//! * [`manifest`] — the JSON manifest describing one checkpoint: its step,
+//!   kind (full or incremental), parent link, and per-shard file entries.
+//! * [`store`] — the directory-level store: atomic write-then-rename
+//!   commits, checksum validation with fallback to the previous manifest,
+//!   incremental-chain resolution, and retention/GC that never breaks a
+//!   parent chain.
+//!
+//! What goes *into* a shard is the owning crate's business: embedding
+//! tables and the HybridHash cache serialize themselves in
+//! `picasso-embedding`, dense trainer parameters in `picasso-train`, and
+//! the recovery driver in `picasso-exec` ties them together.
+
+#![warn(missing_docs)]
+
+pub mod codec;
+pub mod manifest;
+pub mod store;
+
+pub use codec::{fnv1a64, CodecError, Decoder, Encoder};
+pub use manifest::{CheckpointKind, Manifest, ShardEntry, CKPT_SCHEMA_VERSION};
+pub use store::{CheckpointStore, CheckpointSummary, CheckpointWriter, GcReport, StoreError};

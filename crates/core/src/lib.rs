@@ -27,6 +27,7 @@ pub use report::{pct_delta, si, TextTable};
 pub use session::Session;
 
 // Re-export the component crates so downstream users need one dependency.
+pub use picasso_ckpt as ckpt;
 pub use picasso_data as data;
 pub use picasso_embedding as embedding;
 pub use picasso_exec as exec;

@@ -10,7 +10,7 @@
 
 use crate::table::EmbeddingTable;
 use picasso_obs::{MetricKind, MetricsRegistry};
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 
 /// Configuration of a [`HybridHash`].
 #[derive(Debug, Clone)]
@@ -90,6 +90,9 @@ pub struct HybridHash {
     cold: EmbeddingTable,
     hot: HashMap<u64, Box<[f32]>>,
     fcounter: HashMap<u64, u64>,
+    /// IDs whose frequency counter changed since the last
+    /// [`HybridHash::mark_clean`] — the incremental-checkpoint set.
+    touched: BTreeSet<u64>,
     itr: u64,
     stats: CacheStats,
 }
@@ -103,6 +106,7 @@ impl HybridHash {
             cold,
             hot: HashMap::new(),
             fcounter: HashMap::new(),
+            touched: BTreeSet::new(),
             itr: 0,
             stats: CacheStats::default(),
         }
@@ -147,6 +151,7 @@ impl HybridHash {
             // L9-12: warm-up — count frequencies, serve from cold storage.
             for &id in ids {
                 *self.fcounter.entry(id).or_insert(0) += 1;
+                self.touched.insert(id);
                 self.cold.gather_into(id, out);
                 report.cold_hits += 1;
             }
@@ -166,6 +171,7 @@ impl HybridHash {
                 report.cold_hits += 1;
             }
             *self.fcounter.entry(id).or_insert(0) += 1;
+            self.touched.insert(id);
         }
         self.stats.hot_hits += report.hot_hits;
         self.stats.cold_hits += report.cold_hits;
@@ -241,6 +247,92 @@ impl HybridHash {
     /// counter-derived hit ratio equals [`CacheStats::hit_ratio`] exactly.
     pub fn export_metrics(&self, table: &str, registry: &MetricsRegistry) {
         self.metrics().export(table, registry)
+    }
+
+    /// The frequency counter for `id` (0 if never looked up).
+    pub fn frequency(&self, id: u64) -> u64 {
+        self.fcounter.get(&id).copied().unwrap_or(0)
+    }
+
+    /// IDs whose frequency counter changed since the last
+    /// [`HybridHash::mark_clean`].
+    pub fn touched_count(&self) -> usize {
+        self.touched.len()
+    }
+
+    /// Captures the complete cache state. Hot-storage *values* are not
+    /// serialized: `apply_gradient` writes hot updates through to cold, so
+    /// the hot row always equals the cold row and the hot set is fully
+    /// described by its ID list.
+    pub fn snapshot_full(&self) -> crate::ckpt::CacheSnapshot {
+        let mut counters: Vec<(u64, u64)> = self.fcounter.iter().map(|(&i, &c)| (i, c)).collect();
+        counters.sort_unstable();
+        let mut hot_ids: Vec<u64> = self.hot.keys().copied().collect();
+        hot_ids.sort_unstable();
+        crate::ckpt::CacheSnapshot {
+            itr: self.itr,
+            stats: self.stats,
+            counters,
+            hot_ids,
+            cold: crate::ckpt::TableSnapshot::full(&self.cold),
+        }
+    }
+
+    /// Captures only state touched since the last [`HybridHash::mark_clean`]:
+    /// dirty cold rows and the (absolute) counters of touched IDs. The small
+    /// scalar state — iteration, stats, hot ID list — is always included.
+    pub fn snapshot_delta(&self) -> crate::ckpt::CacheSnapshot {
+        let counters: Vec<(u64, u64)> = self
+            .touched
+            .iter()
+            .map(|&id| (id, self.frequency(id)))
+            .collect();
+        let mut hot_ids: Vec<u64> = self.hot.keys().copied().collect();
+        hot_ids.sort_unstable();
+        crate::ckpt::CacheSnapshot {
+            itr: self.itr,
+            stats: self.stats,
+            counters,
+            hot_ids,
+            cold: crate::ckpt::TableSnapshot::dirty(&self.cold),
+        }
+    }
+
+    /// Clears the touched/dirty sets after a checkpoint captured them.
+    pub fn mark_clean(&mut self) {
+        self.touched.clear();
+        self.cold.mark_clean();
+    }
+
+    /// Resets the cache to exactly the state of a full snapshot. Ends clean.
+    pub fn restore_full(&mut self, snap: &crate::ckpt::CacheSnapshot) {
+        snap.cold.restore_full(&mut self.cold);
+        self.fcounter = snap.counters.iter().copied().collect();
+        self.itr = snap.itr;
+        self.stats = snap.stats;
+        self.rebuild_hot(&snap.hot_ids);
+        self.mark_clean();
+    }
+
+    /// Applies one incremental snapshot on top of the current state (which
+    /// must be the snapshot's parent). Ends clean.
+    pub fn apply_delta(&mut self, snap: &crate::ckpt::CacheSnapshot) {
+        snap.cold.apply(&mut self.cold);
+        for &(id, count) in &snap.counters {
+            self.fcounter.insert(id, count);
+        }
+        self.itr = snap.itr;
+        self.stats = snap.stats;
+        self.rebuild_hot(&snap.hot_ids);
+        self.mark_clean();
+    }
+
+    fn rebuild_hot(&mut self, hot_ids: &[u64]) {
+        let mut hot = HashMap::with_capacity(hot_ids.len());
+        for &id in hot_ids {
+            hot.insert(id, self.cold.row(id).into());
+        }
+        self.hot = hot;
     }
 }
 

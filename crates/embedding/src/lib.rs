@@ -22,6 +22,7 @@
 
 #![warn(missing_docs)]
 
+pub mod ckpt;
 pub mod cost;
 pub mod hybrid_hash;
 pub mod multi_level;
@@ -29,6 +30,7 @@ pub mod ops;
 pub mod planner;
 pub mod table;
 
+pub use ckpt::{CacheSnapshot, TableSnapshot};
 pub use cost::{calc_vparam, shard_count, TableLoad};
 pub use hybrid_hash::{CacheMetrics, CacheStats, HybridHash, HybridHashConfig, LookupReport};
 pub use multi_level::{CacheLevel, LevelStats, MultiLevelCache, MultiLevelConfig};

@@ -7,14 +7,20 @@
 //! cache-consistency property tests depend on this.
 
 use picasso_data::splitmix64;
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 
 /// A growable embedding table keyed by categorical ID.
+///
+/// The table tracks which rows changed since [`EmbeddingTable::mark_clean`]
+/// (materialization counts: an uninterrupted run and a restored run must
+/// agree on *which* rows exist, not just their values). Incremental
+/// checkpoints serialize only this dirty set.
 #[derive(Debug, Clone)]
 pub struct EmbeddingTable {
     dim: usize,
     seed: u64,
     rows: HashMap<u64, Box<[f32]>>,
+    dirty: BTreeSet<u64>,
 }
 
 impl EmbeddingTable {
@@ -25,6 +31,7 @@ impl EmbeddingTable {
             dim,
             seed,
             rows: HashMap::new(),
+            dirty: BTreeSet::new(),
         }
     }
 
@@ -58,9 +65,11 @@ impl EmbeddingTable {
     /// Returns the row for `id`, materializing it on first access.
     pub fn row(&mut self, id: u64) -> &[f32] {
         let (dim, seed) = (self.dim, self.seed);
-        self.rows
-            .entry(id)
-            .or_insert_with(|| (0..dim).map(|j| Self::init_value(seed, id, j)).collect())
+        let dirty = &mut self.dirty;
+        self.rows.entry(id).or_insert_with(|| {
+            dirty.insert(id);
+            (0..dim).map(|j| Self::init_value(seed, id, j)).collect()
+        })
     }
 
     /// Returns the row for `id` without materializing; `None` if absent.
@@ -78,6 +87,7 @@ impl EmbeddingTable {
     pub fn put(&mut self, id: u64, values: &[f32]) {
         assert_eq!(values.len(), self.dim, "row length must equal dim");
         self.rows.insert(id, values.into());
+        self.dirty.insert(id);
     }
 
     /// Applies a gradient step `row -= lr * grad` to the row for `id`.
@@ -91,6 +101,37 @@ impl EmbeddingTable {
         for (w, g) in row.iter_mut().zip(grad) {
             *w -= lr * g;
         }
+        self.dirty.insert(id);
+    }
+
+    /// IDs of rows touched (materialized, written, or updated) since the last
+    /// [`EmbeddingTable::mark_clean`], ascending.
+    pub fn dirty_ids(&self) -> impl Iterator<Item = u64> + '_ {
+        self.dirty.iter().copied()
+    }
+
+    /// Number of dirty rows.
+    pub fn dirty_count(&self) -> usize {
+        self.dirty.len()
+    }
+
+    /// Forgets the dirty set — called after a checkpoint captures it (and
+    /// after a restore, which reconstructs a just-checkpointed state).
+    pub fn mark_clean(&mut self) {
+        self.dirty.clear();
+    }
+
+    /// IDs of every materialized row, ascending.
+    pub fn materialized_ids(&self) -> Vec<u64> {
+        let mut ids: Vec<u64> = self.rows.keys().copied().collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    /// Drops all materialized rows and the dirty set (full-restore staging).
+    pub fn clear_rows(&mut self) {
+        self.rows.clear();
+        self.dirty.clear();
     }
 }
 

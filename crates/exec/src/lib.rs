@@ -25,6 +25,7 @@ pub mod costs;
 pub mod framework;
 pub mod lint;
 pub mod observe;
+pub mod recovery;
 pub mod scheduler;
 pub mod strategy;
 pub mod telemetry;
@@ -38,6 +39,9 @@ pub use observe::{chrome_trace, span_tracer, ScheduleScopes, TaskRange};
 pub use picasso_graph::{Diagnostic, LintReport, PassId, PipelineConfig, PipelineError, Severity};
 pub use picasso_lint::{StageEdge, StageFusion, StageGraph, StageNode};
 pub use picasso_models::ModelKind;
+pub use recovery::{
+    lint_recovery, run_recovery, CkptRecord, RecoveryEvent, RecoveryOptions, RecoveryRun,
+};
 pub use scheduler::{simulate, SimConfig, SimulationOutput};
 pub use strategy::{DenseSync, EmbeddingExchange, Strategy};
 pub use telemetry::TrainingReport;

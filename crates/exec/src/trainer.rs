@@ -34,6 +34,10 @@ pub enum TrainError {
     /// aborted before scheduling. The payload holds only the errors —
     /// call [`lint`] for the full report including warnings.
     Lint(Vec<Diagnostic>),
+    /// Fault recovery was exhausted: every retry failed, the checkpoint
+    /// store is unusable, or the fault plan outlasts the retry budget.
+    /// The message names the failing component.
+    Unrecoverable(String),
 }
 
 impl fmt::Display for TrainError {
@@ -52,6 +56,9 @@ impl fmt::Display for TrainError {
                 }
                 Ok(())
             }
+            TrainError::Unrecoverable(msg) => {
+                write!(f, "training could not recover: {msg}")
+            }
         }
     }
 }
@@ -62,6 +69,7 @@ impl std::error::Error for TrainError {
             TrainError::Pipeline(e) => Some(e),
             TrainError::Lowering(e) => Some(e),
             TrainError::Lint(_) => None,
+            TrainError::Unrecoverable(_) => None,
         }
     }
 }

@@ -62,6 +62,9 @@ pub enum Span {
     Pass(String),
     /// A stage in the lowered execution graph, by stage label.
     Stage(String),
+    /// A run-configuration surface (fault plan / checkpoint policy), by
+    /// the offending flag or field name.
+    Run(String),
 }
 
 impl Span {
@@ -80,6 +83,7 @@ impl Span {
             Span::Stage(label) => {
                 Json::obj([("kind", Json::str("stage")), ("name", Json::str(label))])
             }
+            Span::Run(field) => Json::obj([("kind", Json::str("run")), ("name", Json::str(field))]),
         }
     }
 
@@ -93,6 +97,7 @@ impl Span {
             "module" => Some(Span::Module(index()?)),
             "pass" => Some(Span::Pass(name()?)),
             "stage" => Some(Span::Stage(name()?)),
+            "run" => Some(Span::Run(name()?)),
             _ => None,
         }
     }
@@ -106,6 +111,7 @@ impl std::fmt::Display for Span {
             Span::Module(i) => write!(f, "module#{i}"),
             Span::Pass(name) => write!(f, "pass:{name}"),
             Span::Stage(label) => write!(f, "stage:{label}"),
+            Span::Run(field) => write!(f, "run:{field}"),
         }
     }
 }
@@ -239,6 +245,7 @@ mod tests {
             Span::Module(0),
             Span::Pass("k_interleaving".into()),
             Span::Stage("chain2/shuffle".into()),
+            Span::Run("fault-plan".into()),
         ];
         for span in spans {
             assert_eq!(Span::from_json(&span.to_json()), Some(span));

@@ -17,6 +17,8 @@ pub enum Surface {
     Plan,
     /// The lowered execution stage graph.
     Stage,
+    /// A run configuration (fault plan + checkpoint policy).
+    Run,
 }
 
 impl Surface {
@@ -26,6 +28,7 @@ impl Surface {
             Surface::Spec => "spec",
             Surface::Plan => "plan",
             Surface::Stage => "stage",
+            Surface::Run => "run",
         }
     }
 }
@@ -203,6 +206,23 @@ pub const RULES: &[RuleInfo] = &[
         summary: "a stage predicts exactly zero cost (no work and no launches)",
         grounding: "§IV calibration: a zero-cost stage yields an undefined observed/predicted ratio",
     },
+    // ------------------------------------------------------------------
+    // Run surface.
+    // ------------------------------------------------------------------
+    RuleInfo {
+        id: "run.fault-without-ckpt",
+        surface: Surface::Run,
+        severity: Severity::Warn,
+        summary: "the fault plan schedules a worker crash but checkpointing is disabled",
+        grounding: "without a checkpoint every crash restarts training from iteration 0",
+    },
+    RuleInfo {
+        id: "run.ckpt-beyond-horizon",
+        surface: Surface::Run,
+        severity: Severity::Warn,
+        summary: "the checkpoint interval exceeds the configured iteration count",
+        grounding: "a run shorter than one checkpoint interval never persists any state",
+    },
 ];
 
 /// Looks up a rule by id.
@@ -229,13 +249,13 @@ mod tests {
     }
 
     #[test]
-    fn registry_covers_all_three_surfaces_with_ten_plus_rules() {
+    fn registry_covers_all_surfaces_with_ten_plus_rules() {
         assert!(
             RULES.len() >= 10,
             "expected >= 10 rules, got {}",
             RULES.len()
         );
-        for surface in [Surface::Spec, Surface::Plan, Surface::Stage] {
+        for surface in [Surface::Spec, Surface::Plan, Surface::Stage, Surface::Run] {
             assert!(
                 RULES.iter().any(|r| r.surface == surface),
                 "no rules registered for surface {}",

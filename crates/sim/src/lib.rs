@@ -33,6 +33,7 @@
 #![warn(missing_docs)]
 
 pub mod engine;
+pub mod fault;
 pub mod intervals;
 pub mod metrics;
 pub mod observe;
@@ -42,6 +43,7 @@ pub mod topology;
 pub mod trace;
 
 pub use engine::{Binding, Engine, EngineError, RunResult, Task, TaskCategory, TaskId, TaskRecord};
+pub use fault::{FaultEvent, FaultKind, FaultPlan};
 pub use intervals::IntervalSet;
 pub use metrics::{
     BandwidthTimeline, Breakdown, ResourceTimeline, RunAnalysis, UtilizationTimeline,

@@ -368,6 +368,129 @@ impl CtrModel {
     }
 }
 
+fn encode_matrix(e: &mut picasso_ckpt::Encoder, m: &Matrix) {
+    e.u64(m.rows() as u64);
+    e.u64(m.cols() as u64);
+    e.f32_slice(m.as_slice());
+}
+
+fn decode_matrix(
+    d: &mut picasso_ckpt::Decoder<'_>,
+    want_rows: usize,
+    want_cols: usize,
+) -> Result<Matrix, picasso_ckpt::CodecError> {
+    let rows = d.u64()? as usize;
+    let cols = d.u64()? as usize;
+    if rows != want_rows || cols != want_cols {
+        return Err(picasso_ckpt::CodecError::Invalid(format!(
+            "matrix shape {rows}x{cols}, model expects {want_rows}x{want_cols}"
+        )));
+    }
+    let data = d.f32_slice()?;
+    if data.len() != rows * cols {
+        return Err(picasso_ckpt::CodecError::Invalid(format!(
+            "matrix payload {} values for {rows}x{cols}",
+            data.len()
+        )));
+    }
+    Ok(Matrix::from_vec(rows, cols, data))
+}
+
+fn decode_bias(
+    d: &mut picasso_ckpt::Decoder<'_>,
+    want: usize,
+) -> Result<Vec<f32>, picasso_ckpt::CodecError> {
+    let b = d.f32_slice()?;
+    if b.len() != want {
+        return Err(picasso_ckpt::CodecError::Invalid(format!(
+            "bias length {}, model expects {want}",
+            b.len()
+        )));
+    }
+    Ok(b)
+}
+
+/// Checkpoint/restore surface of the model: dense parameters (MLP weights,
+/// biases, Adagrad accumulators) serialize to one shard; embedding tables
+/// are exposed so the recovery driver can shard them individually.
+impl CtrModel {
+    /// Serializes every dense parameter and optimizer accumulator.
+    pub fn dense_snapshot(&self) -> Vec<u8> {
+        let mut e = picasso_ckpt::Encoder::new();
+        encode_matrix(&mut e, &self.l1.w);
+        e.f32_slice(&self.l1.b);
+        encode_matrix(&mut e, &self.l2.w);
+        e.f32_slice(&self.l2.b);
+        encode_matrix(&mut e, self.opt1.acc_w());
+        e.f32_slice(self.opt1.acc_b());
+        encode_matrix(&mut e, self.opt2.acc_w());
+        e.f32_slice(self.opt2.acc_b());
+        e.finish()
+    }
+
+    /// Restores dense parameters from [`CtrModel::dense_snapshot`] bytes.
+    /// Shapes are validated against the live model.
+    pub fn restore_dense(&mut self, bytes: &[u8]) -> Result<(), picasso_ckpt::CodecError> {
+        let mut d = picasso_ckpt::Decoder::new(bytes);
+        let w1 = decode_matrix(&mut d, self.l1.w.rows(), self.l1.w.cols())?;
+        let b1 = decode_bias(&mut d, self.l1.b.len())?;
+        let w2 = decode_matrix(&mut d, self.l2.w.rows(), self.l2.w.cols())?;
+        let b2 = decode_bias(&mut d, self.l2.b.len())?;
+        let a1w = decode_matrix(&mut d, self.l1.w.rows(), self.l1.w.cols())?;
+        let a1b = decode_bias(&mut d, self.l1.b.len())?;
+        let a2w = decode_matrix(&mut d, self.l2.w.rows(), self.l2.w.cols())?;
+        let a2b = decode_bias(&mut d, self.l2.b.len())?;
+        d.finish()?;
+        self.l1.w = w1;
+        self.l1.b = b1;
+        self.l2.w = w2;
+        self.l2.b = b2;
+        self.opt1.restore_acc(a1w, a1b);
+        self.opt2.restore_acc(a2w, a2b);
+        Ok(())
+    }
+
+    /// Table-group IDs in feature order.
+    pub fn table_groups(&self) -> Vec<usize> {
+        self.table_order.clone()
+    }
+
+    /// Read access to one embedding table.
+    pub fn table(&self, group: usize) -> Option<&EmbeddingTable> {
+        self.tables.get(&group)
+    }
+
+    /// Mutable access to one embedding table (checkpoint restore).
+    pub fn table_mut(&mut self, group: usize) -> Option<&mut EmbeddingTable> {
+        self.tables.get_mut(&group)
+    }
+
+    /// Clears the dirty sets of every table after a checkpoint captured them.
+    pub fn mark_tables_clean(&mut self) {
+        for t in self.tables.values_mut() {
+            t.mark_clean();
+        }
+    }
+
+    /// An FNV-1a digest over every parameter bit of the model — dense
+    /// weights, optimizer accumulators, and all materialized embedding rows
+    /// in sorted order. Two models agree on this digest iff their trainable
+    /// state is bit-identical; the crash-and-recover proof rests on it.
+    pub fn state_digest(&self) -> u64 {
+        let mut bytes = self.dense_snapshot();
+        for (&group, table) in &self.tables {
+            let mut e = picasso_ckpt::Encoder::new();
+            e.u64(group as u64);
+            for id in table.materialized_ids() {
+                e.u64(id);
+                e.f32_slice(table.peek(id).expect("materialized"));
+            }
+            bytes.extend_from_slice(&e.finish());
+        }
+        picasso_ckpt::fnv1a64(&bytes)
+    }
+}
+
 /// Forward bookkeeping for backward.
 struct ForwardState {
     pooled: Vec<[f32; EMB_DIM]>,
@@ -444,6 +567,42 @@ mod tests {
     fn evolution_model_learns_on_sequences() {
         let (_, after) = train_steps(Variant::Evolution, true, 60);
         assert!(after > 0.6, "AUC {after:.3}");
+    }
+
+    #[test]
+    fn dense_snapshot_round_trips_bit_identically() {
+        let data = tiny_data(false);
+        let mut gen = BatchGenerator::new(Arc::clone(&data), 3);
+        let mut model = CtrModel::new(&data, Variant::Deep, 0.1, 9);
+        for _ in 0..5 {
+            let b = gen.next_batch(64);
+            let (_, g) = model.step(&b, &data);
+            model.apply(&g);
+        }
+        let snap = model.dense_snapshot();
+        let digest = model.state_digest();
+
+        let mut other = CtrModel::new(&data, Variant::Deep, 0.1, 9);
+        assert_ne!(other.state_digest(), digest, "trained state must differ");
+        other.restore_dense(&snap).unwrap();
+        for group in model.table_groups() {
+            picasso_embedding::TableSnapshot::full(model.table(group).unwrap())
+                .restore_full(other.table_mut(group).unwrap());
+        }
+        assert_eq!(other.state_digest(), digest, "restore reproduces every bit");
+        assert_eq!(other.dense_snapshot(), snap);
+
+        // Truncated payloads are rejected, leaving the model untouched.
+        assert!(other.restore_dense(&snap[..snap.len() - 1]).is_err());
+    }
+
+    #[test]
+    fn restore_dense_rejects_mismatched_shapes() {
+        let data = tiny_data(false);
+        let model = CtrModel::new(&data, Variant::Deep, 0.1, 1);
+        // DotDeep has a wider input layer: its shard must not load.
+        let mut other = CtrModel::new(&data, Variant::DotDeep, 0.1, 1);
+        assert!(other.restore_dense(&model.dense_snapshot()).is_err());
     }
 
     #[test]

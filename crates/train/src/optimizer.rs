@@ -23,6 +23,37 @@ impl Adagrad {
         }
     }
 
+    /// The per-weight squared-gradient accumulator.
+    pub fn acc_w(&self) -> &Matrix {
+        &self.acc_w
+    }
+
+    /// The per-bias squared-gradient accumulator.
+    pub fn acc_b(&self) -> &[f32] {
+        &self.acc_b
+    }
+
+    /// Replaces the accumulators (checkpoint restore). Shapes must match.
+    pub fn restore_acc(&mut self, acc_w: Matrix, acc_b: Vec<f32>) {
+        assert_eq!(
+            acc_w.rows(),
+            self.acc_w.rows(),
+            "accumulator rows must match"
+        );
+        assert_eq!(
+            acc_w.cols(),
+            self.acc_w.cols(),
+            "accumulator cols must match"
+        );
+        assert_eq!(
+            acc_b.len(),
+            self.acc_b.len(),
+            "bias accumulator length must match"
+        );
+        self.acc_w = acc_w;
+        self.acc_b = acc_b;
+    }
+
     /// Applies one accumulated gradient to the parameters.
     pub fn step(&mut self, w: &mut Matrix, b: &mut [f32], dw: &Matrix, db: &[f32]) {
         for i in 0..w.as_slice().len() {
