@@ -21,6 +21,13 @@
 //! report; `--lint-json PATH` (which implies `--lint`) also writes the
 //! structured `picasso.lint_report` document.
 //!
+//! `--analyze` skips the experiments and instead runs the causal analyzer
+//! over every perf scenario's executed DAG: critical path, achieved
+//! overlap per resource pair versus the planned D×K interleaving, and
+//! idle-gap attribution; `--analyze-json PATH` (which implies `--analyze`)
+//! also writes the aggregated `picasso.analysis_suite` document, one
+//! `picasso.analysis_report` per scenario.
+//!
 //! `--fault-plan SPEC` (and/or `--ckpt-dir DIR`) switches to the
 //! crash-and-recover mode: the real trainer runs once uninterrupted and
 //! once under the fault plan with checkpointing against `--ckpt-dir`
@@ -39,8 +46,9 @@
 //! suppresses the tables and progress lines, leaving only errors and the
 //! export confirmations.
 
+use picasso_bench::analysis;
 use picasso_bench::recovery::run_scenario;
-use picasso_bench::scenarios::recovery_scenarios;
+use picasso_bench::scenarios::{analysis_scenarios, recovery_scenarios};
 use picasso_bench::snapshot::lint_suite;
 use picasso_core::exec::lint_recovery;
 use picasso_core::exec::{ModelKind, RunArtifacts, WarmupConfig};
@@ -61,7 +69,8 @@ repro: regenerate the paper's tables and figures
 USAGE:
     repro <experiment|all> [quick|full]
           [--trace-out PATH] [--metrics-out PATH] [--report-json PATH]
-          [--lint] [--lint-json PATH] [--quiet]
+          [--lint] [--lint-json PATH] [--analyze] [--analyze-json PATH]
+          [--quiet]
     repro --fault-plan SPEC [--ckpt-dir DIR] [--ckpt-every N]
           [--report-json PATH] [--trace-out PATH] [--quiet]
 
@@ -77,6 +86,11 @@ FLAGS:
                         running experiments; exit 4 on error findings.
     --lint-json PATH    Also write the structured lint report (implies
                         --lint).
+    --analyze           Causal analysis of the bench suite: rebuild every
+                        perf scenario's executed DAG and report critical
+                        path, achieved vs planned overlap, and idle gaps.
+    --analyze-json PATH Also write the aggregated analysis-suite document
+                        (implies --analyze).
     --fault-plan SPEC   Crash-and-recover mode: train under this fault
                         plan (e.g. \"seed=41;crash@13\") and verify the
                         recovered run is bit-identical to an uninterrupted
@@ -106,6 +120,8 @@ struct Cli {
     report_json: Option<String>,
     lint: bool,
     lint_json: Option<String>,
+    analyze: bool,
+    analyze_json: Option<String>,
     fault_plan: Option<String>,
     ckpt_dir: Option<String>,
     ckpt_every: Option<u64>,
@@ -121,6 +137,8 @@ fn parse_args() -> Cli {
         report_json: None,
         lint: false,
         lint_json: None,
+        analyze: false,
+        analyze_json: None,
         fault_plan: None,
         ckpt_dir: None,
         ckpt_every: None,
@@ -143,6 +161,11 @@ fn parse_args() -> Cli {
             "--lint-json" => {
                 cli.lint = true;
                 cli.lint_json = Some(value("--lint-json"));
+            }
+            "--analyze" => cli.analyze = true,
+            "--analyze-json" => {
+                cli.analyze = true;
+                cli.analyze_json = Some(value("--analyze-json"));
             }
             "--fault-plan" => cli.fault_plan = Some(value("--fault-plan")),
             "--ckpt-dir" => cli.ckpt_dir = Some(value("--ckpt-dir")),
@@ -230,6 +253,34 @@ fn lint_mode(cli: &Cli) -> ! {
     std::process::exit(if report.is_clean() { 0 } else { 4 });
 }
 
+/// `--analyze` mode: run the causal analyzer over every perf scenario's
+/// executed DAG, print the overlap/critical-path summary, optionally
+/// export the aggregated suite document, and exit.
+fn analyze_mode(cli: &Cli) -> ! {
+    let mut outcomes = Vec::new();
+    for sc in analysis_scenarios() {
+        let t0 = Instant::now();
+        let outcome = analysis::run_scenario(&sc);
+        if !cli.quiet {
+            println!(
+                "  [{} analyzed in {:.1}s]",
+                outcome.scenario,
+                t0.elapsed().as_secs_f64()
+            );
+        }
+        outcomes.push(outcome);
+    }
+    println!("{}", analysis::summary_table(&outcomes));
+    if let Some(path) = &cli.analyze_json {
+        write(
+            path,
+            "analysis suite report",
+            &(analysis::suite_report_json(&outcomes).to_json() + "\n"),
+        );
+    }
+    std::process::exit(0);
+}
+
 /// `--fault-plan` / `--ckpt-dir` mode: run the crash-and-recover scenario
 /// and verify the recovered run matches the uninterrupted one bit for bit.
 fn recovery_mode(cli: &Cli) -> ! {
@@ -310,6 +361,9 @@ fn main() {
     let cli = parse_args();
     if cli.lint {
         lint_mode(&cli);
+    }
+    if cli.analyze {
+        analyze_mode(&cli);
     }
     if cli.ckpt_every.is_some() && cli.ckpt_dir.is_none() && cli.fault_plan.is_none() {
         eprintln!("--ckpt-every needs --ckpt-dir or --fault-plan\n\n{USAGE}");

@@ -14,6 +14,7 @@
 
 #![warn(missing_docs)]
 
+pub mod analysis;
 pub mod recovery;
 pub mod scenarios;
 pub mod snapshot;

@@ -40,6 +40,18 @@ pub struct RecoveryScenario {
     pub opts: RecoveryOptions,
 }
 
+/// One causal-analysis scenario: a perf scenario whose executed DAG is
+/// rebuilt and analyzed after the run (critical path, overlap attribution,
+/// idle gaps). Wrapping the perf scenario — rather than naming it — keeps
+/// the two lists consistent by construction.
+#[derive(Debug, Clone)]
+pub struct AnalysisScenario {
+    /// Stable scenario name (`ana_` + the wrapped perf scenario's name).
+    pub name: String,
+    /// The perf scenario whose simulation gets analyzed.
+    pub perf: Scenario,
+}
+
 /// The fixed perf suite: {small = W&D, large = CAN} x {baseline, +packing,
 /// +interleaving, +caching}. Each rung of the ladder is the previous pass
 /// list plus one optimization family, mirroring the paper's ablation order,
@@ -93,6 +105,20 @@ pub fn recovery_scenarios() -> Vec<RecoveryScenario> {
     }]
 }
 
+/// The causal-analysis suite: every perf scenario, analyzed. Deriving the
+/// list from [`perf_scenarios`] keeps `repro --analyze` covering exactly
+/// what the perf gate runs, so the two ablation ladders (`*_base` through
+/// `*_cache`) can be compared by achieved overlap as well as throughput.
+pub fn analysis_scenarios() -> Vec<AnalysisScenario> {
+    perf_scenarios()
+        .into_iter()
+        .map(|sc| AnalysisScenario {
+            name: format!("ana_{}", sc.name),
+            perf: sc,
+        })
+        .collect()
+}
+
 /// The session shape every perf scenario runs under: one EFLOPS node, two
 /// iterations, fixed batch, fully seeded warm-up — deterministic end to
 /// end.
@@ -136,13 +162,25 @@ mod tests {
     }
 
     #[test]
-    fn scenario_names_are_unique_across_both_lists() {
+    fn scenario_names_are_unique_across_all_lists() {
         let mut names: Vec<String> = perf_scenarios().into_iter().map(|s| s.name).collect();
         names.extend(recovery_scenarios().into_iter().map(|s| s.name));
+        names.extend(analysis_scenarios().into_iter().map(|s| s.name));
         let mut dedup = names.clone();
         dedup.sort();
         dedup.dedup();
         assert_eq!(dedup.len(), names.len(), "duplicate scenario name");
+    }
+
+    #[test]
+    fn analysis_scenarios_wrap_every_perf_scenario() {
+        let ana = analysis_scenarios();
+        let perf = perf_scenarios();
+        assert_eq!(ana.len(), perf.len());
+        for (a, p) in ana.iter().zip(&perf) {
+            assert_eq!(a.name, format!("ana_{}", p.name));
+            assert_eq!(a.perf.name, p.name);
+        }
     }
 
     #[test]

@@ -6,9 +6,10 @@
 //! Snapshots serialize to versioned `BENCH_<n>.json` files; the `perfgate`
 //! binary compares a fresh run against the newest committed snapshot and
 //! fails when any gated metric moves past its threshold in the bad
-//! direction. Everything under the `volatile` key (wall-clock timestamps and
-//! optimization-pass wall times) is excluded from comparison and from the
-//! determinism guarantee; the rest of the document is byte-reproducible.
+//! direction. Everything under the `volatile` key (wall-clock timestamps,
+//! optimization-pass wall times, and causal-analyzer runtimes) is excluded
+//! from comparison and from the determinism guarantee; the rest of the
+//! document is byte-reproducible.
 
 use crate::scenarios::{perf_scenarios, recovery_scenarios, suite_config};
 use picasso_core::exec::lint_recovery;
@@ -70,12 +71,22 @@ pub struct ScenarioResult {
     pub report: Json,
     /// Wall-clock time of each optimization pass, nanoseconds (volatile).
     pub pass_wall_ns: BTreeMap<String, u64>,
+    /// Wall-clock time of the causal analyzer over the executed DAG,
+    /// nanoseconds (volatile).
+    pub analyze_wall_ns: u64,
 }
 
 /// Runs one scenario and extracts its snapshot record.
 pub fn run_scenario(sc: &Scenario) -> ScenarioResult {
     let session = Session::new(sc.model, suite_config());
     let artifacts = session.run_custom(Strategy::Hybrid, sc.pipeline.clone(), &sc.name);
+    let t0 = std::time::Instant::now();
+    let _ = picasso_core::exec::analyze_run(
+        &artifacts.output,
+        artifacts.spec.micro_batches.max(1),
+        artifacts.spec.group_count().max(1),
+    );
+    let analyze_wall_ns = t0.elapsed().as_nanos() as u64;
     let mut metrics = BTreeMap::new();
     metrics.insert("ips_per_node".into(), artifacts.report.ips_per_node);
     metrics.insert(
@@ -97,6 +108,7 @@ pub fn run_scenario(sc: &Scenario) -> ScenarioResult {
         metrics,
         report: artifacts.report.to_json(),
         pass_wall_ns,
+        analyze_wall_ns,
     }
 }
 
@@ -142,6 +154,15 @@ impl BenchSnapshot {
                                 ),
                             )
                         })
+                        .collect(),
+                ),
+            ),
+            (
+                "analyze_wall_ns",
+                Json::Obj(
+                    self.scenarios
+                        .iter()
+                        .map(|s| (s.name.clone(), Json::UInt(s.analyze_wall_ns)))
                         .collect(),
                 ),
             ),
@@ -204,6 +225,7 @@ impl BenchSnapshot {
             .and_then(Json::as_u64)
             .unwrap_or(0);
         let pass_walls = doc.get("volatile").and_then(|v| v.get("pass_wall_ns"));
+        let analyze_walls = doc.get("volatile").and_then(|v| v.get("analyze_wall_ns"));
         let mut out = Vec::new();
         for sc in doc
             .get("scenarios")
@@ -231,11 +253,16 @@ impl BenchSnapshot {
                     pass_wall_ns.insert(k.clone(), v.as_u64().unwrap_or(0));
                 }
             }
+            let analyze_wall_ns = analyze_walls
+                .and_then(|w| w.get(&name))
+                .and_then(Json::as_u64)
+                .unwrap_or(0);
             out.push(ScenarioResult {
                 name,
                 metrics,
                 report: sc.get("report").cloned().unwrap_or(Json::Null),
                 pass_wall_ns,
+                analyze_wall_ns,
             });
         }
         Ok(BenchSnapshot {
@@ -524,6 +551,7 @@ mod tests {
             metrics,
             report: Json::Null,
             pass_wall_ns: BTreeMap::new(),
+            analyze_wall_ns: 0,
         }
     }
 

@@ -19,6 +19,7 @@
 
 #![warn(missing_docs)]
 
+pub mod analysis;
 pub mod calibration;
 pub mod collectives;
 pub mod costs;
@@ -32,6 +33,10 @@ pub mod telemetry;
 pub mod trainer;
 pub mod warmup;
 
+pub use analysis::{
+    analysis_report_json, analyze_run, executed_dag, export_analysis_metrics, lint_analysis,
+    overlap_pairs,
+};
 pub use calibration::{CalibrationReport, CalibrationStats, CostRecord};
 pub use framework::{Framework, Optimizations};
 pub use lint::{stage_graph, stage_lints};
@@ -42,7 +47,7 @@ pub use picasso_models::ModelKind;
 pub use recovery::{
     lint_recovery, run_recovery, CkptRecord, RecoveryEvent, RecoveryOptions, RecoveryRun,
 };
-pub use scheduler::{simulate, SimConfig, SimulationOutput};
+pub use scheduler::{simulate, CausalStage, SimConfig, SimulationOutput};
 pub use strategy::{DenseSync, EmbeddingExchange, Strategy};
 pub use telemetry::TrainingReport;
 pub use trainer::{

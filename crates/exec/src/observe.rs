@@ -194,6 +194,43 @@ pub fn chrome_trace(out: &SimulationOutput) -> ChromeTrace {
             trace.frame_marker(&format!("iteration {}", iter.index), s);
         }
     }
+    // Critical-path highlighting: the causal chain that explains the
+    // makespan gets its own track between the schedule and hardware lanes,
+    // with chained flow arrows so Perfetto draws the path across lanes.
+    let dag = crate::analysis::executed_dag(out);
+    let analysis = dag.analyze(
+        &[],
+        picasso_obs::analysis::PlannedInterleaving {
+            micro_batches: 1,
+            groups: 1,
+        },
+    );
+    trace.set_sort_index("critical path", 0);
+    let mut prev_end: Option<u64> = None;
+    for &id in &analysis.critical_path {
+        let node = &dag.nodes[id as usize];
+        let lane = &result.resources[result.records[id as usize].resource.0]
+            .spec
+            .name;
+        trace.complete(
+            "critical path",
+            &node.op,
+            "critical",
+            node.start_ns,
+            node.end_ns,
+            &[("task", &id.to_string()), ("lane", lane)],
+        );
+        if let Some(pe) = prev_end {
+            trace.flow(
+                "critical",
+                "critical path",
+                pe,
+                "critical path",
+                node.start_ns,
+            );
+        }
+        prev_end = Some(node.end_ns);
+    }
     trace
 }
 
@@ -352,6 +389,42 @@ mod tests {
         assert_eq!(frames, 3);
         assert!(count("C") > 0, "counter lanes present");
         assert!(count("s") > 0 && count("s") == count("f"), "flow pairs");
+    }
+
+    #[test]
+    fn chrome_trace_highlights_the_critical_path() {
+        let out = run(2);
+        let trace = chrome_trace(&out);
+        let doc = picasso_obs::json::parse(&trace.to_json()).unwrap();
+        let events = doc
+            .get("traceEvents")
+            .and_then(picasso_obs::Json::items)
+            .unwrap();
+        // The critical-path track exists (thread-name metadata + slices).
+        let critical_track = events.iter().any(|e| {
+            e.get("args")
+                .and_then(|a| a.get("name"))
+                .and_then(picasso_obs::Json::as_str)
+                == Some("critical path")
+        });
+        assert!(critical_track, "critical-path track is named");
+        // Its slices carry the `critical` category and chained flows exist.
+        let slices = events
+            .iter()
+            .filter(|e| {
+                e.get("cat").and_then(picasso_obs::Json::as_str) == Some("critical")
+                    && e.get("ph").and_then(picasso_obs::Json::as_str) == Some("X")
+            })
+            .count();
+        assert!(slices > 1, "critical path has more than one node");
+        let critical_flows = events
+            .iter()
+            .filter(|e| {
+                e.get("name").and_then(picasso_obs::Json::as_str) == Some("critical")
+                    && e.get("ph").and_then(picasso_obs::Json::as_str) == Some("s")
+            })
+            .count();
+        assert_eq!(critical_flows, slices - 1, "one flow per path edge");
     }
 
     #[test]

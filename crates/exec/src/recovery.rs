@@ -28,6 +28,9 @@ use picasso_ckpt::{CheckpointKind, CheckpointStore, Manifest};
 use picasso_data::{BatchGenerator, DatasetSpec};
 use picasso_embedding::TableSnapshot;
 use picasso_lint::{Diagnostic, Severity, Span};
+use picasso_obs::detect::{
+    Anomaly, AnomalyKind, QueueDepthDetector, SlopeDetector, StragglerDetector,
+};
 use picasso_obs::json::Json;
 use picasso_obs::{ChromeTrace, MetricKind, MetricsRegistry};
 use picasso_sim::{FaultKind, FaultPlan};
@@ -75,6 +78,9 @@ pub struct RecoveryOptions {
     pub heartbeat_timeout_s: f64,
     /// Bounded retry budget for failed collectives.
     pub max_retries: u32,
+    /// Synchronous workers the anomaly detectors compare across. Only the
+    /// detection layer reads this; the training math is single-trainer.
+    pub workers: usize,
 }
 
 impl Default for RecoveryOptions {
@@ -91,6 +97,7 @@ impl Default for RecoveryOptions {
             fault_plan: FaultPlan::none(),
             heartbeat_timeout_s: 0.25,
             max_retries: 6,
+            workers: 4,
         }
     }
 }
@@ -152,6 +159,9 @@ pub struct RecoveryRun {
     /// Manifests `latest_valid` rejected during restores (corruption
     /// fallback evidence).
     pub rejected_manifests: Vec<String>,
+    /// Online anomaly detections (straggler z-score, NIC-degradation
+    /// slope, queue-depth runaway), deduplicated across crash rewinds.
+    pub detections: Vec<Anomaly>,
 }
 
 impl RecoveryRun {
@@ -237,6 +247,22 @@ impl RecoveryRun {
             self.checkpoints.iter().map(|c| c.duration_s).sum(),
         );
         m.counter_add("collective_retries_total", &[], self.collective_retries);
+        m.describe(
+            "anomalies_detected_total",
+            MetricKind::Counter,
+            "Online anomaly detections by detector kind",
+        );
+        for kind in [
+            AnomalyKind::Straggler,
+            AnomalyKind::NicDegradation,
+            AnomalyKind::QueueRunaway,
+        ] {
+            let n = self.detections.iter().filter(|a| a.kind == kind).count();
+            if n > 0 {
+                let label = kind.to_string();
+                m.counter_add("anomalies_detected_total", &[("kind", &label)], n as u64);
+            }
+        }
     }
 
     /// Renders the run as a Chrome trace: checkpoint-write and restore
@@ -273,6 +299,13 @@ impl RecoveryRun {
                         if r.from_scratch { "true" } else { "false" },
                     ),
                 ],
+            );
+        }
+        for a in &self.detections {
+            trace.instant(
+                "anomaly",
+                &format!("{}@{}", a.kind, a.at_iter),
+                a.at_iter * 1_000_000,
             );
         }
         trace
@@ -334,6 +367,29 @@ impl RecoveryRun {
                     self.rejected_manifests
                         .iter()
                         .map(|s| Json::str(s.as_str()))
+                        .collect(),
+                ),
+            ),
+            (
+                "detections",
+                Json::Arr(
+                    self.detections
+                        .iter()
+                        .map(|a| {
+                            Json::obj([
+                                ("kind", Json::str(a.kind.to_string())),
+                                ("at_iter", Json::UInt(a.at_iter)),
+                                (
+                                    "worker",
+                                    match a.worker {
+                                        Some(w) => Json::UInt(w as u64),
+                                        None => Json::Null,
+                                    },
+                                ),
+                                ("value", Json::Num(a.value)),
+                                ("threshold", Json::Num(a.threshold)),
+                            ])
+                        })
                         .collect(),
                 ),
             ),
@@ -481,15 +537,46 @@ pub fn run_recovery(
     let mut t = 0.0f64;
     let mut last_loss = f64::NAN;
 
-    // Active degradation windows: (first_iter, one_past_last_iter, slowdown).
+    // Active degradation windows: (first_iter, one_past_last_iter, slowdown)
+    // — straggler windows also carry the slow worker's index so the
+    // detection layer can attribute per-worker latencies.
     let mut nic_windows: Vec<(u64, u64, f64)> = Vec::new();
-    let mut slow_windows: Vec<(u64, u64, f64)> = Vec::new();
+    let mut slow_windows: Vec<(u64, u64, usize, f64)> = Vec::new();
     let mut nic_outage_until: Option<f64> = None;
 
     let mut recoveries = Vec::new();
     let mut checkpoints = Vec::new();
     let mut collective_retries = 0u64;
     let mut rejected_manifests = Vec::new();
+
+    // Online anomaly detection over the per-step metrics stream. Detectors
+    // only *observe* the simulated latencies — nothing they produce feeds
+    // back into timing or the model, so the run stays bit-identical with
+    // detection on. Crash rewinds replay iterations, so detections dedup
+    // on (kind, worker, iteration).
+    let straggler_det = StragglerDetector::default();
+    let mut slope_det = SlopeDetector::new(4, 0.5 * COLLECTIVE_S);
+    let queue_det = QueueDepthDetector::new(2);
+    let mut detections: Vec<Anomaly> = Vec::new();
+    let mut seen_detections: std::collections::BTreeSet<(AnomalyKind, Option<usize>, u64)> =
+        std::collections::BTreeSet::new();
+    let mut record = |detections: &mut Vec<Anomaly>, a: Anomaly| {
+        if seen_detections.insert((a.kind, a.worker, a.at_iter)) {
+            detections.push(a);
+        }
+    };
+    // The detector panel compares at least every worker a straggler event
+    // targets, even if the configured panel is smaller.
+    let panel = plan
+        .events
+        .iter()
+        .filter_map(|e| match e.kind {
+            FaultKind::Straggler { worker, .. } => Some(worker + 1),
+            _ => None,
+        })
+        .max()
+        .unwrap_or(0)
+        .max(opts.workers.max(2));
 
     while step < opts.iterations {
         // Inject faults scheduled for the iteration about to execute. Each
@@ -513,9 +600,16 @@ pub fn run_recovery(
                     }
                 }
                 FaultKind::Straggler {
-                    factor_pct, iters, ..
+                    worker,
+                    factor_pct,
+                    iters,
                 } => {
-                    slow_windows.push((step, step + iters as u64, 100.0 / factor_pct as f64));
+                    slow_windows.push((
+                        step,
+                        step + iters as u64,
+                        worker,
+                        100.0 / factor_pct as f64,
+                    ));
                 }
             }
         }
@@ -550,6 +644,10 @@ pub fn run_recovery(
             }
             step = restored_step;
             t += ttr;
+            // The rewind replays iterations whose collective latencies the
+            // slope detector already saw; a stale window would manufacture
+            // a phantom trend across the discontinuity.
+            slope_det.reset();
             recoveries.push(RecoveryEvent {
                 at_iter: crashed_at,
                 restored_step,
@@ -571,8 +669,8 @@ pub fn run_recovery(
         // Simulated-clock accounting: compute, then the collective.
         let slow_mult: f64 = slow_windows
             .iter()
-            .filter(|(a, b, _)| (*a..*b).contains(&step))
-            .map(|(_, _, m)| m)
+            .filter(|(a, b, _, _)| (*a..*b).contains(&step))
+            .map(|(_, _, _, m)| m)
             .product();
         let nic_mult: f64 = nic_windows
             .iter()
@@ -581,6 +679,7 @@ pub fn run_recovery(
             .product();
         let compute_end = t + STEP_S * slow_mult;
         let mut collective_start = compute_end;
+        let mut backoff_attempts = 0u32;
         if let Some(outage_end) = nic_outage_until {
             if collective_start < outage_end {
                 // Bounded exponential backoff until the outage passes.
@@ -596,10 +695,38 @@ pub fn run_recovery(
                     attempt += 1;
                     collective_retries += 1;
                 }
+                backoff_attempts = attempt;
                 nic_outage_until = None;
             }
         }
         t = collective_start + COLLECTIVE_S * nic_mult;
+
+        // Feed the anomaly detectors the same latencies the simulated
+        // clock just charged. The straggler detector sees the synchronous
+        // panel's per-worker step times (only the faulted worker carries
+        // its window's slowdown); the slope detector sees the end-to-end
+        // collective latency; the queue detector sees how deep the backoff
+        // queue went on this iteration.
+        let worker_latencies: Vec<f64> = (0..panel)
+            .map(|w| {
+                let m: f64 = slow_windows
+                    .iter()
+                    .filter(|(a, b, sw, _)| (*a..*b).contains(&step) && *sw == w)
+                    .map(|(_, _, _, m)| m)
+                    .product();
+                STEP_S * m
+            })
+            .collect();
+        for a in straggler_det.observe(step, &worker_latencies) {
+            record(&mut detections, a);
+        }
+        if let Some(a) = slope_det.observe(step, t - compute_end) {
+            record(&mut detections, a);
+        }
+        if let Some(a) = queue_det.observe(step, backoff_attempts as u64) {
+            record(&mut detections, a);
+        }
+
         step += 1;
 
         // Checkpoint cadence. The kind is derived purely from the step so
@@ -643,6 +770,7 @@ pub fn run_recovery(
         checkpoints,
         collective_retries,
         rejected_manifests,
+        detections,
     })
 }
 
@@ -857,6 +985,106 @@ mod tests {
         assert_eq!(run.recoveries[0].restored_step, 11);
         let clean = run_recovery(&data, None, &opts(0, "seed=10")).expect("clean");
         assert_eq!(run.final_digest, clean.final_digest);
+        let _ = std::fs::remove_dir_all(store.dir());
+    }
+
+    #[test]
+    fn fault_free_run_raises_no_anomalies() {
+        let data = auc_datasets::criteo_like();
+        let run = run_recovery(&data, None, &opts(0, "seed=20")).expect("clean");
+        assert!(
+            run.detections.is_empty(),
+            "zero false positives on the fault-free run, got {:?}",
+            run.detections
+        );
+    }
+
+    #[test]
+    fn seeded_straggler_fires_the_zscore_detector_on_the_right_worker() {
+        let data = auc_datasets::criteo_like();
+        let run = run_recovery(&data, None, &opts(0, "seed=21;slow@3:w1:p50")).expect("run");
+        let hits: Vec<_> = run
+            .detections
+            .iter()
+            .filter(|a| a.kind == AnomalyKind::Straggler)
+            .collect();
+        assert!(!hits.is_empty(), "slow@3 must trip the straggler detector");
+        assert!(
+            hits.iter().all(|a| a.worker == Some(1)),
+            "every straggler detection must name worker 1: {hits:?}"
+        );
+        assert!(
+            hits.iter().all(|a| (3..7).contains(&a.at_iter)),
+            "detections must land inside the fault window: {hits:?}"
+        );
+        assert!(!run
+            .detections
+            .iter()
+            .any(|a| a.kind != AnomalyKind::Straggler));
+    }
+
+    #[test]
+    fn seeded_nic_degradation_fires_the_slope_detector() {
+        let data = auc_datasets::criteo_like();
+        let run = run_recovery(&data, None, &opts(0, "seed=22;nic@4:p25")).expect("run");
+        let hits: Vec<_> = run
+            .detections
+            .iter()
+            .filter(|a| a.kind == AnomalyKind::NicDegradation)
+            .collect();
+        assert!(!hits.is_empty(), "nic@4:p25 must trip the slope detector");
+        assert!(
+            hits.iter().all(|a| a.at_iter >= 4),
+            "the slope can only trend up once the window opens: {hits:?}"
+        );
+        assert!(!run
+            .detections
+            .iter()
+            .any(|a| a.kind == AnomalyKind::Straggler));
+    }
+
+    #[test]
+    fn nic_outage_backoff_fires_the_queue_depth_detector() {
+        let data = auc_datasets::criteo_like();
+        // A two-iteration outage needs two exponential-backoff attempts
+        // (0.05 s then 0.10 s) to clear, reaching the depth limit of 2.
+        let run = run_recovery(&data, None, &opts(0, "seed=23;nic@5:p0:i2")).expect("run");
+        assert!(
+            run.detections
+                .iter()
+                .any(|a| a.kind == AnomalyKind::QueueRunaway),
+            "a full outage's backoff queue must trip the depth detector: {:?}",
+            run.detections
+        );
+    }
+
+    #[test]
+    fn detection_is_observation_only_and_survives_crash_rewinds() {
+        // Timing and model state must be bit-identical whether or not the
+        // detectors fire, and a crash mid-window must not double-report
+        // the replayed iterations.
+        let data = auc_datasets::criteo_like();
+        let plain = run_recovery(&data, None, &opts(0, "seed=24;slow@2:w0:p50")).expect("plain");
+        let store = temp_store("detrewind");
+        let crashed = run_recovery(
+            &data,
+            Some(&store),
+            &opts(2, "seed=24;slow@2:w0:p50;crash@5"),
+        )
+        .expect("crashed");
+        assert_eq!(plain.final_digest, crashed.final_digest);
+        let mut keys: Vec<_> = crashed
+            .detections
+            .iter()
+            .map(|a| (a.kind, a.worker, a.at_iter))
+            .collect();
+        let before = keys.len();
+        keys.sort();
+        keys.dedup();
+        assert_eq!(before, keys.len(), "rewind must not duplicate detections");
+        let json = crashed.to_json().to_json();
+        assert!(json.contains("\"detections\""));
+        assert!(json.contains("straggler"));
         let _ = std::fs::remove_dir_all(store.dir());
     }
 }

@@ -60,6 +60,25 @@ impl SimConfig {
     }
 }
 
+/// One node of the causal event log: an executed stage with its true
+/// dependency edges, recorded while the schedule was built. The engine's
+/// [`RunResult`] carries the matching timestamps and resource assignment;
+/// joining the two reconstructs the executed DAG (see [`crate::analysis`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CausalStage {
+    /// Engine task id (indexes `result.records`).
+    pub task: TaskId,
+    /// Operator the stage lowers (the launcher node carries its stage's op).
+    pub kind: OpKind,
+    /// Executor the stage was scheduled for.
+    pub executor: usize,
+    /// Whether this is the host-side launcher dispatch for its stage, as
+    /// opposed to the hardware work itself.
+    pub launcher: bool,
+    /// The tasks this node waited for (exactly the engine dependency edges).
+    pub deps: Vec<TaskId>,
+}
+
 /// A finished simulation plus its shape.
 #[derive(Debug)]
 pub struct SimulationOutput {
@@ -80,6 +99,9 @@ pub struct SimulationOutput {
     /// the engine's observed durations (see [`crate::calibration`]). Launcher
     /// dispatch tasks are not predicted and not recorded.
     pub costs: Vec<CostRecord>,
+    /// Causal event log: every executed task (launcher and hardware alike)
+    /// with its dependency edges, in creation order.
+    pub causal: Vec<CausalStage>,
 }
 
 impl SimulationOutput {
@@ -188,6 +210,10 @@ pub fn simulate(
     // `add` is shared by every call site below; recording is append-only
     // bookkeeping the schedule never reads back.
     let cost_log: RefCell<Vec<CostRecord>> = RefCell::new(Vec::new());
+    // Causal event log: every task the closure creates, with the dependency
+    // edges it was actually given. Same append-only discipline as cost_log —
+    // scheduling never reads it back.
+    let causal_log: RefCell<Vec<CausalStage>> = RefCell::new(Vec::new());
     let add = |engine: &mut Engine,
                exec: usize,
                st: &StageTask,
@@ -225,7 +251,15 @@ pub fn simulate(
                 st.kind.class().category(),
             );
             launch.deps.extend_from_slice(deps);
-            stage_deps = vec![engine.add_task(launch)?];
+            let launch_id = engine.add_task(launch)?;
+            causal_log.borrow_mut().push(CausalStage {
+                task: launch_id,
+                kind: st.kind,
+                executor: exec,
+                launcher: true,
+                deps: deps.to_vec(),
+            });
+            stage_deps = vec![launch_id];
         }
         let mut task = Task::new(resource, st.work, st.kind.class().category());
         if server_side && st.launches > 1 {
@@ -235,7 +269,7 @@ pub fn simulate(
             let rate = engine.resource_spec(resource).rate;
             task.work += (st.launches - 1) as f64 * overhead * rate;
         }
-        task.deps = stage_deps;
+        task.deps = stage_deps.clone();
         // Predict with the same closed-form the cost model uses — overhead
         // plus rate-scaled work, after any server-side inflation — so the
         // calibration gap isolates queueing and congestion.
@@ -246,6 +280,13 @@ pub fn simulate(
             task: id,
             kind: st.kind,
             predicted_secs,
+        });
+        causal_log.borrow_mut().push(CausalStage {
+            task: id,
+            kind: st.kind,
+            executor: exec,
+            launcher: false,
+            deps: stage_deps,
         });
         Ok(id)
     };
@@ -507,6 +548,7 @@ pub fn simulate(
         machines: cfg.machines,
         scopes,
         costs: cost_log.into_inner(),
+        causal: causal_log.into_inner(),
     })
 }
 

@@ -223,6 +223,22 @@ pub const RULES: &[RuleInfo] = &[
         summary: "the checkpoint interval exceeds the configured iteration count",
         grounding: "a run shorter than one checkpoint interval never persists any state",
     },
+    RuleInfo {
+        id: "run.low-overlap",
+        surface: Surface::Run,
+        severity: Severity::Warn,
+        summary: "achieved comm-under-compute overlap fell far below the planned interleaving",
+        grounding: "§V D/K-interleaving plans 1-1/(DK) of communication hidden under compute; \
+                    a large shortfall means packing or scheduling failed to realize the plan",
+    },
+    RuleInfo {
+        id: "run.idle-dominant-resource",
+        surface: Surface::Run,
+        severity: Severity::Warn,
+        summary: "a resource lane on the critical path spent most of the run idle",
+        grounding: "§III packing exists to keep the dominant resource busy; an idle-dominated \
+                    critical lane indicates serialization the executed DAG can localize",
+    },
 ];
 
 /// Looks up a rule by id.

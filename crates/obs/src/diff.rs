@@ -51,13 +51,25 @@ fn scalar_series(snapshot: &MetricsSnapshot) -> BTreeMap<(String, Labels), f64> 
     for ((name, labels), value) in &snapshot.gauges {
         out.insert((name.clone(), labels.clone()), *value);
     }
+    // Distributions participate by observation count: a histogram or time
+    // series present in only one run must show up as added/removed rather
+    // than vanish from the diff, and a count change flags drift worth a
+    // closer look even though the shape itself is not a scalar.
+    for ((name, labels), hist) in &snapshot.histograms {
+        out.insert((name.clone(), labels.clone()), hist.count as f64);
+    }
+    for ((name, labels), series) in &snapshot.series {
+        out.insert((name.clone(), labels.clone()), series.samples.len() as f64);
+    }
     out
 }
 
-/// Diffs the counter and gauge series of two snapshots over their union,
-/// sorted by `(name, labels)`. Histograms and time series are distributions,
-/// not scalars, and are out of scope here — summarize them first (e.g. via
-/// [`crate::metrics::Histogram::mean`]) and record the summary as a gauge.
+/// Diffs the series of two snapshots over their union, sorted by `(name,
+/// labels)`. Counters and gauges compare by value; histograms and time
+/// series compare by observation count, so a distribution that appears,
+/// disappears, or changes population between runs is surfaced (summarize
+/// via [`crate::metrics::Histogram::mean`] and a gauge when the diff should
+/// track a distribution's *value* instead).
 pub fn snapshot_diff(old: &MetricsSnapshot, new: &MetricsSnapshot) -> Vec<MetricDelta> {
     let old_vals = scalar_series(old);
     let new_vals = scalar_series(new);
@@ -123,6 +135,33 @@ mod tests {
         // Deterministically sorted by (name, labels).
         let names: Vec<_> = deltas.iter().map(|d| d.name.as_str()).collect();
         assert_eq!(names, ["fresh", "gone", "ips", "tasks"]);
+    }
+
+    #[test]
+    fn distributions_present_in_only_one_run_are_reported() {
+        let a = MetricsRegistry::new();
+        a.histogram_buckets("latency", &[0.1, 1.0]);
+        a.histogram_observe("latency", &[], 0.05);
+        a.histogram_observe("latency", &[], 0.5);
+        a.record_sample("sm_busy", &[], 10, 0.8);
+        let b = MetricsRegistry::new();
+        b.histogram_buckets("retries", &[1.0, 4.0]);
+        b.histogram_observe("retries", &[], 2.0);
+
+        let deltas = snapshot_diff(&a.snapshot(), &b.snapshot());
+        let names: Vec<_> = deltas.iter().map(|d| d.name.as_str()).collect();
+        assert_eq!(names, ["latency", "retries", "sm_busy"]);
+        let by_name = |n: &str| deltas.iter().find(|d| d.name == n).unwrap();
+        // Removed histogram and series: old observation count, no new side.
+        assert_eq!(by_name("latency").old, Some(2.0));
+        assert_eq!(by_name("latency").new, None);
+        assert_eq!(by_name("sm_busy").old, Some(1.0));
+        assert_eq!(by_name("sm_busy").new, None);
+        // Added histogram: no baseline, new observation count.
+        assert_eq!(by_name("retries").old, None);
+        assert_eq!(by_name("retries").new, Some(1.0));
+        // All three survive the changed() filter as births/deaths.
+        assert_eq!(changed(&deltas, 0.5).len(), 3);
     }
 
     #[test]

@@ -8,6 +8,11 @@
 //! * [`span`] — scoped span and instant-event tracing against an explicit
 //!   [`clock::Clock`], so the simulator records in simulated nanoseconds while
 //!   the real trainer records wall time through the same API.
+//! * [`analysis`] — causal analysis over the executed task DAG: critical
+//!   path + slack, achieved-vs-planned overlap ratios, idle-gap
+//!   attribution, and an exact binary codec for the event log.
+//! * [`detect`] — online anomaly detectors (straggler z-score, NIC
+//!   degradation slope, queue-depth runaway) fed from the metrics stream.
 //! * Exporters — [`chrome`] (Chrome trace-event JSON with counter lanes and
 //!   flow arrows, loadable in Perfetto), [`prometheus`] (text exposition
 //!   format, with a parser for round-trip tests), and [`report`] (versioned
@@ -20,8 +25,10 @@
 
 #![warn(missing_docs)]
 
+pub mod analysis;
 pub mod chrome;
 pub mod clock;
+pub mod detect;
 pub mod diff;
 pub mod json;
 pub mod metrics;
@@ -29,8 +36,10 @@ pub mod prometheus;
 pub mod report;
 pub mod span;
 
+pub use analysis::{DagAnalysis, DagNode, ExecutedDag, PairSpec, PlannedInterleaving};
 pub use chrome::ChromeTrace;
 pub use clock::{Clock, ManualClock, WallClock};
+pub use detect::{Anomaly, AnomalyKind, QueueDepthDetector, SlopeDetector, StragglerDetector};
 pub use diff::{snapshot_diff, MetricDelta};
 pub use json::Json;
 pub use metrics::{MetricKind, MetricsRegistry, MetricsSnapshot};

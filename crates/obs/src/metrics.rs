@@ -361,6 +361,77 @@ mod tests {
     }
 
     #[test]
+    fn quantile_handles_empty_and_single_sample_histograms() {
+        // Every quantile of an empty histogram is 0.0, never NaN, and no
+        // quantile in [0, 1] panics.
+        let empty = Histogram {
+            bounds: vec![1.0, 2.0],
+            counts: vec![0, 0, 0],
+            sum: 0.0,
+            count: 0,
+        };
+        for q in [0.0, 0.25, 0.5, 0.99, 1.0] {
+            assert_eq!(empty.quantile(q), 0.0, "q={q}");
+        }
+
+        // A single sample pins every nonzero quantile inside its bucket;
+        // interpolation cannot escape the occupied bucket's bounds.
+        let reg = MetricsRegistry::new();
+        reg.histogram_buckets("one", &[1.0, 2.0]);
+        reg.histogram_observe("one", &[], 1.5);
+        let snap = reg.snapshot();
+        let h = &snap.histograms[0].1;
+        for q in [0.01, 0.5, 0.99, 1.0] {
+            let v = h.quantile(q);
+            assert!((1.0..=2.0).contains(&v), "q={q} gave {v}");
+        }
+        assert_eq!(h.quantile(0.0), 1.0, "rank 0 sits at the bucket floor");
+        assert!(
+            (h.mean() - 1.5).abs() < 1e-12,
+            "mean is exact, not bucketed"
+        );
+
+        // A single sample in the +Inf bucket with no finite bound at all:
+        // the mean is the only available point estimate.
+        let unbounded = Histogram {
+            bounds: vec![],
+            counts: vec![1],
+            sum: 7.0,
+            count: 1,
+        };
+        assert_eq!(unbounded.quantile(0.5), 7.0);
+    }
+
+    #[test]
+    fn mean_saturates_instead_of_overflowing() {
+        // Huge observations accumulate in an f64 sum: the mean loses
+        // precision gracefully (IEEE saturation to +Inf at the extreme)
+        // rather than wrapping the way an integer accumulator would.
+        let mut h = Histogram {
+            bounds: vec![1.0],
+            counts: vec![0, 0],
+            sum: 0.0,
+            count: 0,
+        };
+        for _ in 0..4 {
+            h.sum += f64::MAX / 2.0;
+            h.count += 1;
+            h.counts[1] += 1;
+        }
+        assert!(h.sum.is_infinite() && h.sum > 0.0);
+        assert!(h.mean().is_infinite(), "mean follows the saturated sum");
+        // And a count of u64::MAX with a finite sum stays finite and tiny.
+        let wide = Histogram {
+            bounds: vec![1.0],
+            counts: vec![0, 0],
+            sum: 1.0,
+            count: u64::MAX,
+        };
+        let m = wide.mean();
+        assert!(m.is_finite() && (0.0..1e-18).contains(&m));
+    }
+
+    #[test]
     fn series_keep_recording_order() {
         let reg = MetricsRegistry::new();
         reg.record_sample("sm_busy", &[("gpu", "0")], 10, 0.5);
