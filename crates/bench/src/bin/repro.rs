@@ -36,6 +36,17 @@
 //! exports the `picasso.recovery_report` document and `--trace-out` the
 //! recovered run's Chrome trace.
 //!
+//! `--flight-out PATH` exports a checksummed `picasso.flight_dump`: in
+//! crash-and-recover mode the post-mortem ring captured at the first
+//! crash, otherwise a post-hoc flight tap of the instrumented run.
+//!
+//! `--history-dir DIR` switches to the cross-run observatory. The first
+//! positional becomes the action: `ingest [FILE]` appends a run (the file
+//! may be a perfgate `picasso.bench_snapshot` or a `picasso.run_report`;
+//! without a file the perf suite is captured fresh), `trend` sweeps every
+//! gated (scenario, metric) series for sustained change-points (exit 4
+//! when one regresses), and `query SCENARIO METRIC` prints one series.
+//!
 //! Exit codes: 0 on success, 1 when an export fails to write, 2 on bad
 //! arguments or an unknown experiment (so scripts can tell usage errors
 //! from runtime failures), 3 when the instrumented training run itself
@@ -46,17 +57,19 @@
 //! suppresses the tables and progress lines, leaving only errors and the
 //! export confirmations.
 
-use picasso_bench::analysis;
 use picasso_bench::recovery::run_scenario;
 use picasso_bench::scenarios::{analysis_scenarios, recovery_scenarios};
-use picasso_bench::snapshot::lint_suite;
-use picasso_core::exec::lint_recovery;
+use picasso_bench::snapshot::{lint_suite, BenchSnapshot};
+use picasso_bench::{analysis, observatory};
+use picasso_core::exec::{flight_record, lint_flight, lint_recovery};
 use picasso_core::exec::{ModelKind, RunArtifacts, WarmupConfig};
 use picasso_core::experiments::{
     fig01_util_trend, fig03_id_cdf, fig05_breakdown, fig10_walltime, fig11_sm_cdf, fig12_bandwidth,
     fig13_ips, fig14_groups, fig15_scaling, tab03_auc, tab04_ablation, tab05_opcount, tab06_cache,
     tab07_zoo, tab08_fields, tab09_production, tab10_scale, Scale,
 };
+use picasso_core::obs::flight::FlightConfig;
+use picasso_core::obs::history::HistoryStore;
 use picasso_core::sim::FaultPlan;
 use picasso_core::{observe, PicassoConfig, Session, TextTable, TrainError};
 use std::time::Instant;
@@ -69,10 +82,14 @@ repro: regenerate the paper's tables and figures
 USAGE:
     repro <experiment|all> [quick|full]
           [--trace-out PATH] [--metrics-out PATH] [--report-json PATH]
-          [--lint] [--lint-json PATH] [--analyze] [--analyze-json PATH]
-          [--quiet]
+          [--flight-out PATH] [--lint] [--lint-json PATH]
+          [--analyze] [--analyze-json PATH] [--quiet]
     repro --fault-plan SPEC [--ckpt-dir DIR] [--ckpt-every N]
-          [--report-json PATH] [--trace-out PATH] [--quiet]
+          [--report-json PATH] [--trace-out PATH] [--flight-out PATH]
+          [--quiet]
+    repro --history-dir DIR ingest [FILE]
+    repro --history-dir DIR trend
+    repro --history-dir DIR query SCENARIO METRIC
 
 EXPERIMENTS:
     fig1 fig3 fig5 fig10 fig11 fig12 fig13 fig14 fig15
@@ -100,6 +117,12 @@ FLAGS:
                         training from scratch.
     --ckpt-every N      Checkpoint interval in iterations (needs
                         --ckpt-dir; default from the suite scenario).
+    --flight-out PATH   Export the checksummed flight-recorder dump: the
+                        crash post-mortem in crash-and-recover mode, a
+                        post-hoc tap of the instrumented run otherwise.
+    --history-dir DIR   Cross-run observatory mode against this run-history
+                        store; the positional arguments select the action
+                        (ingest [FILE] | trend | query SCENARIO METRIC).
     --quiet             Suppress tables and progress lines.
     --help              Print this help.
 
@@ -109,15 +132,19 @@ EXIT CODES:
     2  bad arguments or unknown experiment
     3  the instrumented training run failed (invalid pipeline, task graph,
        or an unrecoverable/diverging fault run)
-    4  static analysis found error-severity diagnostics
+    4  static analysis found error-severity diagnostics, or the trend
+       sweep found a sustained regression
 ";
 
 struct Cli {
     which: String,
     scale: Scale,
+    positionals: Vec<String>,
     trace_out: Option<String>,
     metrics_out: Option<String>,
     report_json: Option<String>,
+    flight_out: Option<String>,
+    history_dir: Option<String>,
     lint: bool,
     lint_json: Option<String>,
     analyze: bool,
@@ -132,9 +159,12 @@ fn parse_args() -> Cli {
     let mut cli = Cli {
         which: "all".into(),
         scale: Scale::Quick,
+        positionals: Vec::new(),
         trace_out: None,
         metrics_out: None,
         report_json: None,
+        flight_out: None,
+        history_dir: None,
         lint: false,
         lint_json: None,
         analyze: false,
@@ -144,7 +174,6 @@ fn parse_args() -> Cli {
         ckpt_every: None,
         quiet: false,
     };
-    let mut positional = 0;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         let mut value = |flag: &str| {
@@ -157,6 +186,8 @@ fn parse_args() -> Cli {
             "--trace-out" => cli.trace_out = Some(value("--trace-out")),
             "--metrics-out" => cli.metrics_out = Some(value("--metrics-out")),
             "--report-json" => cli.report_json = Some(value("--report-json")),
+            "--flight-out" => cli.flight_out = Some(value("--flight-out")),
+            "--history-dir" => cli.history_dir = Some(value("--history-dir")),
             "--lint" => cli.lint = true,
             "--lint-json" => {
                 cli.lint = true;
@@ -185,18 +216,25 @@ fn parse_args() -> Cli {
                 eprintln!("unknown flag '{flag}'\n\n{USAGE}");
                 std::process::exit(2);
             }
-            _ => {
-                match positional {
-                    0 => cli.which = arg,
-                    1 if arg == "full" => cli.scale = Scale::Full,
-                    1 => cli.scale = Scale::Quick,
-                    _ => {
-                        eprintln!("unexpected argument '{arg}'");
-                        std::process::exit(2);
-                    }
-                }
-                positional += 1;
-            }
+            _ => cli.positionals.push(arg),
+        }
+    }
+    // Outside observatory mode the positionals keep their historical
+    // meaning: <experiment|all> [quick|full].
+    if cli.history_dir.is_none() {
+        if cli.positionals.len() > 2 {
+            eprintln!("unexpected argument '{}'", cli.positionals[2]);
+            std::process::exit(2);
+        }
+        if let Some(which) = cli.positionals.first() {
+            cli.which = which.clone();
+        }
+        if let Some(scale) = cli.positionals.get(1) {
+            cli.scale = if scale == "full" {
+                Scale::Full
+            } else {
+                Scale::Quick
+            };
         }
     }
     cli
@@ -281,6 +319,96 @@ fn analyze_mode(cli: &Cli) -> ! {
     std::process::exit(0);
 }
 
+/// `--history-dir` mode: the cross-run observatory. Dispatches on the
+/// first positional — `ingest [FILE]`, `trend`, or
+/// `query SCENARIO METRIC`.
+fn history_mode(cli: &Cli, dir: &str) -> ! {
+    let mut store = HistoryStore::open(std::path::Path::new(dir)).unwrap_or_else(|err| {
+        eprintln!("history store {dir}: {err}");
+        std::process::exit(3);
+    });
+    let action = cli.positionals.first().map(String::as_str).unwrap_or("");
+    match action {
+        "ingest" => {
+            let seq = match cli.positionals.get(1) {
+                Some(file) => {
+                    let text = std::fs::read_to_string(file).unwrap_or_else(|err| {
+                        eprintln!("{file}: {err}");
+                        std::process::exit(3);
+                    });
+                    let doc = picasso_core::obs::json::parse(&text).unwrap_or_else(|err| {
+                        eprintln!("{file}: {err}");
+                        std::process::exit(3);
+                    });
+                    observatory::ingest_document(&mut store, file, &doc)
+                }
+                None => {
+                    // No document given: capture the perf suite fresh and
+                    // ingest its gated metrics directly.
+                    if !cli.quiet {
+                        println!("  [capturing the perf suite for ingestion]");
+                    }
+                    let snap = BenchSnapshot::capture(0, 0);
+                    store
+                        .ingest("suite", &observatory::snapshot_records(&snap))
+                        .map_err(|e| e.to_string())
+                }
+            }
+            .unwrap_or_else(|err| {
+                eprintln!("ingest failed: {err}");
+                std::process::exit(3);
+            });
+            println!(
+                "ingested run {seq} into {dir} ({} runs total)",
+                store.runs()
+            );
+            std::process::exit(0);
+        }
+        "trend" => {
+            let records = store.load().unwrap_or_else(|err| {
+                eprintln!("history store {dir}: {err}");
+                std::process::exit(3);
+            });
+            let findings = observatory::trend_report(&records);
+            for d in observatory::trend_diagnostics(&findings) {
+                eprintln!("{d}");
+            }
+            if !cli.quiet || observatory::has_regression(&findings) {
+                println!("{}", observatory::trend_table(&findings));
+            }
+            if observatory::has_regression(&findings) {
+                eprintln!("sustained regression in the run history");
+                std::process::exit(4);
+            }
+            println!(
+                "trend OK: {} change-point(s), none regressing, {} runs on record",
+                findings.len(),
+                store.runs()
+            );
+            std::process::exit(0);
+        }
+        "query" => {
+            let (Some(scenario), Some(metric)) = (cli.positionals.get(1), cli.positionals.get(2))
+            else {
+                eprintln!("query needs SCENARIO and METRIC\n\n{USAGE}");
+                std::process::exit(2);
+            };
+            let records = store.load().unwrap_or_else(|err| {
+                eprintln!("history store {dir}: {err}");
+                std::process::exit(3);
+            });
+            for (seq, value) in picasso_core::obs::history::series(&records, scenario, metric) {
+                println!("{seq}\t{value}");
+            }
+            std::process::exit(0);
+        }
+        other => {
+            eprintln!("unknown observatory action '{other}'\n\n{USAGE}");
+            std::process::exit(2);
+        }
+    }
+}
+
 /// `--fault-plan` / `--ckpt-dir` mode: run the crash-and-recover scenario
 /// and verify the recovered run matches the uninterrupted one bit for bit.
 fn recovery_mode(cli: &Cli) -> ! {
@@ -314,8 +442,18 @@ fn recovery_mode(cli: &Cli) -> ! {
             eprintln!("crash-and-recover run failed: {err}");
             std::process::exit(3);
         });
+    for d in lint_flight(&outcome.recovered.flight) {
+        eprintln!("{d}");
+    }
     if !cli.quiet {
         println!("{}", outcome.summary_table());
+    }
+    if let Some(path) = &cli.flight_out {
+        write(
+            path,
+            "flight post-mortem",
+            &(outcome.post_mortem().to_json().to_json() + "\n"),
+        );
     }
     if let Some(path) = &cli.report_json {
         write(
@@ -359,6 +497,9 @@ fn write(path: &str, what: &str, contents: &str) {
 
 fn main() {
     let cli = parse_args();
+    if let Some(dir) = cli.history_dir.clone() {
+        history_mode(&cli, &dir);
+    }
     if cli.lint {
         lint_mode(&cli);
     }
@@ -420,7 +561,11 @@ fn main() {
         std::process::exit(2);
     }
 
-    if cli.trace_out.is_some() || cli.metrics_out.is_some() || cli.report_json.is_some() {
+    if cli.trace_out.is_some()
+        || cli.metrics_out.is_some()
+        || cli.report_json.is_some()
+        || cli.flight_out.is_some()
+    {
         let artifacts = observed_run(cli.scale);
         if let Some(path) = &cli.trace_out {
             write(
@@ -439,6 +584,14 @@ fn main() {
         if let Some(path) = &cli.report_json {
             let report = observe::run_report(&cli.which, scale_name, &tables, Some(&artifacts));
             write(path, "run report", &report.to_json());
+        }
+        if let Some(path) = &cli.flight_out {
+            let rec = flight_record(&artifacts.output, &FlightConfig::default());
+            for d in lint_flight(&rec.stats()) {
+                eprintln!("{d}");
+            }
+            let dump = rec.dump(rec.occupancy());
+            write(path, "flight dump", &(dump.to_json().to_json() + "\n"));
         }
     }
 }

@@ -15,6 +15,7 @@
 #![warn(missing_docs)]
 
 pub mod analysis;
+pub mod observatory;
 pub mod recovery;
 pub mod scenarios;
 pub mod snapshot;

@@ -12,6 +12,7 @@
 use crate::scenarios::RecoveryScenario;
 use picasso_core::ckpt::CheckpointStore;
 use picasso_core::exec::{run_recovery, RecoveryRun};
+use picasso_core::obs::flight::FlightDump;
 use picasso_core::obs::json::Json;
 use picasso_core::sim::FaultPlan;
 use picasso_core::train::auc_datasets;
@@ -57,6 +58,16 @@ impl RecoveryOutcome {
             ),
             ("recovered", self.recovered.to_json()),
         ])
+    }
+
+    /// The post-mortem artifact `repro --flight-out` exports: the flight
+    /// ring captured at the first crash when one fired, otherwise the
+    /// end-of-run trailing window.
+    pub fn post_mortem(&self) -> &FlightDump {
+        self.recovered
+            .post_mortems
+            .first()
+            .unwrap_or(&self.recovered.flight_dump)
     }
 
     /// Human-readable summary (printed by `repro --fault-plan`).

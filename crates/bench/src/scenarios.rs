@@ -4,7 +4,10 @@
 //! `perfgate` snapshot suite runs [`perf_scenarios`], `repro --lint`
 //! statically analyzes both [`perf_scenarios`] and [`recovery_scenarios`],
 //! and the `recovery` CI job runs [`recovery_scenarios`] through
-//! [`crate::recovery::run_scenario`]. Adding a scenario in one consumer
+//! [`crate::recovery::run_scenario`]. The observatory adds two more
+//! lists: [`flight_scenarios`] (the perf suite tapped through the flight
+//! recorder) and [`history_scenarios`] (pinned synthetic series for the
+//! cross-run change-point detector). Adding a scenario in one consumer
 //! but not the others is therefore impossible by construction.
 //!
 //! The perf scenario names and order are pinned by the committed
@@ -15,6 +18,7 @@
 //! document.
 
 use picasso_core::exec::{ModelKind, Optimizations, RecoveryOptions, WarmupConfig};
+use picasso_core::obs::history::Shift;
 use picasso_core::sim::FaultPlan;
 use picasso_core::{PassId, PicassoConfig};
 
@@ -50,6 +54,34 @@ pub struct AnalysisScenario {
     pub name: String,
     /// The perf scenario whose simulation gets analyzed.
     pub perf: Scenario,
+}
+
+/// One flight-recorder scenario: a perf scenario whose finished simulation
+/// is tapped into the flight recorder after the fact, asserting the event
+/// stream (and therefore the post-mortem dump digest) is deterministic.
+/// Wrapping the perf scenario keeps the lists consistent by construction,
+/// exactly like [`AnalysisScenario`].
+#[derive(Debug, Clone)]
+pub struct FlightScenario {
+    /// Stable scenario name (`flt_` + the wrapped perf scenario's name).
+    pub name: String,
+    /// The perf scenario whose simulation gets tapped.
+    pub perf: Scenario,
+}
+
+/// One run-history scenario: a synthetic metric series fed through the
+/// observatory's change-point detector with a pinned expected verdict.
+/// These exercise the detector itself (the cross-run trend math), not the
+/// simulator, so their series are fixed literals.
+#[derive(Debug, Clone)]
+pub struct HistoryScenario {
+    /// Stable scenario name (`hist_*`).
+    pub name: String,
+    /// The `secs_per_iteration` series, one value per synthetic run.
+    pub values: Vec<f64>,
+    /// The change-point direction the detector must report (`None` = the
+    /// detector must stay silent).
+    pub expect: Option<Shift>,
 }
 
 /// The fixed perf suite: {small = W&D, large = CAN} x {baseline, +packing,
@@ -119,6 +151,45 @@ pub fn analysis_scenarios() -> Vec<AnalysisScenario> {
         .collect()
 }
 
+/// The flight-recorder suite: every perf scenario, tapped. Deriving the
+/// list from [`perf_scenarios`] mirrors [`analysis_scenarios`]: whatever
+/// the perf gate runs is also what the flight recorder must replay with a
+/// deterministic dump digest.
+pub fn flight_scenarios() -> Vec<FlightScenario> {
+    perf_scenarios()
+        .into_iter()
+        .map(|sc| FlightScenario {
+            name: format!("flt_{}", sc.name),
+            perf: sc,
+        })
+        .collect()
+}
+
+/// The run-history suite: pinned synthetic series covering the three
+/// regimes the observatory must separate — a clean flat history (silent),
+/// a sustained step regression (fires up), and a sustained improvement
+/// (fires down). Sub-slack jitter rides on the flat case so the suite also
+/// proves the slack band absorbs noise.
+pub fn history_scenarios() -> Vec<HistoryScenario> {
+    vec![
+        HistoryScenario {
+            name: "hist_flat".into(),
+            values: vec![0.50, 0.505, 0.495, 0.50, 0.502, 0.498],
+            expect: None,
+        },
+        HistoryScenario {
+            name: "hist_step_up".into(),
+            values: vec![0.50, 0.50, 0.50, 0.60, 0.60, 0.60],
+            expect: Some(Shift::Up),
+        },
+        HistoryScenario {
+            name: "hist_step_down".into(),
+            values: vec![0.50, 0.50, 0.50, 0.40, 0.40, 0.40],
+            expect: Some(Shift::Down),
+        },
+    ]
+}
+
 /// The session shape every perf scenario runs under: one EFLOPS node, two
 /// iterations, fixed batch, fully seeded warm-up — deterministic end to
 /// end.
@@ -166,6 +237,8 @@ mod tests {
         let mut names: Vec<String> = perf_scenarios().into_iter().map(|s| s.name).collect();
         names.extend(recovery_scenarios().into_iter().map(|s| s.name));
         names.extend(analysis_scenarios().into_iter().map(|s| s.name));
+        names.extend(flight_scenarios().into_iter().map(|s| s.name));
+        names.extend(history_scenarios().into_iter().map(|s| s.name));
         let mut dedup = names.clone();
         dedup.sort();
         dedup.dedup();
@@ -181,6 +254,27 @@ mod tests {
             assert_eq!(a.name, format!("ana_{}", p.name));
             assert_eq!(a.perf.name, p.name);
         }
+    }
+
+    #[test]
+    fn flight_scenarios_wrap_every_perf_scenario() {
+        let flt = flight_scenarios();
+        let perf = perf_scenarios();
+        assert_eq!(flt.len(), perf.len());
+        for (f, p) in flt.iter().zip(&perf) {
+            assert_eq!(f.name, format!("flt_{}", p.name));
+            assert_eq!(f.perf.name, p.name);
+        }
+    }
+
+    #[test]
+    fn history_scenarios_pin_all_three_detector_regimes() {
+        let hist = history_scenarios();
+        assert!(hist.iter().all(|h| h.name.starts_with("hist_")));
+        assert!(hist.iter().all(|h| h.values.len() >= 3));
+        assert!(hist.iter().any(|h| h.expect.is_none()));
+        assert!(hist.iter().any(|h| h.expect == Some(Shift::Up)));
+        assert!(hist.iter().any(|h| h.expect == Some(Shift::Down)));
     }
 
     #[test]

@@ -7,13 +7,14 @@
 //! binary compares a fresh run against the newest committed snapshot and
 //! fails when any gated metric moves past its threshold in the bad
 //! direction. Everything under the `volatile` key (wall-clock timestamps,
-//! optimization-pass wall times, and causal-analyzer runtimes) is excluded
-//! from comparison and from the determinism guarantee; the rest of the
-//! document is byte-reproducible.
+//! optimization-pass wall times, causal-analyzer runtimes, and
+//! flight-recorder tap times) is excluded from comparison and from the
+//! determinism guarantee; the rest of the document is byte-reproducible.
 
 use crate::scenarios::{perf_scenarios, recovery_scenarios, suite_config};
 use picasso_core::exec::lint_recovery;
 use picasso_core::obs::diff::rel_change;
+use picasso_core::obs::flight::FlightConfig;
 use picasso_core::obs::json::{self, Json};
 use picasso_core::{si, LintReport, Session, Strategy, TextTable};
 use std::collections::BTreeMap;
@@ -74,6 +75,9 @@ pub struct ScenarioResult {
     /// Wall-clock time of the causal analyzer over the executed DAG,
     /// nanoseconds (volatile).
     pub analyze_wall_ns: u64,
+    /// Wall-clock time of the flight-recorder tap over the executed
+    /// schedule, nanoseconds (volatile).
+    pub flight_wall_ns: u64,
 }
 
 /// Runs one scenario and extracts its snapshot record.
@@ -87,6 +91,9 @@ pub fn run_scenario(sc: &Scenario) -> ScenarioResult {
         artifacts.spec.group_count().max(1),
     );
     let analyze_wall_ns = t0.elapsed().as_nanos() as u64;
+    let t0 = std::time::Instant::now();
+    let _ = picasso_core::exec::flight_record(&artifacts.output, &FlightConfig::default());
+    let flight_wall_ns = t0.elapsed().as_nanos() as u64;
     let mut metrics = BTreeMap::new();
     metrics.insert("ips_per_node".into(), artifacts.report.ips_per_node);
     metrics.insert(
@@ -109,6 +116,7 @@ pub fn run_scenario(sc: &Scenario) -> ScenarioResult {
         report: artifacts.report.to_json(),
         pass_wall_ns,
         analyze_wall_ns,
+        flight_wall_ns,
     }
 }
 
@@ -163,6 +171,15 @@ impl BenchSnapshot {
                     self.scenarios
                         .iter()
                         .map(|s| (s.name.clone(), Json::UInt(s.analyze_wall_ns)))
+                        .collect(),
+                ),
+            ),
+            (
+                "flight_wall_ns",
+                Json::Obj(
+                    self.scenarios
+                        .iter()
+                        .map(|s| (s.name.clone(), Json::UInt(s.flight_wall_ns)))
                         .collect(),
                 ),
             ),
@@ -226,6 +243,7 @@ impl BenchSnapshot {
             .unwrap_or(0);
         let pass_walls = doc.get("volatile").and_then(|v| v.get("pass_wall_ns"));
         let analyze_walls = doc.get("volatile").and_then(|v| v.get("analyze_wall_ns"));
+        let flight_walls = doc.get("volatile").and_then(|v| v.get("flight_wall_ns"));
         let mut out = Vec::new();
         for sc in doc
             .get("scenarios")
@@ -257,12 +275,17 @@ impl BenchSnapshot {
                 .and_then(|w| w.get(&name))
                 .and_then(Json::as_u64)
                 .unwrap_or(0);
+            let flight_wall_ns = flight_walls
+                .and_then(|w| w.get(&name))
+                .and_then(Json::as_u64)
+                .unwrap_or(0);
             out.push(ScenarioResult {
                 name,
                 metrics,
                 report: sc.get("report").cloned().unwrap_or(Json::Null),
                 pass_wall_ns,
                 analyze_wall_ns,
+                flight_wall_ns,
             });
         }
         Ok(BenchSnapshot {
@@ -552,6 +575,7 @@ mod tests {
             report: Json::Null,
             pass_wall_ns: BTreeMap::new(),
             analyze_wall_ns: 0,
+            flight_wall_ns: 0,
         }
     }
 

@@ -11,8 +11,9 @@ use picasso_exec::RunArtifacts;
 use picasso_obs::{prometheus, ChromeTrace, MetricsRegistry, RunReport};
 
 /// Exports everything `artifacts` recorded into `registry`: simulator task
-/// and timeline metrics, scheduler throughput gauges, and per-pass graph
-/// accounting.
+/// and timeline metrics, scheduler throughput gauges, per-pass graph
+/// accounting, and the flight recorder's occupancy/drop gauges (a post-hoc
+/// tap of the executed schedule, so the run itself stays unobserved).
 pub fn export_metrics(artifacts: &RunArtifacts, registry: &MetricsRegistry) {
     picasso_exec::observe::export_metrics(&artifacts.output, registry);
     for pass in &artifacts.pass_reports {
@@ -21,6 +22,8 @@ pub fn export_metrics(artifacts: &RunArtifacts, registry: &MetricsRegistry) {
     for (table, cache) in &artifacts.warmup.caches {
         cache.export(&format!("table{table}"), registry);
     }
+    picasso_exec::flight_record(&artifacts.output, &picasso_obs::FlightConfig::default())
+        .export_metrics(registry);
 }
 
 /// Builds the full Chrome trace of a run — schedule spans, hardware lanes
@@ -131,6 +134,10 @@ mod tests {
             .is_some());
         assert!(doc
             .find("embedding_lookups_total", &[("outcome", "hot")])
+            .is_some());
+        assert!(doc.find("flight_occupancy", &[]).is_some());
+        assert!(doc
+            .find("flight_events_seen_total", &[("category", "task")])
             .is_some());
     }
 

@@ -40,12 +40,13 @@ pub use analysis::{
 pub use calibration::{CalibrationReport, CalibrationStats, CostRecord};
 pub use framework::{Framework, Optimizations};
 pub use lint::{stage_graph, stage_lints};
-pub use observe::{chrome_trace, span_tracer, ScheduleScopes, TaskRange};
+pub use observe::{chrome_trace, flight_record, span_tracer, ScheduleScopes, TaskRange};
 pub use picasso_graph::{Diagnostic, LintReport, PassId, PipelineConfig, PipelineError, Severity};
 pub use picasso_lint::{StageEdge, StageFusion, StageGraph, StageNode};
 pub use picasso_models::ModelKind;
 pub use recovery::{
-    lint_recovery, run_recovery, CkptRecord, RecoveryEvent, RecoveryOptions, RecoveryRun,
+    lint_flight, lint_recovery, run_recovery, CkptRecord, RecoveryEvent, RecoveryOptions,
+    RecoveryRun,
 };
 pub use scheduler::{simulate, CausalStage, SimConfig, SimulationOutput};
 pub use strategy::{DenseSync, EmbeddingExchange, Strategy};

@@ -10,6 +10,7 @@
 //! observability on is bit-identical to one with it off.
 
 use crate::scheduler::SimulationOutput;
+use picasso_obs::flight::{FlightConfig, FlightRecorder};
 use picasso_obs::{ChromeTrace, ManualClock, MetricKind, MetricsRegistry, Tracer};
 use picasso_sim::{Binding, RunResult, SimDuration};
 
@@ -234,6 +235,39 @@ pub fn chrome_trace(out: &SimulationOutput) -> ChromeTrace {
     trace
 }
 
+/// Replays a finished run into a bounded flight recorder: per iteration, a
+/// span open/close pair, one causal-task event per executed task record
+/// (code = task category, timestamped at the task's end on the simulated
+/// clock), and an `iteration_secs` metric sample.
+///
+/// Like every exporter in this module the tap is derived post-hoc from the
+/// immutable [`RunResult`], so the recorder observes the run without ever
+/// perturbing it, and its dumps digest deterministically for a fixed
+/// scenario and config.
+pub fn flight_record(out: &SimulationOutput, config: &FlightConfig) -> FlightRecorder {
+    let mut rec = FlightRecorder::with_config(config);
+    let result = &out.result;
+    for iter in &out.scopes.iterations {
+        let Some((s, e)) = iter.range.interval(result) else {
+            continue;
+        };
+        let idx = iter.index as u64;
+        rec.span_open("iteration", idx, s);
+        let end = iter.range.end.min(result.records.len());
+        for r in &result.records[iter.range.start..end] {
+            rec.task(
+                &r.category.to_string(),
+                idx,
+                r.end.as_nanos(),
+                (r.end.as_nanos() - r.start.as_nanos()) as f64 / 1e9,
+            );
+        }
+        rec.metric("iteration_secs", idx, e, (e - s) as f64 / 1e9);
+        rec.span_close("iteration", idx, e, (e - s) as f64 / 1e9);
+    }
+    rec
+}
+
 /// The time-series bucket the telemetry layer samples at: 10 ms like DCGM,
 /// but never coarser than ~1/200th of the run.
 pub fn telemetry_bucket(result: &RunResult) -> SimDuration {
@@ -425,6 +459,38 @@ mod tests {
             })
             .count();
         assert_eq!(critical_flows, slices - 1, "one flow per path edge");
+    }
+
+    #[test]
+    fn flight_tap_is_deterministic_and_covers_every_task() {
+        let out = run(2);
+        let config = FlightConfig {
+            capacity: 1 << 14,
+            ..FlightConfig::default()
+        };
+        let rec = flight_record(&out, &config);
+        let stats = rec.stats();
+        // 2 span events + 1 metric per iteration + 1 task event per record.
+        assert_eq!(
+            stats.seen_total(),
+            (out.result.records.len() + 3 * out.scopes.iterations.len()) as u64
+        );
+        assert_eq!(stats.overwritten, 0, "capacity covers the whole run");
+        // Same run, same config → byte-identical dump digests.
+        let again = flight_record(&out, &config);
+        let full = rec.occupancy();
+        assert_eq!(rec.dump(full).digest(), again.dump(full).digest());
+        // A cramped ring still digests deterministically, just shorter.
+        let tiny = FlightConfig {
+            capacity: 8,
+            ..FlightConfig::default()
+        };
+        let cramped = flight_record(&out, &tiny);
+        assert!(cramped.stats().overwritten > 0);
+        assert_eq!(
+            cramped.dump(8).digest(),
+            flight_record(&out, &tiny).dump(8).digest()
+        );
     }
 
     #[test]

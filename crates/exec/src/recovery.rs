@@ -31,6 +31,7 @@ use picasso_lint::{Diagnostic, Severity, Span};
 use picasso_obs::detect::{
     Anomaly, AnomalyKind, QueueDepthDetector, SlopeDetector, StragglerDetector,
 };
+use picasso_obs::flight::{FlightConfig, FlightDump, FlightRecorder, FlightStats};
 use picasso_obs::json::Json;
 use picasso_obs::{ChromeTrace, MetricKind, MetricsRegistry};
 use picasso_sim::{FaultKind, FaultPlan};
@@ -81,6 +82,10 @@ pub struct RecoveryOptions {
     /// Synchronous workers the anomaly detectors compare across. Only the
     /// detection layer reads this; the training math is single-trainer.
     pub workers: usize,
+    /// Flight-recorder shape (ring capacity, post-mortem window, sampling).
+    /// The recorder observes the simulated clock and never feeds back into
+    /// the run.
+    pub flight: FlightConfig,
 }
 
 impl Default for RecoveryOptions {
@@ -98,6 +103,7 @@ impl Default for RecoveryOptions {
             heartbeat_timeout_s: 0.25,
             max_retries: 6,
             workers: 4,
+            flight: FlightConfig::default(),
         }
     }
 }
@@ -162,6 +168,13 @@ pub struct RecoveryRun {
     /// Online anomaly detections (straggler z-score, NIC-degradation
     /// slope, queue-depth runaway), deduplicated across crash rewinds.
     pub detections: Vec<Anomaly>,
+    /// Flight-recorder lifetime accounting.
+    pub flight: FlightStats,
+    /// One checksummed post-mortem per detected crash, captured at the
+    /// moment of detection (before the restore rewinds anything).
+    pub post_mortems: Vec<FlightDump>,
+    /// The recorder's trailing window at the end of the run.
+    pub flight_dump: FlightDump,
 }
 
 impl RecoveryRun {
@@ -247,6 +260,17 @@ impl RecoveryRun {
             self.checkpoints.iter().map(|c| c.duration_s).sum(),
         );
         m.counter_add("collective_retries_total", &[], self.collective_retries);
+        m.describe(
+            "flight_post_mortems_total",
+            MetricKind::Counter,
+            "Post-mortem dumps captured at crash detection",
+        );
+        m.counter_add(
+            "flight_post_mortems_total",
+            &[],
+            self.post_mortems.len() as u64,
+        );
+        self.flight.export_metrics(m);
         m.describe(
             "anomalies_detected_total",
             MetricKind::Counter,
@@ -393,6 +417,22 @@ impl RecoveryRun {
                         .collect(),
                 ),
             ),
+            // Deterministic flight fields only: the volatile overhead
+            // counter stays out so the report is reproducible.
+            (
+                "flight",
+                Json::obj([
+                    ("capacity", Json::UInt(self.flight.capacity as u64)),
+                    ("occupancy", Json::UInt(self.flight.occupancy as u64)),
+                    ("recorded", Json::UInt(self.flight.recorded)),
+                    ("overwritten", Json::UInt(self.flight.overwritten)),
+                    ("sampled_out", Json::UInt(self.flight.sampled_out_total())),
+                ]),
+            ),
+            (
+                "post_mortems",
+                Json::Arr(self.post_mortems.iter().map(FlightDump::to_json).collect()),
+            ),
         ])
     }
 }
@@ -432,6 +472,29 @@ pub fn lint_recovery(opts: &RecoveryOptions) -> Vec<Diagnostic> {
                 ),
             )
             .with_hint("lower --ckpt-every below the iteration count"),
+        );
+    }
+    out
+}
+
+/// Lints a finished run's flight-recorder accounting: fires
+/// `run.flight-overflow` when ring wraparound overwrote admitted events,
+/// meaning a post-mortem would be missing history.
+pub fn lint_flight(stats: &FlightStats) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    if stats.overwritten > 0 {
+        out.push(
+            Diagnostic::new(
+                "run.flight-overflow",
+                Severity::Warn,
+                Span::Run("flight-recorder".into()),
+                format!(
+                    "flight recorder overwrote {} of {} admitted events (capacity {}); \
+                     post-mortems lose the overwritten history",
+                    stats.overwritten, stats.recorded, stats.capacity
+                ),
+            )
+            .with_hint("raise the flight-recorder capacity or sample noisy categories harder"),
         );
     }
     out
@@ -549,6 +612,13 @@ pub fn run_recovery(
     let mut collective_retries = 0u64;
     let mut rejected_manifests = Vec::new();
 
+    // The always-on flight recorder: bounded, fed from the simulated
+    // clock, write-only — crashing leaves its trailing window behind as a
+    // checksummed post-mortem without perturbing the run.
+    let mut flight = FlightRecorder::with_config(&opts.flight);
+    let mut post_mortems: Vec<FlightDump> = Vec::new();
+    let ns = |s: f64| (s * 1e9).round() as u64;
+
     // Online anomaly detection over the per-step metrics stream. Detectors
     // only *observe* the simulated latencies — nothing they produce feeds
     // back into timing or the model, so the run stays bit-identical with
@@ -591,6 +661,7 @@ pub fn run_recovery(
             match event.kind {
                 FaultKind::WorkerCrash { .. } => crashed = true,
                 FaultKind::NicDegrade { factor_pct, iters } => {
+                    flight.fault("nic-degrade", step, ns(t));
                     if factor_pct == 0 {
                         // Full outage: no collective completes until the
                         // window has passed on the simulated clock.
@@ -604,6 +675,7 @@ pub fn run_recovery(
                     factor_pct,
                     iters,
                 } => {
+                    flight.fault("straggler", step, ns(t));
                     slow_windows.push((
                         step,
                         step + iters as u64,
@@ -619,6 +691,12 @@ pub fn run_recovery(
             let jitter_ms = splitmix64(plan.seed ^ step) % 100;
             let mut ttr = opts.heartbeat_timeout_s + jitter_ms as f64 * 1e-3;
             let crashed_at = step;
+            // Crash detection is the flight recorder's moment: record the
+            // fault and freeze the trailing window — which still ends with
+            // the last causal task executed before the crash — into a
+            // checksummed post-mortem before the restore rewinds anything.
+            flight.fault("crash", crashed_at, ns(t));
+            post_mortems.push(flight.post_mortem());
             let mut restored_step = 0u64;
             let mut restored_bytes = 0u64;
             let mut from_scratch = true;
@@ -648,6 +726,7 @@ pub fn run_recovery(
             // slope detector already saw; a stale window would manufacture
             // a phantom trend across the discontinuity.
             slope_det.reset();
+            flight.recovery("restore", restored_step, ns(t), ttr);
             recoveries.push(RecoveryEvent {
                 at_iter: crashed_at,
                 restored_step,
@@ -661,6 +740,8 @@ pub fn run_recovery(
         }
 
         // The real training step (synchronous semantics).
+        let step_start = t;
+        flight.span_open("iteration", step, ns(step_start));
         let batch = gen.next_batch(opts.batch_size);
         let (stats, grads) = model.step(&batch, data);
         model.apply(&grads);
@@ -700,6 +781,12 @@ pub fn run_recovery(
             }
         }
         t = collective_start + COLLECTIVE_S * nic_mult;
+
+        // The step's causal tasks and metrics, on the simulated clock.
+        flight.task("compute", step, ns(compute_end), compute_end - step_start);
+        flight.task("collective", step, ns(t), t - compute_end);
+        flight.metric("loss", step, ns(t), stats.loss);
+        flight.span_close("iteration", step, ns(t), t - step_start);
 
         // Feed the anomaly detectors the same latencies the simulated
         // clock just charged. The straggler detector sees the synchronous
@@ -753,6 +840,7 @@ pub fn run_recovery(
                     duration_s,
                     at_s: t,
                 });
+                flight.recovery("checkpoint", step, ns(t), duration_s);
                 t += duration_s;
                 if kind == CheckpointKind::Full {
                     store.gc(opts.keep_full).map_err(|e| unrec("gc", e))?;
@@ -771,6 +859,9 @@ pub fn run_recovery(
         collective_retries,
         rejected_manifests,
         detections,
+        flight: flight.stats(),
+        flight_dump: flight.post_mortem(),
+        post_mortems,
     })
 }
 
@@ -1056,6 +1147,86 @@ mod tests {
             "a full outage's backoff queue must trip the depth detector: {:?}",
             run.detections
         );
+    }
+
+    #[test]
+    fn crash_post_mortem_validates_and_ends_with_the_final_causal_task() {
+        use picasso_obs::flight::{FlightCategory, FlightDump};
+        let data = auc_datasets::criteo_like();
+        let store = temp_store("postmortem");
+        let run = run_recovery(&data, Some(&store), &opts(2, "seed=30;crash@7")).expect("run");
+
+        assert_eq!(run.post_mortems.len(), 1, "one dump per detected crash");
+        let dump = &run.post_mortems[0];
+        // The artifact round-trips through serialization + checksum check.
+        let text = dump.to_json().to_json();
+        let back = FlightDump::from_text(&text).expect("post-mortem validates");
+        assert_eq!(&back, dump);
+        // Its last fault event is the crash itself...
+        let fault = back.last_of(FlightCategory::Fault).expect("crash recorded");
+        assert_eq!(fault.code, "crash");
+        assert_eq!(fault.iter, 7);
+        // ...preceded by the final causal task executed before the crash:
+        // the collective that closed iteration 6.
+        let task = back.last_of(FlightCategory::Task).expect("tasks recorded");
+        assert_eq!(task.code, "collective");
+        assert_eq!(task.iter, 6);
+
+        // Deterministic: an identical run digests identically.
+        let store2 = temp_store("postmortem2");
+        let again = run_recovery(&data, Some(&store2), &opts(2, "seed=30;crash@7")).expect("run");
+        assert_eq!(again.post_mortems[0].digest(), dump.digest());
+        assert_eq!(again.flight_dump.digest(), run.flight_dump.digest());
+        let _ = std::fs::remove_dir_all(store.dir());
+        let _ = std::fs::remove_dir_all(store2.dir());
+    }
+
+    #[test]
+    fn flight_recording_is_observation_only_and_overflow_lints() {
+        let data = auc_datasets::criteo_like();
+        let baseline = run_recovery(&data, None, &opts(0, "seed=31")).expect("baseline");
+        assert!(lint_flight(&baseline.flight).is_empty(), "no overflow");
+
+        // A two-event ring must overflow, fire the lint — and still leave
+        // the training math bit-identical.
+        let mut tiny = opts(0, "seed=31");
+        tiny.flight = FlightConfig {
+            capacity: 2,
+            ..FlightConfig::default()
+        };
+        let cramped = run_recovery(&data, None, &tiny).expect("cramped");
+        assert_eq!(cramped.final_digest, baseline.final_digest);
+        assert_eq!(cramped.sim_time_s, baseline.sim_time_s);
+        assert!(cramped.flight.overwritten > 0);
+        let diags = lint_flight(&cramped.flight);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].rule, "run.flight-overflow");
+        assert_eq!(diags[0].span, Span::Run("flight-recorder".into()));
+    }
+
+    #[test]
+    fn flight_accounting_lands_in_report_and_metrics() {
+        let data = auc_datasets::criteo_like();
+        let store = temp_store("flightobs");
+        let run = run_recovery(&data, Some(&store), &opts(2, "seed=32;crash@5")).expect("run");
+
+        let doc = run.to_json();
+        let flight = doc.get("flight").expect("flight section");
+        assert!(flight.get("recorded").and_then(Json::as_u64).unwrap() > 0);
+        assert!(
+            flight.get("overhead_ns").is_none(),
+            "volatile overhead stays out of the report"
+        );
+        let dumps = doc.get("post_mortems").and_then(Json::items).unwrap();
+        assert_eq!(dumps.len(), 1);
+        assert!(dumps[0].get("checksum").is_some());
+
+        let m = MetricsRegistry::new();
+        run.export_metrics(&m);
+        assert_eq!(m.counter_value("flight_post_mortems_total", &[]), 1);
+        assert!(m.gauge_value("flight_occupancy", &[]).unwrap() > 0.0);
+        assert!(m.counter_value("flight_events_seen_total", &[("category", "task")]) > 0);
+        let _ = std::fs::remove_dir_all(store.dir());
     }
 
     #[test]

@@ -239,6 +239,23 @@ pub const RULES: &[RuleInfo] = &[
         grounding: "§III packing exists to keep the dominant resource busy; an idle-dominated \
                     critical lane indicates serialization the executed DAG can localize",
     },
+    RuleInfo {
+        id: "run.flight-overflow",
+        surface: Surface::Run,
+        severity: Severity::Warn,
+        summary: "the flight recorder overwrote admitted events before a post-mortem captured them",
+        grounding: "a post-mortem dump can only replay what the ring still holds; overwritten \
+                    history is unrecoverable after a crash",
+    },
+    RuleInfo {
+        id: "run.regressing-trend",
+        surface: Surface::Run,
+        severity: Severity::Warn,
+        summary: "a gated metric shows a sustained change-point in the regressing direction \
+                  across recent runs",
+        grounding: "single-run gates miss slow drift; a CUSUM change-point over the run history \
+                    catches regressions the per-run tolerance band absorbs",
+    },
 ];
 
 /// Looks up a rule by id.

@@ -31,7 +31,10 @@ impl ChromeTrace {
     }
 
     /// The `tid` for a track, assigning one (with a `thread_name` metadata
-    /// event) on first use. Tids start at 1 in first-seen order.
+    /// event) on first use. Tids start at 1 in first-seen order while the
+    /// trace is being built; [`ChromeTrace::to_json`] remaps them so the
+    /// serialized document numbers tracks by sorted lane name, making
+    /// same-scenario traces diff cleanly regardless of insertion order.
     pub fn tid_for_track(&mut self, track: &str) -> u64 {
         if let Some(&tid) = self.tids.get(track) {
             return tid;
@@ -232,10 +235,42 @@ impl ChromeTrace {
         self.events.is_empty()
     }
 
-    /// Serializes the document.
+    /// Serializes the document with deterministic track numbering: tids
+    /// are remapped so track names in sorted order get tids 1, 2, ...
+    /// (tid 0 — global frame markers — is left alone).
     pub fn to_json(&self) -> String {
+        // self.tids is a BTreeMap, so iteration is already name-sorted.
+        let remap: BTreeMap<u64, u64> = self
+            .tids
+            .values()
+            .enumerate()
+            .map(|(rank, &provisional)| (provisional, rank as u64 + 1))
+            .collect();
+        let events = self
+            .events
+            .iter()
+            .map(|event| {
+                let Json::Obj(pairs) = event else {
+                    return event.clone();
+                };
+                Json::Obj(
+                    pairs
+                        .iter()
+                        .map(|(k, v)| {
+                            let v = match (k.as_str(), v) {
+                                ("tid", Json::UInt(t)) if *t >= 1 => {
+                                    Json::UInt(*remap.get(t).unwrap_or(t))
+                                }
+                                _ => v.clone(),
+                            };
+                            (k.clone(), v)
+                        })
+                        .collect(),
+                )
+            })
+            .collect();
         Json::obj([
-            ("traceEvents", Json::Arr(self.events.clone())),
+            ("traceEvents", Json::Arr(events)),
             ("displayTimeUnit", Json::str("ms")),
         ])
         .to_json()
@@ -266,6 +301,61 @@ mod tests {
         trace.set_sort_index("a", -1);
         let doc = json::parse(&trace.to_json()).unwrap();
         assert_eq!(phase_count(&doc, "M"), 3); // 2 names + 1 sort index
+    }
+
+    #[test]
+    fn serialized_tids_are_name_sorted_regardless_of_insertion_order() {
+        // Build two traces registering the same lanes in opposite orders;
+        // the serialized documents must number tracks identically.
+        let mut forward = ChromeTrace::new();
+        forward.complete("alpha", "t", "span", 0, 10, &[]);
+        forward.complete("beta", "t", "span", 0, 10, &[]);
+        let mut reverse = ChromeTrace::new();
+        reverse.complete("beta", "t", "span", 0, 10, &[]);
+        reverse.complete("alpha", "t", "span", 0, 10, &[]);
+
+        for text in [forward.to_json(), reverse.to_json()] {
+            let doc = json::parse(&text).unwrap();
+            let events = doc.get("traceEvents").and_then(Json::items).unwrap();
+            let tid_of = |track: &str| {
+                events
+                    .iter()
+                    .find(|e| {
+                        e.get("ph").and_then(Json::as_str) == Some("M")
+                            && e.get("args")
+                                .and_then(|a| a.get("name"))
+                                .and_then(Json::as_str)
+                                == Some(track)
+                    })
+                    .and_then(|e| e.get("tid").and_then(Json::as_u64))
+                    .unwrap()
+            };
+            assert_eq!(tid_of("alpha"), 1, "alpha sorts first");
+            assert_eq!(tid_of("beta"), 2);
+            // Slices follow their lane's remapped tid.
+            let slice_tids: Vec<u64> = events
+                .iter()
+                .filter(|e| e.get("ph").and_then(Json::as_str) == Some("X"))
+                .map(|e| e.get("tid").and_then(Json::as_u64).unwrap())
+                .collect();
+            let mut sorted = slice_tids.clone();
+            sorted.sort_unstable();
+            assert_eq!(sorted, vec![1, 2]);
+        }
+    }
+
+    #[test]
+    fn frame_marker_tid_zero_survives_the_remap() {
+        let mut trace = ChromeTrace::new();
+        trace.complete("zeta", "t", "span", 0, 10, &[]);
+        trace.frame_marker("iteration 0", 0);
+        let doc = json::parse(&trace.to_json()).unwrap();
+        let events = doc.get("traceEvents").and_then(Json::items).unwrap();
+        let frame = events
+            .iter()
+            .find(|e| e.get("s").and_then(Json::as_str) == Some("g"))
+            .unwrap();
+        assert_eq!(frame.get("tid").and_then(Json::as_u64), Some(0));
     }
 
     #[test]

@@ -13,6 +13,12 @@
 //!   attribution, and an exact binary codec for the event log.
 //! * [`detect`] — online anomaly detectors (straggler z-score, NIC
 //!   degradation slope, queue-depth runaway) fed from the metrics stream.
+//! * [`flight`] — an always-on bounded flight recorder: a fixed-capacity
+//!   ring of compact structured events with per-category sampling and
+//!   checksummed post-mortem dumps.
+//! * [`history`] — an append-only run-history store (JSONL segments under
+//!   a checksummed manifest) with CUSUM / Mann-Kendall change-point
+//!   detection over multi-run metric series.
 //! * Exporters — [`chrome`] (Chrome trace-event JSON with counter lanes and
 //!   flow arrows, loadable in Perfetto), [`prometheus`] (text exposition
 //!   format, with a parser for round-trip tests), and [`report`] (versioned
@@ -30,6 +36,8 @@ pub mod chrome;
 pub mod clock;
 pub mod detect;
 pub mod diff;
+pub mod flight;
+pub mod history;
 pub mod json;
 pub mod metrics;
 pub mod prometheus;
@@ -41,6 +49,14 @@ pub use chrome::ChromeTrace;
 pub use clock::{Clock, ManualClock, WallClock};
 pub use detect::{Anomaly, AnomalyKind, QueueDepthDetector, SlopeDetector, StragglerDetector};
 pub use diff::{snapshot_diff, MetricDelta};
+pub use flight::{
+    FlightCategory, FlightConfig, FlightDump, FlightEvent, FlightRecorder, FlightStats,
+    SamplingConfig,
+};
+pub use history::{
+    cusum_change_point, mann_kendall, ChangePoint, CusumConfig, HistoryError, HistoryStore,
+    MannKendall, RunRecord, Shift,
+};
 pub use json::Json;
 pub use metrics::{MetricKind, MetricsRegistry, MetricsSnapshot};
 pub use report::{RunReport, RUN_REPORT_SCHEMA_VERSION};

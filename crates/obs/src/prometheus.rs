@@ -7,12 +7,41 @@
 //! (cumulative `le` buckets ending in `+Inf`). Time series are flattened to
 //! their final value and exposed as gauges, since the exposition format is a
 //! point-in-time scrape.
+//!
+//! Label cardinality is capped per metric family ([`RenderOptions`],
+//! default 256 series): snapshot sections are sorted, so the surviving
+//! series are deterministic, and every eviction is counted in an
+//! `obs_dropped_series_total{family=...}` counter instead of silently
+//! growing the scrape without bound.
 
 use crate::metrics::{Labels, MetricKind, MetricsSnapshot};
+use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
-/// Renders a snapshot in Prometheus text exposition format.
+/// Renderer knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RenderOptions {
+    /// Maximum series rendered per metric family (at least 1); the rest
+    /// are evicted and counted in `obs_dropped_series_total`.
+    pub max_series_per_family: usize,
+}
+
+impl Default for RenderOptions {
+    fn default() -> RenderOptions {
+        RenderOptions {
+            max_series_per_family: 256,
+        }
+    }
+}
+
+/// Renders a snapshot with the default [`RenderOptions`].
 pub fn render(snapshot: &MetricsSnapshot) -> String {
+    render_with(snapshot, &RenderOptions::default())
+}
+
+/// Renders a snapshot in Prometheus text exposition format.
+pub fn render_with(snapshot: &MetricsSnapshot, options: &RenderOptions) -> String {
+    let cap = options.max_series_per_family.max(1);
     let mut out = String::new();
     let mut last_header: Option<String> = None;
     let mut header = |out: &mut String, name: &str, default_kind: MetricKind| {
@@ -30,12 +59,32 @@ pub fn render(snapshot: &MetricsSnapshot) -> String {
         }
         let _ = writeln!(out, "# TYPE {name} {}", kind_str(kind));
     };
+    // Per-family admission: sections are sorted maps, so the first `cap`
+    // series of a family (by label order) survive deterministically.
+    let mut kept: BTreeMap<String, usize> = BTreeMap::new();
+    let mut dropped: BTreeMap<String, u64> = BTreeMap::new();
+    let mut admit = |name: &str| -> bool {
+        let n = kept.entry(name.to_string()).or_insert(0);
+        if *n < cap {
+            *n += 1;
+            true
+        } else {
+            *dropped.entry(name.to_string()).or_insert(0) += 1;
+            false
+        }
+    };
 
     for ((name, labels), value) in &snapshot.counters {
+        if !admit(name) {
+            continue;
+        }
         header(&mut out, name, MetricKind::Counter);
         let _ = writeln!(out, "{name}{} {value}", render_labels(labels, &[]));
     }
     for ((name, labels), value) in &snapshot.gauges {
+        if !admit(name) {
+            continue;
+        }
         header(&mut out, name, MetricKind::Gauge);
         let _ = writeln!(
             out,
@@ -45,6 +94,9 @@ pub fn render(snapshot: &MetricsSnapshot) -> String {
         );
     }
     for ((name, labels), series) in &snapshot.series {
+        if !admit(name) {
+            continue;
+        }
         header(&mut out, name, MetricKind::Gauge);
         let last = series.samples.last().map(|&(_, v)| v).unwrap_or(0.0);
         let _ = writeln!(
@@ -55,6 +107,9 @@ pub fn render(snapshot: &MetricsSnapshot) -> String {
         );
     }
     for ((name, labels), histogram) in &snapshot.histograms {
+        if !admit(name) {
+            continue;
+        }
         header(&mut out, name, MetricKind::Histogram);
         let cumulative = histogram.cumulative();
         for (i, &bound) in histogram.bounds.iter().enumerate() {
@@ -83,6 +138,20 @@ pub fn render(snapshot: &MetricsSnapshot) -> String {
             render_labels(labels, &[]),
             histogram.count
         );
+    }
+    if !dropped.is_empty() {
+        let _ = writeln!(
+            out,
+            "# HELP obs_dropped_series_total Series evicted by the per-family cardinality cap"
+        );
+        let _ = writeln!(out, "# TYPE obs_dropped_series_total counter");
+        for (family, count) in &dropped {
+            let _ = writeln!(
+                out,
+                "obs_dropped_series_total{} {count}",
+                render_labels(&Labels::default(), &[("family", family)])
+            );
+        }
     }
     out
 }
@@ -405,6 +474,69 @@ mod tests {
         assert!(parse("na me 1").is_err()); // space in name
         assert!(parse("name abc").is_err()); // bad value
         assert!(parse("name{k=\"v\"").is_err()); // unterminated
+    }
+
+    #[test]
+    fn per_family_cap_evicts_and_counts_drops() {
+        let reg = MetricsRegistry::new();
+        for i in 0..10 {
+            reg.gauge_set("wide_family", &[("shard", &format!("{i:02}"))], i as f64);
+        }
+        reg.gauge_set("small_family", &[], 1.0);
+
+        let text = render_with(
+            &reg.snapshot(),
+            &RenderOptions {
+                max_series_per_family: 4,
+            },
+        );
+        let doc = parse(&text).expect("round trip");
+        let wide = doc
+            .samples
+            .iter()
+            .filter(|s| s.name == "wide_family")
+            .count();
+        assert_eq!(wide, 4, "first four series by label order survive");
+        assert!(doc.find("wide_family", &[("shard", "03")]).is_some());
+        assert!(doc.find("wide_family", &[("shard", "04")]).is_none());
+        assert_eq!(
+            doc.find("obs_dropped_series_total", &[("family", "wide_family")])
+                .expect("drop counter present")
+                .value,
+            6.0
+        );
+        assert!(
+            doc.find("small_family", &[]).is_some(),
+            "other families untouched"
+        );
+        assert!(doc.types.contains(&(
+            "obs_dropped_series_total".to_string(),
+            "counter".to_string()
+        )));
+    }
+
+    #[test]
+    fn default_cap_is_256_series_per_family() {
+        let reg = MetricsRegistry::new();
+        for i in 0..300 {
+            reg.counter_add("big", &[("k", &format!("{i:04}"))], 1);
+        }
+        let doc = parse(&render(&reg.snapshot())).unwrap();
+        assert_eq!(doc.samples.iter().filter(|s| s.name == "big").count(), 256);
+        assert_eq!(
+            doc.find("obs_dropped_series_total", &[("family", "big")])
+                .unwrap()
+                .value,
+            44.0
+        );
+    }
+
+    #[test]
+    fn cap_is_absent_when_nothing_drops() {
+        let reg = MetricsRegistry::new();
+        reg.gauge_set("g", &[], 1.0);
+        let text = render(&reg.snapshot());
+        assert!(!text.contains("obs_dropped_series_total"));
     }
 
     #[test]

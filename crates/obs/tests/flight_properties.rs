@@ -1,0 +1,131 @@
+//! Property tests for the flight recorder: ring wraparound, sampling
+//! determinism under a fixed seed, overhead-counter accounting, and
+//! dump checksum integrity.
+
+use picasso_obs::flight::{
+    FlightCategory, FlightConfig, FlightDump, FlightRecorder, SamplingConfig,
+};
+use proptest::prelude::*;
+
+/// Drives a recorder with a reproducible event stream.
+fn drive(rec: &mut FlightRecorder, events: &[(u8, u64)]) {
+    for (i, &(cat, iter)) in events.iter().enumerate() {
+        let category = FlightCategory::ALL[cat as usize % FlightCategory::ALL.len()];
+        rec.record(category, "e", iter, i as u64 * 100, i as f64 * 0.5);
+    }
+}
+
+proptest! {
+    /// After any stream, the ring holds exactly the trailing admitted
+    /// events, oldest first, and never exceeds capacity.
+    #[test]
+    fn ring_wraparound_keeps_the_trailing_window(
+        capacity in 1usize..32,
+        events in proptest::collection::vec((0u8..5, 0u64..100), 0..200),
+    ) {
+        let mut rec = FlightRecorder::new(capacity);
+        drive(&mut rec, &events);
+        let stats = rec.stats();
+        prop_assert!(rec.occupancy() <= capacity);
+        prop_assert_eq!(stats.occupancy, rec.occupancy());
+        prop_assert_eq!(stats.seen_total(), events.len() as u64);
+        prop_assert_eq!(stats.sampled_out_total(), 0, "no sampling configured");
+        prop_assert_eq!(stats.recorded, events.len() as u64);
+        prop_assert_eq!(
+            stats.overwritten,
+            (events.len() as u64).saturating_sub(capacity as u64)
+        );
+        // Held events are exactly the trailing window, in order.
+        let seqs: Vec<u64> = rec.events().iter().map(|e| e.seq).collect();
+        let first = (events.len()).saturating_sub(capacity) as u64;
+        let expect: Vec<u64> = (first..events.len() as u64).collect();
+        prop_assert_eq!(seqs, expect);
+    }
+
+    /// Sampling is a pure function of (seed, sequence): two recorders with
+    /// the same config admit the same events; admitted + rejected = seen.
+    #[test]
+    fn sampling_is_deterministic_and_accounted(
+        seed in 0u64..u64::MAX,
+        rates in proptest::collection::vec(0u32..6, 5..6),
+        events in proptest::collection::vec((0u8..5, 0u64..100), 0..200),
+    ) {
+        let keep_1_in: [u32; 5] = rates.clone().try_into().unwrap();
+        let config = FlightConfig {
+            capacity: 64,
+            dump_last: 16,
+            sampling: SamplingConfig { seed, keep_1_in },
+        };
+        let mut a = FlightRecorder::with_config(&config);
+        let mut b = FlightRecorder::with_config(&config);
+        drive(&mut a, &events);
+        drive(&mut b, &events);
+        let ea: Vec<_> = a.events().into_iter().cloned().collect();
+        let eb: Vec<_> = b.events().into_iter().cloned().collect();
+        prop_assert_eq!(ea, eb, "same seed, same kept set");
+        let stats = a.stats();
+        prop_assert_eq!(
+            stats.recorded + stats.sampled_out_total(),
+            stats.seen_total()
+        );
+        for c in FlightCategory::ALL {
+            let i = FlightCategory::ALL.iter().position(|x| *x == c).unwrap();
+            prop_assert!(stats.sampled_out[i] <= stats.seen[i]);
+        }
+    }
+
+    /// A different seed with real sampling rates is allowed to keep a
+    /// different set, but accounting invariants still hold.
+    #[test]
+    fn overhead_counts_every_record_call(
+        events in proptest::collection::vec((0u8..5, 0u64..100), 1..100),
+    ) {
+        let mut rec = FlightRecorder::new(8);
+        let mut last = 0u64;
+        for (i, &(cat, iter)) in events.iter().enumerate() {
+            let category = FlightCategory::ALL[cat as usize % FlightCategory::ALL.len()];
+            rec.record(category, "e", iter, i as u64, 0.0);
+            let now = rec.stats().overhead_ns;
+            prop_assert!(now >= last, "overhead accumulates monotonically");
+            last = now;
+        }
+        prop_assert!(rec.stats().overhead_ns > 0, "work is never free");
+    }
+
+    /// Dumps round-trip through serialization and validation, and any
+    /// single-byte corruption of a digit is caught by the checksum (or the
+    /// parser) — never silently accepted with different content.
+    #[test]
+    fn dump_validation_rejects_corruption(
+        events in proptest::collection::vec((0u8..5, 0u64..100), 1..50),
+        last_n in 1usize..64,
+        flip in 0usize..1_000_000,
+    ) {
+        let mut rec = FlightRecorder::new(32);
+        drive(&mut rec, &events);
+        let dump = rec.dump(last_n);
+        let text = dump.to_json().to_json();
+        let back = FlightDump::from_text(&text).expect("clean dump validates");
+        prop_assert_eq!(&back, &dump);
+
+        // Flip one digit somewhere in the document.
+        let bytes = text.as_bytes();
+        let digit_positions: Vec<usize> = bytes
+            .iter()
+            .enumerate()
+            .filter(|(_, b)| b.is_ascii_digit())
+            .map(|(i, _)| i)
+            .collect();
+        let pos = digit_positions[flip % digit_positions.len()];
+        let mut corrupted = text.clone().into_bytes();
+        corrupted[pos] = if corrupted[pos] == b'9' { b'8' } else { b'9' };
+        let corrupted = String::from_utf8(corrupted).unwrap();
+        // Accepting is only sound if the parse normalized back to the
+        // exact same dump (e.g. a flipped digit inside the checksum
+        // field itself can never do that; a value digit changes the
+        // payload hash).
+        if let Ok(reparsed) = FlightDump::from_text(&corrupted) {
+            prop_assert_eq!(reparsed, dump);
+        }
+    }
+}
