@@ -3,14 +3,22 @@
 //! ```text
 //! perfgate --check [--dir DIR] [--delta-out PATH] [--quiet]
 //! perfgate --update-baseline [--dir DIR] [--quiet]
+//! perfgate --check-improvement [--dir DIR] [--quiet]
 //! ```
 //!
 //! `--check` runs the deterministic scenario suite, compares it against the
 //! newest `BENCH_<n>.json` in `--dir` (default `.`), prints the delta table,
 //! and exits 1 on any gated regression (2 when no baseline exists).
 //! `--update-baseline` runs the suite and writes the next `BENCH_<n>.json`.
+//! `--check-improvement` runs no scenario at all: it reads the committed
+//! `BENCH_0.json` and the newest committed snapshot and exits 1 unless the
+//! newest one's worst per-pass planning wall time strictly decreased — the
+//! CI assertion that a claimed planning-hot-path optimization actually
+//! landed in the committed baseline.
 
-use picasso_bench::snapshot::{compare, latest_snapshot, next_version, BenchSnapshot};
+use picasso_bench::snapshot::{
+    compare, latest_snapshot, next_version, worst_pass_wall, BenchSnapshot,
+};
 use std::path::PathBuf;
 use std::time::{SystemTime, UNIX_EPOCH};
 
@@ -20,12 +28,17 @@ perfgate: benchmark snapshot + regression gate
 USAGE:
     perfgate --check [--dir DIR] [--delta-out PATH] [--quiet]
     perfgate --update-baseline [--dir DIR] [--quiet]
+    perfgate --check-improvement [--dir DIR] [--quiet]
 
 FLAGS:
     --check             Run the suite and gate it against the newest
                         BENCH_<n>.json in --dir. Exit 0 when the gate
                         passes, 1 on regression, 2 when no baseline exists.
     --update-baseline   Run the suite and write the next BENCH_<n>.json.
+    --check-improvement Compare the committed BENCH_0.json against the
+                        newest committed snapshot (no scenario runs) and
+                        exit 1 unless the worst per-pass planning wall
+                        time strictly decreased.
     --dir DIR           Snapshot directory (default: current directory).
     --delta-out PATH    Also write the delta table to PATH (CI job summary).
     --quiet             Suppress everything except errors and the verdict.
@@ -36,6 +49,7 @@ struct Cli {
     dir: PathBuf,
     check: bool,
     update_baseline: bool,
+    check_improvement: bool,
     delta_out: Option<String>,
     quiet: bool,
 }
@@ -45,6 +59,7 @@ fn parse_args() -> Cli {
         dir: PathBuf::from("."),
         check: false,
         update_baseline: false,
+        check_improvement: false,
         delta_out: None,
         quiet: false,
     };
@@ -59,6 +74,7 @@ fn parse_args() -> Cli {
         match arg.as_str() {
             "--check" => cli.check = true,
             "--update-baseline" => cli.update_baseline = true,
+            "--check-improvement" => cli.check_improvement = true,
             "--dir" => cli.dir = PathBuf::from(value("--dir")),
             "--delta-out" => cli.delta_out = Some(value("--delta-out")),
             "--quiet" => cli.quiet = true,
@@ -72,8 +88,15 @@ fn parse_args() -> Cli {
             }
         }
     }
-    if cli.check == cli.update_baseline {
-        eprintln!("pass exactly one of --check / --update-baseline\n\n{USAGE}");
+    if [cli.check, cli.update_baseline, cli.check_improvement]
+        .iter()
+        .filter(|&&f| f)
+        .count()
+        != 1
+    {
+        eprintln!(
+            "pass exactly one of --check / --update-baseline / --check-improvement\n\n{USAGE}"
+        );
         std::process::exit(2);
     }
     cli
@@ -86,7 +109,52 @@ fn now_unix_ms() -> u64 {
         .unwrap_or(0)
 }
 
+/// `--check-improvement`: both snapshots come from disk, so this is a pure
+/// assertion over committed artifacts — re-baselining without an actual
+/// planning-time win fails here even though `--check`'s loose wall gate
+/// would wave it through.
+fn check_improvement(cli: &Cli) -> Result<i32, String> {
+    let seed_path = cli.dir.join("BENCH_0.json");
+    let seed = BenchSnapshot::load(&seed_path)?;
+    let Some((version, path)) = latest_snapshot(&cli.dir) else {
+        return Err(format!("no BENCH_<n>.json in {}", cli.dir.display()));
+    };
+    if version == 0 {
+        return Err(
+            "only BENCH_0.json is committed; re-baseline (--update-baseline) after a \
+             planning-time improvement before asserting one"
+                .into(),
+        );
+    }
+    let latest = BenchSnapshot::load(&path)?;
+    let (seed_sc, seed_pass, seed_ns) =
+        worst_pass_wall(&seed).ok_or("BENCH_0.json has no pass_wall_ns records")?;
+    let (cur_sc, cur_pass, cur_ns) = worst_pass_wall(&latest)
+        .ok_or_else(|| format!("BENCH_{version}.json has no pass_wall_ns records"))?;
+    if !cli.quiet {
+        println!("worst pass wall time, BENCH_0 -> BENCH_{version}:");
+        println!("  BENCH_0:        {seed_ns} ns ({seed_sc}/{seed_pass})");
+        println!("  BENCH_{version}:        {cur_ns} ns ({cur_sc}/{cur_pass})");
+    }
+    if cur_ns < seed_ns {
+        println!(
+            "perf improvement HELD: {:.2}x faster worst pass vs BENCH_0",
+            seed_ns as f64 / cur_ns.max(1) as f64
+        );
+        Ok(0)
+    } else {
+        println!(
+            "perf improvement LOST: BENCH_{version} worst pass ({cur_ns} ns) is not below \
+             BENCH_0 ({seed_ns} ns)"
+        );
+        Ok(1)
+    }
+}
+
 fn run(cli: &Cli) -> Result<i32, String> {
+    if cli.check_improvement {
+        return check_improvement(cli);
+    }
     if cli.update_baseline {
         let version = next_version(&cli.dir);
         if !cli.quiet {

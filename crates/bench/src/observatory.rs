@@ -416,6 +416,7 @@ mod tests {
         BenchSnapshot {
             version: 0,
             generated_unix_ms: 0,
+            embedding_rows_per_sec: BTreeMap::new(),
             scenarios: vec![ScenarioResult {
                 name: "wdl_base".into(),
                 metrics,

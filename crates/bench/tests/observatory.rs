@@ -68,6 +68,7 @@ fn synthetic_snapshot(secs: f64) -> Json {
     BenchSnapshot {
         version: 0,
         generated_unix_ms: 0,
+        embedding_rows_per_sec: BTreeMap::new(),
         scenarios: vec![ScenarioResult {
             name: "wdl_base".into(),
             metrics,

@@ -23,37 +23,31 @@ pub struct TableSnapshot {
 }
 
 impl TableSnapshot {
-    /// Captures every materialized row of `table`.
-    pub fn full(table: &EmbeddingTable) -> TableSnapshot {
-        let rows = table
-            .materialized_ids()
+    /// Captures the rows for `ids` (which must be materialized and sorted
+    /// ascending) via one batched read of the table's arena.
+    fn capture(table: &EmbeddingTable, ids: Vec<u64>) -> TableSnapshot {
+        let dim = table.dim();
+        let mut buf = Vec::new();
+        table.gather_materialized(&ids, &mut buf);
+        let rows = ids
             .into_iter()
-            .map(|id| (id, table.peek(id).expect("materialized").to_vec()))
+            .enumerate()
+            .map(|(i, id)| (id, buf[i * dim..(i + 1) * dim].to_vec()))
             .collect();
         TableSnapshot {
-            dim: table.dim() as u32,
+            dim: dim as u32,
             rows,
         }
     }
 
+    /// Captures every materialized row of `table`.
+    pub fn full(table: &EmbeddingTable) -> TableSnapshot {
+        Self::capture(table, table.materialized_ids())
+    }
+
     /// Captures only rows dirtied since the table's last `mark_clean`.
     pub fn dirty(table: &EmbeddingTable) -> TableSnapshot {
-        let rows = table
-            .dirty_ids()
-            .map(|id| {
-                (
-                    id,
-                    table
-                        .peek(id)
-                        .expect("dirty rows are materialized")
-                        .to_vec(),
-                )
-            })
-            .collect();
-        TableSnapshot {
-            dim: table.dim() as u32,
-            rows,
-        }
+        Self::capture(table, table.dirty_ids().collect())
     }
 
     /// Number of rows captured.

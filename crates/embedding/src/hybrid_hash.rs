@@ -8,7 +8,7 @@
 //! iterations the hot set is refreshed from the counter. If at flush time
 //! the entire table fits in Hot-storage, everything is promoted.
 
-use crate::table::EmbeddingTable;
+use crate::table::{EmbeddingTable, RowArena};
 use picasso_obs::{MetricKind, MetricsRegistry};
 use std::collections::{BTreeSet, HashMap};
 
@@ -84,11 +84,15 @@ impl LookupReport {
 }
 
 /// A two-level embedding store per Algorithm 1.
+///
+/// Hot-storage is a [`RowArena`] — the GPU-resident analogue of a contiguous
+/// embedding cache — rebuilt wholesale at every flush, so between flushes
+/// hot lookups read one dense buffer.
 #[derive(Debug, Clone)]
 pub struct HybridHash {
     cfg: HybridHashConfig,
     cold: EmbeddingTable,
-    hot: HashMap<u64, Box<[f32]>>,
+    hot: RowArena,
     fcounter: HashMap<u64, u64>,
     /// IDs whose frequency counter changed since the last
     /// [`HybridHash::mark_clean`] — the incremental-checkpoint set.
@@ -101,10 +105,11 @@ impl HybridHash {
     /// Wraps a cold table with a hot cache.
     pub fn new(cold: EmbeddingTable, cfg: HybridHashConfig) -> Self {
         assert!(cfg.flush_iters > 0, "flush_iters must be positive");
+        let hot = RowArena::new(cold.dim());
         HybridHash {
             cfg,
             cold,
-            hot: HashMap::new(),
+            hot,
             fcounter: HashMap::new(),
             touched: BTreeSet::new(),
             itr: 0,
@@ -163,7 +168,7 @@ impl HybridHash {
         }
         // L14-21: serve from hot when possible, else cold; keep counting.
         for &id in ids {
-            if let Some(row) = self.hot.get(&id) {
+            if let Some(row) = self.hot.get(id) {
                 out.extend_from_slice(row);
                 report.hot_hits += 1;
             } else {
@@ -186,11 +191,11 @@ impl HybridHash {
     /// coherent (the hot row is the working copy; cold is written through so
     /// a later flush cannot resurrect stale values).
     pub fn apply_gradient(&mut self, id: u64, grad: &[f32], lr: f32) {
-        if let Some(row) = self.hot.get_mut(&id) {
+        if let Some(row) = self.hot.get_mut(id) {
             for (w, g) in row.iter_mut().zip(grad) {
                 *w -= lr * g;
             }
-            let row = row.clone();
+            let row = row.to_vec();
             self.cold.put(id, &row);
         } else {
             self.cold.apply_gradient(id, grad, lr);
@@ -218,16 +223,27 @@ impl HybridHash {
             hot_ids = items.into_iter().map(|(id, _)| id).collect();
         }
         hot_ids.sort_unstable();
-        let mut new_hot = HashMap::with_capacity(hot_ids.len());
-        for id in hot_ids {
-            new_hot.insert(id, self.cold.row(id).into());
+        self.hot = self.promoted_arena(&hot_ids);
+    }
+
+    /// Builds a fresh hot arena holding the (cold) rows for `hot_ids` via
+    /// one batched gather, counting as evicted every currently-hot row that
+    /// is not re-promoted.
+    fn promoted_arena(&mut self, hot_ids: &[u64]) -> RowArena {
+        let dim = self.cold.dim();
+        let mut buf = Vec::new();
+        self.cold.gather_rows(hot_ids, &mut buf);
+        let mut new_hot = RowArena::with_capacity(dim, hot_ids.len());
+        for (i, &id) in hot_ids.iter().enumerate() {
+            new_hot.insert(id, &buf[i * dim..(i + 1) * dim]);
         }
         self.stats.evictions += self
             .hot
-            .keys()
-            .filter(|id| !new_hot.contains_key(*id))
+            .ids()
+            .iter()
+            .filter(|&&id| !new_hot.contains(id))
             .count() as u64;
-        self.hot = new_hot;
+        new_hot
     }
 
     /// Point-in-time metrics view, detachable from the cache (warm-up
@@ -267,13 +283,11 @@ impl HybridHash {
     pub fn snapshot_full(&self) -> crate::ckpt::CacheSnapshot {
         let mut counters: Vec<(u64, u64)> = self.fcounter.iter().map(|(&i, &c)| (i, c)).collect();
         counters.sort_unstable();
-        let mut hot_ids: Vec<u64> = self.hot.keys().copied().collect();
-        hot_ids.sort_unstable();
         crate::ckpt::CacheSnapshot {
             itr: self.itr,
             stats: self.stats,
             counters,
-            hot_ids,
+            hot_ids: self.hot.sorted_ids(),
             cold: crate::ckpt::TableSnapshot::full(&self.cold),
         }
     }
@@ -287,13 +301,11 @@ impl HybridHash {
             .iter()
             .map(|&id| (id, self.frequency(id)))
             .collect();
-        let mut hot_ids: Vec<u64> = self.hot.keys().copied().collect();
-        hot_ids.sort_unstable();
         crate::ckpt::CacheSnapshot {
             itr: self.itr,
             stats: self.stats,
             counters,
-            hot_ids,
+            hot_ids: self.hot.sorted_ids(),
             cold: crate::ckpt::TableSnapshot::dirty(&self.cold),
         }
     }
@@ -328,9 +340,12 @@ impl HybridHash {
     }
 
     fn rebuild_hot(&mut self, hot_ids: &[u64]) {
-        let mut hot = HashMap::with_capacity(hot_ids.len());
-        for &id in hot_ids {
-            hot.insert(id, self.cold.row(id).into());
+        let dim = self.cold.dim();
+        let mut buf = Vec::new();
+        self.cold.gather_rows(hot_ids, &mut buf);
+        let mut hot = RowArena::with_capacity(dim, hot_ids.len());
+        for (i, &id) in hot_ids.iter().enumerate() {
+            hot.insert(id, &buf[i * dim..(i + 1) * dim]);
         }
         self.hot = hot;
     }

@@ -39,4 +39,4 @@ pub use ops::{
     PartitionOutput, Reduction, UniqueOutput,
 };
 pub use planner::{Pack, PackPlan, PlannerConfig};
-pub use table::{EmbeddingTable, ShardedTable};
+pub use table::{EmbeddingTable, RowArena, ShardedTable};

@@ -103,10 +103,7 @@ pub fn partition(ids: &[u64], table: &ShardedTable) -> (PartitionOutput, OpCost)
 pub fn gather(table: &mut ShardedTable, shard: usize, ids: &[u64]) -> (Vec<f32>, OpCost) {
     let dim = table.dim();
     let mut out = Vec::with_capacity(ids.len() * dim);
-    let t = table.shard_mut(shard);
-    for &id in ids {
-        t.gather_into(id, &mut out);
-    }
+    table.shard_mut(shard).gather_rows(ids, &mut out);
     let bytes = (ids.len() * dim * 4) as f64;
     (
         out,

@@ -5,11 +5,145 @@
 //! lazily initialized from a deterministic per-table hash so that every
 //! training system variant sees bit-identical initial parameters — the
 //! cache-consistency property tests depend on this.
+//!
+//! Storage is struct-of-arrays: all rows live in one contiguous `f32` arena
+//! ([`RowArena`]) with a hashmap used only to translate an ID to its dense
+//! slot. The hot path (gather / scatter over a batch of IDs) then streams
+//! through contiguous memory instead of chasing one heap allocation per row.
 
 use picasso_data::splitmix64;
 use std::collections::{BTreeSet, HashMap};
 
-/// A growable embedding table keyed by categorical ID.
+/// A struct-of-arrays row store: one contiguous `Vec<f32>` holding all rows
+/// (`dim` floats each, slot-major) plus an id→slot index. Rows are only
+/// appended or overwritten, never removed individually, so slots stay dense
+/// and stable for the arena's lifetime.
+#[derive(Debug, Clone, Default)]
+pub struct RowArena {
+    dim: usize,
+    data: Vec<f32>,
+    index: HashMap<u64, u32>,
+    slot_ids: Vec<u64>,
+}
+
+impl RowArena {
+    /// Creates an empty arena for rows of `dim` floats.
+    pub fn new(dim: usize) -> Self {
+        assert!(dim > 0, "row dimension must be positive");
+        RowArena {
+            dim,
+            data: Vec::new(),
+            index: HashMap::new(),
+            slot_ids: Vec::new(),
+        }
+    }
+
+    /// Creates an empty arena preallocated for `rows` rows.
+    pub fn with_capacity(dim: usize, rows: usize) -> Self {
+        assert!(dim > 0, "row dimension must be positive");
+        RowArena {
+            dim,
+            data: Vec::with_capacity(rows * dim),
+            index: HashMap::with_capacity(rows),
+            slot_ids: Vec::with_capacity(rows),
+        }
+    }
+
+    /// Row width in floats.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of rows stored.
+    pub fn len(&self) -> usize {
+        self.slot_ids.len()
+    }
+
+    /// Whether the arena holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.slot_ids.is_empty()
+    }
+
+    /// Whether a row exists for `id`.
+    pub fn contains(&self, id: u64) -> bool {
+        self.index.contains_key(&id)
+    }
+
+    /// The row for `id`, if present.
+    pub fn get(&self, id: u64) -> Option<&[f32]> {
+        self.index.get(&id).map(|&s| self.row(s))
+    }
+
+    /// Mutable row for `id`, if present.
+    pub fn get_mut(&mut self, id: u64) -> Option<&mut [f32]> {
+        match self.index.get(&id) {
+            Some(&s) => {
+                let lo = s as usize * self.dim;
+                Some(&mut self.data[lo..lo + self.dim])
+            }
+            None => None,
+        }
+    }
+
+    /// The row in slot `slot` (slots are handed out by [`RowArena::ensure_with`]).
+    pub fn row(&self, slot: u32) -> &[f32] {
+        let lo = slot as usize * self.dim;
+        &self.data[lo..lo + self.dim]
+    }
+
+    /// Returns the slot for `id`, appending a fresh row filled by
+    /// `init(j)` for each column `j` when absent. The bool is `true` iff the
+    /// row was created by this call.
+    pub fn ensure_with(&mut self, id: u64, mut init: impl FnMut(usize) -> f32) -> (u32, bool) {
+        if let Some(&s) = self.index.get(&id) {
+            return (s, false);
+        }
+        let slot = self.slot_ids.len() as u32;
+        self.data.extend((0..self.dim).map(&mut init));
+        self.slot_ids.push(id);
+        self.index.insert(id, slot);
+        (slot, true)
+    }
+
+    /// Overwrites the row for `id`, appending a new slot if absent.
+    pub fn insert(&mut self, id: u64, values: &[f32]) {
+        assert_eq!(values.len(), self.dim, "row length must equal dim");
+        match self.index.get(&id) {
+            Some(&s) => {
+                let lo = s as usize * self.dim;
+                self.data[lo..lo + self.dim].copy_from_slice(values);
+            }
+            None => {
+                let slot = self.slot_ids.len() as u32;
+                self.data.extend_from_slice(values);
+                self.slot_ids.push(id);
+                self.index.insert(id, slot);
+            }
+        }
+    }
+
+    /// IDs of every row in slot (insertion) order.
+    pub fn ids(&self) -> &[u64] {
+        &self.slot_ids
+    }
+
+    /// IDs of every row, ascending.
+    pub fn sorted_ids(&self) -> Vec<u64> {
+        let mut ids = self.slot_ids.clone();
+        ids.sort_unstable();
+        ids
+    }
+
+    /// Drops every row.
+    pub fn clear(&mut self) {
+        self.data.clear();
+        self.index.clear();
+        self.slot_ids.clear();
+    }
+}
+
+/// A growable embedding table keyed by categorical ID, backed by a
+/// [`RowArena`].
 ///
 /// The table tracks which rows changed since [`EmbeddingTable::mark_clean`]
 /// (materialization counts: an uninterrupted run and a restored run must
@@ -17,9 +151,8 @@ use std::collections::{BTreeSet, HashMap};
 /// checkpoints serialize only this dirty set.
 #[derive(Debug, Clone)]
 pub struct EmbeddingTable {
-    dim: usize,
     seed: u64,
-    rows: HashMap<u64, Box<[f32]>>,
+    arena: RowArena,
     dirty: BTreeSet<u64>,
 }
 
@@ -28,31 +161,30 @@ impl EmbeddingTable {
     pub fn new(dim: usize, seed: u64) -> Self {
         assert!(dim > 0, "embedding dimension must be positive");
         EmbeddingTable {
-            dim,
             seed,
-            rows: HashMap::new(),
+            arena: RowArena::new(dim),
             dirty: BTreeSet::new(),
         }
     }
 
     /// Embedding dimension.
     pub fn dim(&self) -> usize {
-        self.dim
+        self.arena.dim()
     }
 
     /// Number of materialized rows.
     pub fn len(&self) -> usize {
-        self.rows.len()
+        self.arena.len()
     }
 
     /// Whether no rows have been materialized.
     pub fn is_empty(&self) -> bool {
-        self.rows.is_empty()
+        self.arena.is_empty()
     }
 
     /// Bytes of parameter storage currently materialized.
     pub fn bytes(&self) -> u64 {
-        (self.rows.len() * self.dim * 4) as u64
+        (self.arena.len() * self.arena.dim() * 4) as u64
     }
 
     /// The deterministic initial value of `row[j]` for `id`.
@@ -62,46 +194,87 @@ impl EmbeddingTable {
         ((unit - 0.5) * 0.2) as f32
     }
 
+    /// Materializes the row for `id` if absent, returning its arena slot.
+    fn ensure(&mut self, id: u64) -> u32 {
+        let seed = self.seed;
+        let (slot, created) = self
+            .arena
+            .ensure_with(id, |j| Self::init_value(seed, id, j));
+        if created {
+            self.dirty.insert(id);
+        }
+        slot
+    }
+
     /// Returns the row for `id`, materializing it on first access.
     pub fn row(&mut self, id: u64) -> &[f32] {
-        let (dim, seed) = (self.dim, self.seed);
-        let dirty = &mut self.dirty;
-        self.rows.entry(id).or_insert_with(|| {
-            dirty.insert(id);
-            (0..dim).map(|j| Self::init_value(seed, id, j)).collect()
-        })
+        let slot = self.ensure(id);
+        self.arena.row(slot)
     }
 
     /// Returns the row for `id` without materializing; `None` if absent.
     pub fn peek(&self, id: u64) -> Option<&[f32]> {
-        self.rows.get(&id).map(|r| r.as_ref())
+        self.arena.get(id)
     }
 
     /// Copies the row for `id` into `out`.
     pub fn gather_into(&mut self, id: u64, out: &mut Vec<f32>) {
-        let row = self.row(id);
-        out.extend_from_slice(row);
+        let slot = self.ensure(id);
+        out.extend_from_slice(self.arena.row(slot));
+    }
+
+    /// Batched gather: appends `dim` floats per ID to `out`, materializing
+    /// absent rows. One pass over contiguous arena memory.
+    pub fn gather_rows(&mut self, ids: &[u64], out: &mut Vec<f32>) {
+        out.reserve(ids.len() * self.arena.dim());
+        for &id in ids {
+            let slot = self.ensure(id);
+            out.extend_from_slice(self.arena.row(slot));
+        }
+    }
+
+    /// Batched read-only gather over rows that must already be materialized
+    /// (checkpoint capture): appends `dim` floats per ID to `out`.
+    ///
+    /// # Panics
+    /// Panics if any ID has no materialized row.
+    pub fn gather_materialized(&self, ids: &[u64], out: &mut Vec<f32>) {
+        out.reserve(ids.len() * self.arena.dim());
+        for &id in ids {
+            out.extend_from_slice(self.arena.get(id).expect("row must be materialized"));
+        }
     }
 
     /// Overwrites the row for `id` (used by cache write-back).
     pub fn put(&mut self, id: u64, values: &[f32]) {
-        assert_eq!(values.len(), self.dim, "row length must equal dim");
-        self.rows.insert(id, values.into());
+        self.arena.insert(id, values);
         self.dirty.insert(id);
     }
 
     /// Applies a gradient step `row -= lr * grad` to the row for `id`.
     pub fn apply_gradient(&mut self, id: u64, grad: &[f32], lr: f32) {
-        assert_eq!(grad.len(), self.dim, "gradient length must equal dim");
-        let (dim, seed) = (self.dim, self.seed);
-        let row = self
-            .rows
-            .entry(id)
-            .or_insert_with(|| (0..dim).map(|j| Self::init_value(seed, id, j)).collect());
+        assert_eq!(grad.len(), self.dim(), "gradient length must equal dim");
+        let slot = self.ensure(id);
+        let lo = slot as usize * self.arena.dim;
+        let row = &mut self.arena.data[lo..lo + self.arena.dim];
         for (w, g) in row.iter_mut().zip(grad) {
             *w -= lr * g;
         }
         self.dirty.insert(id);
+    }
+
+    /// Batched scatter: applies `row -= lr * grad` for each ID, reading the
+    /// i-th gradient from `grads[i*dim..(i+1)*dim]`.
+    pub fn scatter_grads(&mut self, ids: &[u64], grads: &[f32], lr: f32) {
+        let dim = self.dim();
+        assert_eq!(
+            grads.len(),
+            ids.len() * dim,
+            "need one dim-wide gradient per id"
+        );
+        for (i, &id) in ids.iter().enumerate() {
+            self.apply_gradient(id, &grads[i * dim..(i + 1) * dim], lr);
+        }
     }
 
     /// IDs of rows touched (materialized, written, or updated) since the last
@@ -123,14 +296,12 @@ impl EmbeddingTable {
 
     /// IDs of every materialized row, ascending.
     pub fn materialized_ids(&self) -> Vec<u64> {
-        let mut ids: Vec<u64> = self.rows.keys().copied().collect();
-        ids.sort_unstable();
-        ids
+        self.arena.sorted_ids()
     }
 
     /// Drops all materialized rows and the dirty set (full-restore staging).
     pub fn clear_rows(&mut self) {
-        self.rows.clear();
+        self.arena.clear();
         self.dirty.clear();
     }
 }
@@ -238,6 +409,68 @@ mod tests {
         let mut t = EmbeddingTable::new(2, 0);
         t.put(3, &[1.0, 2.0]);
         assert_eq!(t.peek(3).unwrap(), &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn batched_gather_matches_single_row_lookups() {
+        let mut batched = EmbeddingTable::new(4, 11);
+        let mut single = EmbeddingTable::new(4, 11);
+        let ids = [9u64, 2, 9, 100, 2];
+        let mut out = Vec::new();
+        batched.gather_rows(&ids, &mut out);
+        let mut want = Vec::new();
+        for &id in &ids {
+            want.extend_from_slice(single.row(id));
+        }
+        assert_eq!(out, want);
+        assert_eq!(batched.dirty_count(), single.dirty_count());
+        assert_eq!(batched.materialized_ids(), single.materialized_ids());
+    }
+
+    #[test]
+    fn batched_scatter_matches_single_gradients() {
+        let mut batched = EmbeddingTable::new(2, 3);
+        let mut single = EmbeddingTable::new(2, 3);
+        let ids = [7u64, 8, 7];
+        let grads = [1.0f32, 2.0, -1.0, 0.5, 0.25, 4.0];
+        batched.scatter_grads(&ids, &grads, 0.1);
+        for (i, &id) in ids.iter().enumerate() {
+            single.apply_gradient(id, &grads[i * 2..(i + 1) * 2], 0.1);
+        }
+        for &id in &ids {
+            assert_eq!(batched.peek(id), single.peek(id));
+        }
+    }
+
+    #[test]
+    fn gather_materialized_reads_without_dirtying() {
+        let mut t = EmbeddingTable::new(2, 5);
+        t.row(4);
+        t.row(1);
+        t.mark_clean();
+        let mut out = Vec::new();
+        t.gather_materialized(&[1, 4], &mut out);
+        assert_eq!(out.len(), 4);
+        assert_eq!(&out[..2], t.peek(1).unwrap());
+        assert_eq!(t.dirty_count(), 0, "read-only gather must not dirty");
+    }
+
+    #[test]
+    fn arena_rows_are_contiguous_slots() {
+        let mut a = RowArena::new(2);
+        let (s0, c0) = a.ensure_with(50, |j| j as f32);
+        let (s1, c1) = a.ensure_with(10, |j| 10.0 + j as f32);
+        let (s0b, c0b) = a.ensure_with(50, |_| f32::NAN);
+        assert!(c0 && c1 && !c0b);
+        assert_eq!(s0, 0);
+        assert_eq!(s1, 1);
+        assert_eq!(s0b, s0);
+        assert_eq!(a.ids(), &[50, 10], "slot order is insertion order");
+        assert_eq!(a.sorted_ids(), vec![10, 50]);
+        assert_eq!(a.row(0), &[0.0, 1.0], "re-ensure must not reinit");
+        a.insert(10, &[9.0, 9.0]);
+        assert_eq!(a.get(10).unwrap(), &[9.0, 9.0]);
+        assert_eq!(a.len(), 2, "overwrite does not grow the arena");
     }
 
     #[test]

@@ -85,6 +85,92 @@ proptest! {
         prop_assert_eq!(sorted.len(), u.unique_ids.len());
     }
 
+    /// The SoA arena table is observationally identical to a per-row model
+    /// (the old `HashMap<u64, Box<[f32]>>` storage): same values, same
+    /// materialized-ID set, same dirty-ID tracking, under any interleaving
+    /// of row/put/gradient/batched-gather/batched-scatter/mark-clean ops.
+    #[test]
+    fn arena_table_matches_per_row_reference_model(
+        ops in proptest::collection::vec(
+            (0usize..6, proptest::collection::vec(0u64..60, 1..8), -1.0f32..1.0),
+            1..60),
+    ) {
+        let dim = 4;
+        let mut table = EmbeddingTable::new(dim, 42);
+        // First-touch values come from a second table with the same seed
+        // (init depends only on (seed, id)), so the reference shares no
+        // storage or bookkeeping with the arena under test.
+        let mut init = EmbeddingTable::new(dim, 42);
+        let mut rows: std::collections::HashMap<u64, Vec<f32>> = Default::default();
+        let mut dirty: std::collections::BTreeSet<u64> = Default::default();
+        for (kind, ids, x) in &ops {
+            let id = ids[0];
+            match kind {
+                0 => {
+                    let want = rows.entry(id).or_insert_with(|| {
+                        dirty.insert(id);
+                        init.row(id).to_vec()
+                    }).clone();
+                    prop_assert_eq!(table.row(id), &want[..]);
+                }
+                1 => {
+                    let vals: Vec<f32> = (0..dim).map(|j| x + j as f32).collect();
+                    table.put(id, &vals);
+                    rows.insert(id, vals);
+                    dirty.insert(id);
+                }
+                2 => {
+                    let grad: Vec<f32> = (0..dim).map(|j| x * (j + 1) as f32).collect();
+                    table.apply_gradient(id, &grad, 0.1);
+                    let row = rows.entry(id).or_insert_with(|| init.row(id).to_vec());
+                    for (w, g) in row.iter_mut().zip(&grad) {
+                        *w -= 0.1 * g;
+                    }
+                    dirty.insert(id);
+                }
+                3 => {
+                    let mut got = Vec::new();
+                    table.gather_rows(ids, &mut got);
+                    let mut want = Vec::new();
+                    for &i in ids {
+                        let row = rows.entry(i).or_insert_with(|| {
+                            dirty.insert(i);
+                            init.row(i).to_vec()
+                        });
+                        want.extend_from_slice(row);
+                    }
+                    prop_assert_eq!(got, want);
+                }
+                4 => {
+                    let grads: Vec<f32> = (0..ids.len() * dim).map(|j| x * j as f32).collect();
+                    table.scatter_grads(ids, &grads, 0.05);
+                    for (i, &id) in ids.iter().enumerate() {
+                        let row = rows.entry(id).or_insert_with(|| init.row(id).to_vec());
+                        for (j, w) in row.iter_mut().enumerate() {
+                            *w -= 0.05 * grads[i * dim + j];
+                        }
+                        dirty.insert(id);
+                    }
+                }
+                _ => {
+                    table.mark_clean();
+                    dirty.clear();
+                }
+            }
+        }
+        // Final state agrees exactly: values, materialization, dirtiness.
+        let mut want_ids: Vec<u64> = rows.keys().copied().collect();
+        want_ids.sort_unstable();
+        prop_assert_eq!(table.materialized_ids(), want_ids);
+        prop_assert_eq!(
+            table.dirty_ids().collect::<Vec<u64>>(),
+            dirty.iter().copied().collect::<Vec<u64>>()
+        );
+        for (id, want) in &rows {
+            prop_assert_eq!(table.peek(*id).unwrap(), &want[..], "row {}", id);
+        }
+    }
+
     /// The planner always covers every field exactly once and respects the
     /// width cap, for any cap.
     #[test]

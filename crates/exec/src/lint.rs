@@ -15,7 +15,7 @@ use crate::costs::{self, PlanContext, ResTarget, StageTask};
 use crate::scheduler::{split_batch, SimConfig};
 use crate::strategy::Strategy;
 use picasso_graph::{OpKind, WdlSpec};
-use picasso_lint::{Diagnostic, StageFusion, StageGraph, StageNode};
+use picasso_lint::{Diagnostic, Severity, Span, StageFusion, StageGraph, StageNode};
 
 /// Resource class (the vocabulary of `stage.cross-class-fusion`) a stage
 /// target is bound by.
@@ -288,9 +288,61 @@ pub fn stage_graph(spec: &WdlSpec, strategy: Strategy, cfg: &SimConfig) -> Stage
     g
 }
 
-/// Runs the stage-surface rules on the lowered graph of `spec`.
+/// Per-iteration simulator task budget above which `run.hot-path-alloc`
+/// fires. The event engine preallocates its dense per-task state (SoA work
+/// columns, CSR successor arrays, per-resource ready queues and channel
+/// tables) from the task census before the event loop starts; a census past
+/// this budget means hundreds of megabytes of bookkeeping and a setup phase
+/// that rivals the simulation itself. The bench suite's largest scenario
+/// sits around four orders of magnitude below this, so the rule flags
+/// runaway configurations (huge cluster × micro-batch products), never the
+/// committed models.
+pub const HOT_PATH_TASK_BUDGET: usize = 5_000_000;
+
+/// Estimated per-iteration simulator task count for `spec` under `cfg`:
+/// the lowered stage graph covers one executor × one micro-batch, and the
+/// scheduler replicates it across every executor and micro-batch.
+pub fn estimated_tasks_per_iteration(g: &StageGraph, spec: &WdlSpec, cfg: &SimConfig) -> usize {
+    let n_exec = (cfg.machines * cfg.machine.gpus_per_node.max(1)).max(1);
+    g.nodes.len() * spec.micro_batches.max(1) * n_exec
+}
+
+/// The run-surface hot-path rule over an already-lowered graph: warns when
+/// the estimated per-iteration task count exceeds
+/// [`HOT_PATH_TASK_BUDGET`].
+fn hot_path_lint(g: &StageGraph, spec: &WdlSpec, cfg: &SimConfig) -> Option<Diagnostic> {
+    let estimated = estimated_tasks_per_iteration(g, spec, cfg);
+    if estimated <= HOT_PATH_TASK_BUDGET {
+        return None;
+    }
+    Some(
+        Diagnostic::new(
+            "run.hot-path-alloc",
+            Severity::Warn,
+            Span::Run("task-census".into()),
+            format!(
+                "the lowered graph implies ~{estimated} simulator tasks per iteration \
+                 ({} stages x {} micro-batches x {} executors), above the engine's \
+                 {HOT_PATH_TASK_BUDGET}-task preallocation budget",
+                g.nodes.len(),
+                spec.micro_batches.max(1),
+                (cfg.machines * cfg.machine.gpus_per_node.max(1)).max(1),
+            ),
+        )
+        .with_hint(
+            "lower the micro-batch count or cluster size, or pack the graph harder so fewer \
+             stages replicate per executor",
+        ),
+    )
+}
+
+/// Runs the stage-surface rules, plus the run-surface hot-path task-census
+/// rule, on the lowered graph of `spec`.
 pub fn stage_lints(spec: &WdlSpec, strategy: Strategy, cfg: &SimConfig) -> Vec<Diagnostic> {
-    stage_graph(spec, strategy, cfg).analyze()
+    let g = stage_graph(spec, strategy, cfg);
+    let mut out = g.analyze();
+    out.extend(hot_path_lint(&g, spec, cfg));
+    out
 }
 
 #[cfg(test)]
@@ -349,6 +401,29 @@ mod tests {
             diags.iter().all(|d| d.rule != "stage.cross-class-fusion"),
             "{diags:?}"
         );
+    }
+
+    #[test]
+    fn hot_path_alloc_fires_on_runaway_census_and_stays_silent_at_suite_scale() {
+        let data = DatasetSpec::criteo();
+        let spec = ModelKind::Dlrm.build(&data);
+        // The bench-suite shape (single-digit machines, one micro-batch)
+        // sits far below the budget.
+        let g = stage_graph(&spec, Strategy::Hybrid, &cfg());
+        assert!(estimated_tasks_per_iteration(&g, &spec, &cfg()) * 100 < HOT_PATH_TASK_BUDGET);
+        let diags = stage_lints(&spec, Strategy::Hybrid, &cfg());
+        assert!(diags.iter().all(|d| d.rule != "run.hot-path-alloc"));
+        // A runaway cluster x micro-batch product trips the rule.
+        let mut spec = spec;
+        spec.micro_batches = 64;
+        let mut big = cfg();
+        big.machines = 4096;
+        let diags = stage_lints(&spec, Strategy::Hybrid, &big);
+        let hit = diags
+            .iter()
+            .find(|d| d.rule == "run.hot-path-alloc")
+            .expect("budget exceeded must warn");
+        assert_eq!(hit.severity, picasso_lint::Severity::Warn);
     }
 
     #[test]

@@ -18,7 +18,7 @@ use crate::costs::{self, PlanContext, ResTarget, StageTask};
 use crate::observe::{ExecutorScope, IterationScope, MicroBatchScope, ScheduleScopes, TaskRange};
 use crate::strategy::Strategy;
 use picasso_graph::{OpKind, WdlSpec};
-use picasso_sim::{Cluster, Engine, EngineError, MachineSpec, RunResult, Task, TaskId};
+use picasso_sim::{Cluster, Engine, EngineError, MachineSpec, ResourceId, RunResult, Task, TaskId};
 use std::cell::RefCell;
 
 /// Simulation shape.
@@ -102,6 +102,10 @@ pub struct SimulationOutput {
     /// Causal event log: every executed task (launcher and hardware alike)
     /// with its dependency edges, in creation order.
     pub causal: Vec<CausalStage>,
+    /// Handles of every parameter-server resource, precomputed from the
+    /// cluster topology so consumers never filter resources by name prefix.
+    /// Empty for strategies without PS nodes.
+    pub server_resources: Vec<ResourceId>,
 }
 
 impl SimulationOutput {
@@ -539,6 +543,7 @@ pub fn simulate(
         });
     }
 
+    let server_resources = cluster.server_resource_ids();
     let result = engine.run()?;
     Ok(SimulationOutput {
         result,
@@ -549,6 +554,7 @@ pub fn simulate(
         scopes,
         costs: cost_log.into_inner(),
         causal: causal_log.into_inner(),
+        server_resources,
     })
 }
 
@@ -615,12 +621,16 @@ mod tests {
         let spec = ModelKind::Dlrm.build(&data);
         let out = simulate(&spec, Strategy::PsAsync { servers: 1 }, &quick_cfg()).unwrap();
         // Server node exists beyond the 2 worker machines; its NIC is busy.
-        let server_busy: f64 = out
-            .result
-            .resources
+        // The precomputed handle set replaces the old "ps0/" name-prefix scan.
+        let handles: std::collections::HashSet<ResourceId> =
+            out.server_resources.iter().copied().collect();
+        assert!(
+            !handles.is_empty(),
+            "PS strategy must expose server handles"
+        );
+        let server_busy: f64 = handles
             .iter()
-            .filter(|r| r.spec.name.starts_with("ps0/"))
-            .map(|r| r.busy.as_secs_f64())
+            .map(|&id| out.result.resources[id.0].busy.as_secs_f64())
             .sum();
         assert!(server_busy > 0.0, "PS server should carry load");
     }

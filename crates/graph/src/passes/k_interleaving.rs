@@ -7,6 +7,13 @@
 //! chains control dependencies between consecutive groups so that group
 //! `g+1`'s communication overlaps group `g`'s downstream compute, diffusing
 //! the pulse-like resource usage of the unoptimized graph.
+//!
+//! The affinity ordering is computed from a field→module inverted index
+//! built in one pass over the modules, and group assignment mutates the
+//! spec in place: the planner ([`crate::passes::pipeline`]) computes the
+//! ordering once per plan and reuses it in `apply`, so the pass costs one
+//! linear scan plus one sort instead of the historical quadratic
+//! module-position scan over a cloned spec.
 
 use crate::spec::WdlSpec;
 
@@ -22,29 +29,69 @@ pub fn eq3_capacity(ops: &[(f64, f64)]) -> f64 {
         .fold(f64::INFINITY, f64::min)
 }
 
-/// Returns `spec` with its chains assigned to `n_groups` interleaving
-/// groups.
+/// Per-chain exclusion flags for `spec` as [`mark_excluded_in_place`] would
+/// set them: a chain is excluded if it already carries the flag or touches
+/// one of `tables`. Lets planners reason about the post-exclusion graph
+/// without cloning it.
+pub fn exclusion_flags(spec: &WdlSpec, tables: &[usize]) -> Vec<bool> {
+    spec.chains
+        .iter()
+        .map(|c| {
+            c.interleave_excluded
+                || (!tables.is_empty() && c.tables.iter().any(|t| tables.contains(t)))
+        })
+        .collect()
+}
+
+/// Affinity-sorted chain ordering: the non-excluded chains (per `excluded`,
+/// one flag per chain) sorted by the smallest module index consuming any of
+/// their fields, ties broken by chain index.
 ///
-/// Chains are sorted by the smallest module index consuming any of their
-/// fields (so a group's outputs feed a compact set of modules and its
-/// downstream compute can start as soon as the group lands), then split into
-/// contiguous groups balanced by embedding byte volume. Excluded chains
-/// (`interleave_excluded`) stay in group 0 with no ordering constraint.
-pub fn apply(spec: &WdlSpec, n_groups: usize) -> WdlSpec {
-    assert!(n_groups >= 1, "need at least one group");
-    let mut spec = spec.clone();
-    // Affinity: first consuming module per field.
-    let affinity = |chain_fields: &[u32]| -> usize {
-        spec.modules
+/// The smallest consuming module per field is an inverted index built in
+/// one pass over the modules; a chain's affinity is the minimum over its
+/// fields, which equals the first `modules.iter().position(..)` hit of the
+/// historical per-chain scan.
+pub fn order_by_affinity(spec: &WdlSpec, excluded: &[bool]) -> Vec<usize> {
+    let max_field = spec
+        .modules
+        .iter()
+        .flat_map(|m| m.input_fields.iter())
+        .copied()
+        .max()
+        .map(|f| f as usize + 1)
+        .unwrap_or(0);
+    // first_module[f] = smallest module index consuming field f.
+    let mut first_module = vec![usize::MAX; max_field];
+    for (mi, m) in spec.modules.iter().enumerate() {
+        for &f in &m.input_fields {
+            let slot = &mut first_module[f as usize];
+            if *slot == usize::MAX {
+                *slot = mi;
+            }
+        }
+    }
+    let affinity = |i: usize| -> usize {
+        spec.chains[i]
+            .fields
             .iter()
-            .position(|m| m.input_fields.iter().any(|f| chain_fields.contains(f)))
+            .map(|&f| first_module.get(f as usize).copied().unwrap_or(usize::MAX))
+            .min()
             .unwrap_or(usize::MAX)
     };
-    let mut order: Vec<usize> = (0..spec.chains.len())
-        .filter(|&i| !spec.chains[i].interleave_excluded)
+    let mut order: Vec<(usize, usize)> = (0..spec.chains.len())
+        .filter(|&i| !excluded.get(i).copied().unwrap_or(false))
+        .map(|i| (affinity(i), i))
         .collect();
-    order.sort_by_key(|&i| (affinity(&spec.chains[i].fields), i));
+    order.sort_unstable();
+    order.into_iter().map(|(_, i)| i).collect()
+}
 
+/// Assigns the chains listed in `order` to `n_groups` contiguous groups
+/// balanced by embedding byte volume, in place. Excluded chains are forced
+/// into group 0. `order` must be the affinity ordering of the non-excluded
+/// chains (see [`order_by_affinity`]).
+pub fn assign_groups(spec: &mut WdlSpec, n_groups: usize, order: &[usize]) {
+    assert!(n_groups >= 1, "need at least one group");
     let total_bytes: f64 = order
         .iter()
         .map(|&i| spec.chains[i].embedding_bytes_per_instance())
@@ -53,7 +100,7 @@ pub fn apply(spec: &WdlSpec, n_groups: usize) -> WdlSpec {
 
     let mut group = 0u32;
     let mut acc = 0.0;
-    for &i in &order {
+    for &i in order {
         spec.chains[i].group = group;
         acc += spec.chains[i].embedding_bytes_per_instance();
         if acc >= per_group * (group + 1) as f64 && (group as usize) < n_groups - 1 {
@@ -63,41 +110,78 @@ pub fn apply(spec: &WdlSpec, n_groups: usize) -> WdlSpec {
     for c in spec.chains.iter_mut().filter(|c| c.interleave_excluded) {
         c.group = 0;
     }
-    spec
+}
+
+/// Assigns `spec`'s chains to `n_groups` interleaving groups, in place,
+/// deriving the affinity ordering from the spec itself.
+pub fn apply_in_place(spec: &mut WdlSpec, n_groups: usize) {
+    let excluded: Vec<bool> = spec.chains.iter().map(|c| c.interleave_excluded).collect();
+    let order = order_by_affinity(spec, &excluded);
+    assign_groups(spec, n_groups, &order);
+}
+
+/// Returns `spec` with its chains assigned to `n_groups` interleaving
+/// groups.
+///
+/// Chains are sorted by the smallest module index consuming any of their
+/// fields (so a group's outputs feed a compact set of modules and its
+/// downstream compute can start as soon as the group lands), then split into
+/// contiguous groups balanced by embedding byte volume. Excluded chains
+/// (`interleave_excluded`) stay in group 0 with no ordering constraint.
+pub fn apply(spec: &WdlSpec, n_groups: usize) -> WdlSpec {
+    let mut out = spec.clone();
+    apply_in_place(&mut out, n_groups);
+    out
+}
+
+/// Marks every chain touching one of `tables` as `interleave_excluded`, in
+/// place (the paper's *preset excluded embedding*, §III-C: outputs that feed
+/// no concatenation can advance their downstream freely).
+pub fn mark_excluded_in_place(spec: &mut WdlSpec, tables: &[usize]) {
+    if tables.is_empty() {
+        return;
+    }
+    for chain in &mut spec.chains {
+        if chain.tables.iter().any(|t| tables.contains(t)) {
+            chain.interleave_excluded = true;
+        }
+    }
 }
 
 /// Returns `spec` with every chain touching one of `tables` marked
-/// `interleave_excluded` (the paper's *preset excluded embedding*, §III-C:
-/// outputs that feed no concatenation can advance their downstream freely).
-/// Marked chains keep group 0 in [`apply`] and don't count toward the Eq. 3
-/// volume in [`auto_group_count`].
+/// `interleave_excluded`. Marked chains keep group 0 in [`apply`] and don't
+/// count toward the Eq. 3 volume in [`auto_group_count`].
 pub fn mark_excluded(spec: &WdlSpec, tables: &[usize]) -> WdlSpec {
-    let mut spec = spec.clone();
-    if !tables.is_empty() {
-        for chain in &mut spec.chains {
-            if chain.tables.iter().any(|t| tables.contains(t)) {
-                chain.interleave_excluded = true;
-            }
-        }
-    }
-    spec
+    let mut out = spec.clone();
+    mark_excluded_in_place(&mut out, tables);
+    out
 }
 
 /// Chooses a group count from the Eq. 3 capacity: enough groups that no
 /// group processes more than `capacity` parameters per instance, bounded by
-/// the number of chains.
-pub fn auto_group_count(spec: &WdlSpec, capacity: f64) -> usize {
+/// the number of chains. `excluded` overrides the chains' own flags (one
+/// per chain), so planners can evaluate a prospective exclusion without
+/// materializing it.
+pub fn auto_group_count_filtered(spec: &WdlSpec, capacity: f64, excluded: &[bool]) -> usize {
     if capacity <= 0.0 || !capacity.is_finite() {
         return 1;
     }
     let total_params_per_instance: f64 = spec
         .chains
         .iter()
-        .filter(|c| !c.interleave_excluded)
-        .map(|c| c.ids_per_instance * c.dim as f64)
+        .enumerate()
+        .filter(|&(i, _)| !excluded.get(i).copied().unwrap_or(false))
+        .map(|(_, c)| c.ids_per_instance * c.dim as f64)
         .sum();
     let wanted = (total_params_per_instance / capacity).ceil() as usize;
     wanted.clamp(1, spec.chains.len().max(1))
+}
+
+/// Chooses a group count from the Eq. 3 capacity using the chains' own
+/// `interleave_excluded` flags.
+pub fn auto_group_count(spec: &WdlSpec, capacity: f64) -> usize {
+    let excluded: Vec<bool> = spec.chains.iter().map(|c| c.interleave_excluded).collect();
+    auto_group_count_filtered(spec, capacity, &excluded)
 }
 
 #[cfg(test)]
@@ -165,6 +249,36 @@ mod tests {
     }
 
     #[test]
+    fn inverted_index_ordering_matches_the_module_position_scan() {
+        // The reference affinity: the first module whose inputs intersect
+        // the chain's fields, found by a linear scan over the modules —
+        // the pre-refactor definition, kept here as the oracle.
+        for n in [2usize, 5, 8, 13] {
+            let s = spec(n);
+            let reference = |chain_fields: &[u32]| -> usize {
+                s.modules
+                    .iter()
+                    .position(|m| m.input_fields.iter().any(|f| chain_fields.contains(f)))
+                    .unwrap_or(usize::MAX)
+            };
+            let mut expected: Vec<usize> = (0..s.chains.len()).collect();
+            expected.sort_by_key(|&i| (reference(&s.chains[i].fields), i));
+            let excluded = vec![false; s.chains.len()];
+            assert_eq!(order_by_affinity(&s, &excluded), expected, "n={n}");
+        }
+    }
+
+    #[test]
+    fn unconsumed_fields_sort_last() {
+        let mut s = spec(6);
+        // Chain 0 now produces a field no module consumes.
+        s.chains[0].fields = vec![99];
+        let excluded = vec![false; s.chains.len()];
+        let order = order_by_affinity(&s, &excluded);
+        assert_eq!(*order.last().unwrap(), 0, "unconsumed chain sorts last");
+    }
+
+    #[test]
     fn group_volumes_are_balanced() {
         let s = apply(&spec(12), 3);
         let mut vol = [0.0f64; 3];
@@ -201,6 +315,20 @@ mod tests {
         // Empty exclusion list marks nothing.
         let base = mark_excluded(&spec(4), &[]);
         assert!(base.chains.iter().all(|c| !c.interleave_excluded));
+    }
+
+    #[test]
+    fn exclusion_flags_match_mark_excluded() {
+        let s = spec(8);
+        let flags = exclusion_flags(&s, &[2, 5]);
+        let marked = mark_excluded(&s, &[2, 5]);
+        let from_spec: Vec<bool> = marked
+            .chains
+            .iter()
+            .map(|c| c.interleave_excluded)
+            .collect();
+        assert_eq!(flags, from_spec);
+        assert_eq!(exclusion_flags(&s, &[]), vec![false; 8]);
     }
 
     #[test]

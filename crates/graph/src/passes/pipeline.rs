@@ -18,8 +18,8 @@
 //!   table→pack mapping), explicit knob overrides, and the parameters the
 //!   planners derive (Eq. 2 batch, micro-batch count, Eq. 3 group count).
 //! - [`Pass`] is the extension seam: `name`, `plan` (derive parameters
-//!   into the context), `apply` (a uniform `&WdlSpec -> WdlSpec` graph
-//!   rewrite).
+//!   into the context), `apply` (an in-place graph rewrite on the
+//!   pipeline's working spec).
 
 use crate::passes::report::{run_pass, PassReport};
 use crate::passes::{d_interleaving, d_packing, k_interleaving, k_packing};
@@ -290,6 +290,10 @@ pub struct PlanContext {
     pub interleave_from: Layer,
     /// Parameters derived by the pass planners.
     pub derived: DerivedPlan,
+    /// Affinity-sorted chain ordering cached by the K-Interleaving planner
+    /// (over the post-exclusion graph), so `apply` assigns groups in place
+    /// without re-deriving the ordering. `None` until that planner runs.
+    pub(crate) interleave_order: Option<Vec<usize>>,
 }
 
 impl PlanContext {
@@ -309,6 +313,7 @@ impl PlanContext {
             group_window_secs: GROUP_WINDOW_SECS,
             interleave_from: Layer::Embedding,
             derived: DerivedPlan::default(),
+            interleave_order: None,
         }
     }
 
@@ -335,9 +340,9 @@ impl PlanContext {
 /// One optimization pass: a named planner + graph rewrite.
 ///
 /// `plan` derives the pass's parameters from the current spec into the
-/// shared [`PlanContext`]; `apply` performs the rewrite with a uniform
-/// `&WdlSpec -> WdlSpec` signature. Implement this trait to plug a new
-/// optimization into the pipeline.
+/// shared [`PlanContext`]; `apply` performs the rewrite in place on the
+/// pipeline's working spec (no per-pass clone). Implement this trait to
+/// plug a new optimization into the pipeline.
 pub trait Pass {
     /// Which built-in pass this is (names the telemetry lane).
     fn id(&self) -> PassId;
@@ -353,10 +358,10 @@ pub trait Pass {
         let _ = (spec, ctx);
     }
 
-    /// Applies the rewrite. Must be total: when the planner derived a
-    /// no-op (e.g. one group), return an equivalent spec so the pass still
-    /// records a [`PassReport`].
-    fn apply(&self, spec: &WdlSpec, ctx: &PlanContext) -> WdlSpec;
+    /// Applies the rewrite in place. Must be total: when the planner
+    /// derived a no-op (e.g. one group), leave the spec equivalent so the
+    /// pass still records a [`PassReport`].
+    fn apply(&self, spec: &mut WdlSpec, ctx: &PlanContext);
 }
 
 /// D-Packing: collapse chains according to the planner's Eq. 1 mapping.
@@ -367,12 +372,12 @@ impl Pass for DPackingPass {
         PassId::DPacking
     }
 
-    fn apply(&self, spec: &WdlSpec, ctx: &PlanContext) -> WdlSpec {
+    fn apply(&self, spec: &mut WdlSpec, ctx: &PlanContext) {
         if ctx.table_to_pack.is_empty() {
             // No planner mapping supplied: nothing to merge.
-            return spec.clone();
+            return;
         }
-        d_packing::apply(spec, &ctx.table_to_pack)
+        *spec = d_packing::apply(spec, &ctx.table_to_pack);
     }
 }
 
@@ -384,8 +389,8 @@ impl Pass for KPackingPass {
         PassId::KPacking
     }
 
-    fn apply(&self, spec: &WdlSpec, _ctx: &PlanContext) -> WdlSpec {
-        k_packing::apply(spec)
+    fn apply(&self, spec: &mut WdlSpec, _ctx: &PlanContext) {
+        *spec = k_packing::apply(spec);
     }
 }
 
@@ -400,6 +405,19 @@ struct KInterleavingPass;
 /// re-derives the capacity-respecting count to flag explicit overrides
 /// that overfill a group).
 pub(crate) fn eq3_auto_groups(spec: &WdlSpec, ctx: &PlanContext, batch: usize) -> usize {
+    let excluded: Vec<bool> = spec.chains.iter().map(|c| c.interleave_excluded).collect();
+    eq3_auto_groups_filtered(spec, ctx, batch, &excluded)
+}
+
+/// [`eq3_auto_groups`] with explicit per-chain exclusion flags, so the
+/// K-Interleaving planner can evaluate a prospective exclusion without
+/// cloning the spec.
+fn eq3_auto_groups_filtered(
+    spec: &WdlSpec,
+    ctx: &PlanContext,
+    batch: usize,
+    excluded: &[bool],
+) -> usize {
     // Params one group may process per pipeline window on its tightest
     // resource (network and PCIe both move ~4 bytes per parameter).
     let capacity_batch = k_interleaving::eq3_capacity(&[
@@ -407,7 +425,7 @@ pub(crate) fn eq3_auto_groups(spec: &WdlSpec, ctx: &PlanContext, batch: usize) -
         (ctx.machine.pcie_bw * ctx.group_window_secs, 4.0),
     ]);
     let capacity_per_instance = capacity_batch / batch.max(1) as f64;
-    k_interleaving::auto_group_count(spec, capacity_per_instance).clamp(1, 11)
+    k_interleaving::auto_group_count_filtered(spec, capacity_per_instance, excluded).clamp(1, 11)
 }
 
 impl Pass for KInterleavingPass {
@@ -417,20 +435,24 @@ impl Pass for KInterleavingPass {
 
     fn plan(&self, spec: &WdlSpec, ctx: &mut PlanContext) {
         let base = ctx.plan_base_batch(spec);
+        // Exclusion flags as `apply` will set them, computed without
+        // cloning the spec: excluded chains neither count toward the Eq. 3
+        // volume nor appear in the affinity ordering.
+        let excluded = k_interleaving::exclusion_flags(spec, &ctx.excluded_tables);
         ctx.derived.groups = match ctx.groups {
             Some(g) => g,
-            None if ctx.excluded_tables.is_empty() => eq3_auto_groups(spec, ctx, base),
-            None => {
-                // Excluded chains don't count toward the Eq. 3 volume.
-                let marked = k_interleaving::mark_excluded(spec, &ctx.excluded_tables);
-                eq3_auto_groups(&marked, ctx, base)
-            }
+            None => eq3_auto_groups_filtered(spec, ctx, base, &excluded),
         };
+        ctx.interleave_order = Some(k_interleaving::order_by_affinity(spec, &excluded));
     }
 
-    fn apply(&self, spec: &WdlSpec, ctx: &PlanContext) -> WdlSpec {
-        let marked = k_interleaving::mark_excluded(spec, &ctx.excluded_tables);
-        k_interleaving::apply(&marked, ctx.derived.groups)
+    fn apply(&self, spec: &mut WdlSpec, ctx: &PlanContext) {
+        k_interleaving::mark_excluded_in_place(spec, &ctx.excluded_tables);
+        match &ctx.interleave_order {
+            // The planner ran on this exact spec; reuse its ordering.
+            Some(order) => k_interleaving::assign_groups(spec, ctx.derived.groups, order),
+            None => k_interleaving::apply_in_place(spec, ctx.derived.groups),
+        }
     }
 }
 
@@ -451,8 +473,8 @@ impl Pass for DInterleavingPass {
             .unwrap_or_else(|| d_interleaving::default_micro_batches(spec));
     }
 
-    fn apply(&self, spec: &WdlSpec, ctx: &PlanContext) -> WdlSpec {
-        d_interleaving::apply(spec, ctx.derived.micro_batches, ctx.interleave_from)
+    fn apply(&self, spec: &mut WdlSpec, ctx: &PlanContext) {
+        *spec = d_interleaving::apply(spec, ctx.derived.micro_batches, ctx.interleave_from);
     }
 }
 
@@ -466,8 +488,9 @@ impl Pass for CachingPass {
         PassId::Caching
     }
 
-    fn apply(&self, spec: &WdlSpec, _ctx: &PlanContext) -> WdlSpec {
-        spec.clone()
+    fn apply(&self, _spec: &mut WdlSpec, _ctx: &PlanContext) {
+        // Bookkeeping only: the logical graph is untouched (and no longer
+        // cloned just to say so).
     }
 }
 
@@ -527,8 +550,7 @@ impl Pipeline {
         let mut reports = Vec::with_capacity(self.passes.len());
         for pass in &self.passes {
             pass.plan(&spec, ctx);
-            let (next, report) = run_pass(pass.name(), &spec, tracer, |s| pass.apply(s, ctx));
-            spec = next;
+            let report = run_pass(pass.name(), &mut spec, tracer, |s| pass.apply(s, ctx));
             reports.push(report);
         }
         let diagnostics = crate::lint::lint_plan(&spec, ctx, &self.config, &reports);

@@ -248,6 +248,17 @@ pub const RULES: &[RuleInfo] = &[
                     history is unrecoverable after a crash",
     },
     RuleInfo {
+        id: "run.hot-path-alloc",
+        surface: Surface::Run,
+        severity: Severity::Warn,
+        summary: "the lowered graph implies a per-iteration simulator task count above the \
+                  engine's preallocation budget",
+        grounding: "the event engine preallocates its task columns, ready queues, and channel \
+                    tables from the task census; a census past the budget pushes setup cost and \
+                    memory footprint into territory where the run spends more time building \
+                    state than simulating it",
+    },
+    RuleInfo {
         id: "run.regressing-trend",
         surface: Surface::Run,
         severity: Severity::Warn,

@@ -8,10 +8,11 @@
 //! interval of every task, from which the metrics module derives utilization
 //! timelines, bandwidth traces, and time breakdowns.
 
+use crate::intern::{NameId, NameInterner};
 use crate::resource::{ResourceId, ResourceKind, ResourceSpec, ResourceState};
 use crate::time::{SimDuration, SimTime};
 use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, VecDeque};
 use std::fmt;
 
 /// Identifies a task within one engine run.
@@ -265,12 +266,22 @@ impl fmt::Display for EngineError {
 impl std::error::Error for EngineError {}
 
 /// A discrete-event engine holding resources and a task DAG.
+///
+/// Resource names are interned into dense [`NameId`] handles at registration
+/// time; the event loop itself touches only flat integer-indexed arrays
+/// (struct-of-arrays task fields, CSR successor lists, one channel arena) —
+/// no strings, hash maps, or nested `Vec`s on the hot path.
 #[derive(Debug, Default)]
 pub struct Engine {
     resources: Vec<ResourceState>,
     tasks: Vec<Task>,
-    /// successors[t] lists tasks depending on t.
-    successors: Vec<Vec<TaskId>>,
+    /// Interner over resource names; handles are resolved at build time.
+    names: NameInterner,
+    /// Interned name per resource, indexed by `ResourceId`.
+    name_ids: Vec<NameId>,
+    /// First resource registered under each interned name, indexed by
+    /// `NameId` (dense, since names are interned in registration order).
+    name_owner: Vec<u32>,
 }
 
 impl Engine {
@@ -279,11 +290,38 @@ impl Engine {
         Engine::default()
     }
 
-    /// Registers a resource and returns its id.
+    /// Registers a resource and returns its id. The resource's name is
+    /// interned here — this is the last point on the execution path where
+    /// the name exists as a string.
     pub fn add_resource(&mut self, spec: ResourceSpec) -> ResourceId {
         let id = ResourceId(self.resources.len());
+        let name_id = self.names.intern(&spec.name);
+        if name_id.0 as usize == self.name_owner.len() {
+            self.name_owner.push(id.0 as u32);
+        }
+        self.name_ids.push(name_id);
         self.resources.push(ResourceState::new(spec));
         id
+    }
+
+    /// Interned handle of a resource's name.
+    pub fn resource_name_id(&self, id: ResourceId) -> NameId {
+        self.name_ids[id.0]
+    }
+
+    /// The engine's name interner, for resolving handles back to strings at
+    /// the reporting edges.
+    pub fn names(&self) -> &NameInterner {
+        &self.names
+    }
+
+    /// Looks up a resource by exact name through the interner (no scan over
+    /// specs). If several resources share a name, the first one registered
+    /// wins.
+    pub fn resource_by_name(&self, name: &str) -> Option<ResourceId> {
+        self.names
+            .get(name)
+            .map(|nid| ResourceId(self.name_owner[nid.0 as usize] as usize))
     }
 
     /// Number of registered resources.
@@ -323,75 +361,135 @@ impl Engine {
             if dep.0 >= self.tasks.len() {
                 return Err(EngineError::UnknownDependency { task: id, dep });
             }
-            self.successors[dep.0].push(id);
         }
         self.tasks.push(task);
-        self.successors.push(Vec::new());
         Ok(id)
     }
 
     /// Executes the DAG to completion and returns the full trace.
+    ///
+    /// Before the loop starts, the DAG is flattened into dense arrays: the
+    /// hot task fields (resource, work) as struct-of-arrays columns,
+    /// successor lists in CSR form (one flat edge array plus offsets), and
+    /// every resource's channels in a single arena sliced by per-resource
+    /// offsets. The loop then moves `u32` handles between a global ready
+    /// heap and preallocated per-resource FIFO queues — it performs no
+    /// allocation, string comparison, or map lookup.
     pub fn run(mut self) -> Result<RunResult, EngineError> {
         let n = self.tasks.len();
-        let mut indegree: Vec<usize> = self.tasks.iter().map(|t| t.deps.len()).collect();
-        // ready_at[t] = max(earliest, latest dep end); updated as deps finish.
-        let mut ready_at: Vec<SimTime> = self.tasks.iter().map(|t| t.earliest).collect();
-        // The dependency that set ready_at (for critical-path analysis).
-        let mut ready_by: Vec<Option<TaskId>> = vec![None; n];
-        // Last task served per (resource, channel), to attribute queueing.
-        let mut channel_last: Vec<Vec<Option<TaskId>>> = self
-            .resources
-            .iter()
-            .map(|r| vec![None; r.spec.channels])
-            .collect();
-        let mut records: Vec<Option<TaskRecord>> = vec![None; n];
+        let n_res = self.resources.len();
 
-        // Min-heap of (ready time, seq) so dispatch order is deterministic.
-        let mut heap: BinaryHeap<Reverse<(SimTime, usize)>> = BinaryHeap::new();
-        for (i, deg) in indegree.iter().enumerate() {
-            if *deg == 0 {
-                heap.push(Reverse((ready_at[i], i)));
+        // Struct-of-arrays columns for the two task fields the loop reads
+        // on every dispatch; `deps` stays behind in the cold Task structs.
+        let task_res: Vec<u32> = self.tasks.iter().map(|t| t.resource.0 as u32).collect();
+        let task_work: Vec<f64> = self.tasks.iter().map(|t| t.work).collect();
+
+        // Successor lists in CSR form, preserving per-dependency insertion
+        // order (tasks are scanned in id order, exactly the order the old
+        // per-task Vec<TaskId> lists were appended in).
+        let mut indegree: Vec<u32> = vec![0; n];
+        let mut succ_off: Vec<u32> = vec![0; n + 1];
+        for t in &self.tasks {
+            for &dep in &t.deps {
+                succ_off[dep.0 + 1] += 1;
+            }
+        }
+        for i in 0..n {
+            succ_off[i + 1] += succ_off[i];
+        }
+        let mut succ: Vec<u32> = vec![0; succ_off[n] as usize];
+        let mut cursor: Vec<u32> = succ_off[..n].to_vec();
+        for (i, t) in self.tasks.iter().enumerate() {
+            indegree[i] = t.deps.len() as u32;
+            for &dep in &t.deps {
+                succ[cursor[dep.0] as usize] = i as u32;
+                cursor[dep.0] += 1;
             }
         }
 
+        // ready_at[t] = max(earliest, latest dep end); updated as deps finish.
+        let mut ready_at: Vec<SimTime> = self.tasks.iter().map(|t| t.earliest).collect();
+        // The dependency that set ready_at (u32::MAX = none), for
+        // critical-path analysis.
+        let mut ready_by: Vec<u32> = vec![u32::MAX; n];
+
+        // One flat channel arena for all resources: next-free time and last
+        // task served (u32::MAX = none) per channel, sliced by chan_off.
+        let mut chan_off: Vec<u32> = Vec::with_capacity(n_res + 1);
+        chan_off.push(0);
+        for r in &self.resources {
+            chan_off.push(chan_off[chan_off.len() - 1] + r.spec.channels as u32);
+        }
+        let n_chan = chan_off[n_res] as usize;
+        let mut chan_free: Vec<SimTime> = vec![SimTime::ZERO; n_chan];
+        let mut chan_last: Vec<u32> = vec![u32::MAX; n_chan];
+
+        let mut records: Vec<Option<TaskRecord>> = vec![None; n];
+
+        // Min-heap of (ready time, handle) so dispatch order is deterministic.
+        let mut heap: BinaryHeap<Reverse<(SimTime, u32)>> = BinaryHeap::new();
+        for (i, deg) in indegree.iter().enumerate() {
+            if *deg == 0 {
+                heap.push(Reverse((ready_at[i], i as u32)));
+            }
+        }
+
+        // Per-resource FIFO staging between the global event order and each
+        // resource's dispatch order. Tasks drain immediately (per-resource
+        // order must equal global ready order exactly — a zero-duration task
+        // can release a same-timestamp successor, so batching pops would
+        // reorder dispatches), but routing through the handle-indexed queues
+        // keeps the loop free of any per-event allocation.
+        let mut ready_q: Vec<VecDeque<u32>> =
+            (0..n_res).map(|_| VecDeque::with_capacity(4)).collect();
+
         let mut completed = 0usize;
         let mut makespan = SimTime::ZERO;
-        while let Some(Reverse((ready, idx))) = heap.pop() {
-            let task = &self.tasks[idx];
-            let ch = self.resources[task.resource.0].earliest_channel();
-            let (start, end) = self.resources[task.resource.0].dispatch(ready, task.work);
-            let binding = if start > ready {
-                channel_last[task.resource.0][ch]
-                    .map(Binding::Resource)
-                    .unwrap_or(Binding::Immediate)
-            } else {
-                ready_by[idx]
-                    .map(Binding::Dependency)
-                    .unwrap_or(Binding::Immediate)
-            };
-            channel_last[task.resource.0][ch] = Some(TaskId(idx));
-            records[idx] = Some(TaskRecord {
-                task: TaskId(idx),
-                resource: task.resource,
-                category: task.category,
-                ready,
-                start,
-                end,
-                work: task.work,
-                binding,
-            });
-            completed += 1;
-            makespan = makespan.max(end);
-            // Complete: release successors.
-            for s in 0..self.successors[idx].len() {
-                let succ = self.successors[idx][s];
-                if end >= ready_at[succ.0] {
-                    ready_at[succ.0] = end;
-                    ready_by[succ.0] = Some(TaskId(idx));
-                }
-                indegree[succ.0] -= 1;
-                if indegree[succ.0] == 0 {
-                    heap.push(Reverse((ready_at[succ.0], succ.0)));
+        while let Some(Reverse((_, popped))) = heap.pop() {
+            let r = task_res[popped as usize] as usize;
+            ready_q[r].push_back(popped);
+            while let Some(idx) = ready_q[r].pop_front() {
+                let i = idx as usize;
+                let ready = ready_at[i];
+                let lo = chan_off[r] as usize;
+                let hi = chan_off[r + 1] as usize;
+                let (ch, start, end) =
+                    self.resources[r].dispatch_on(&mut chan_free[lo..hi], ready, task_work[i]);
+                let binding = if start > ready {
+                    match chan_last[lo + ch] {
+                        u32::MAX => Binding::Immediate,
+                        last => Binding::Resource(TaskId(last as usize)),
+                    }
+                } else {
+                    match ready_by[i] {
+                        u32::MAX => Binding::Immediate,
+                        by => Binding::Dependency(TaskId(by as usize)),
+                    }
+                };
+                chan_last[lo + ch] = idx;
+                records[i] = Some(TaskRecord {
+                    task: TaskId(i),
+                    resource: ResourceId(r),
+                    category: self.tasks[i].category,
+                    ready,
+                    start,
+                    end,
+                    work: task_work[i],
+                    binding,
+                });
+                completed += 1;
+                makespan = makespan.max(end);
+                // Complete: release successors via the CSR edge list.
+                for &edge in &succ[succ_off[i] as usize..succ_off[i + 1] as usize] {
+                    let s = edge as usize;
+                    if end >= ready_at[s] {
+                        ready_at[s] = end;
+                        ready_by[s] = idx;
+                    }
+                    indegree[s] -= 1;
+                    if indegree[s] == 0 {
+                        heap.push(Reverse((ready_at[s], s as u32)));
+                    }
                 }
             }
         }
@@ -610,6 +708,29 @@ mod tests {
         assert_eq!(r.record(b).binding, Binding::Resource(a));
         assert_eq!(r.record(a).binding, Binding::Immediate);
         assert_eq!(r.critical_path(), vec![a, b]);
+    }
+
+    #[test]
+    fn resource_names_are_interned_at_registration() {
+        let mut e = Engine::new();
+        let g = gpu(&mut e);
+        let nw = net(&mut e);
+        let gid = e.resource_name_id(g);
+        let nid = e.resource_name_id(nw);
+        assert_ne!(gid, nid);
+        assert_eq!(e.names().resolve(gid), "gpu");
+        assert_eq!(e.names().resolve(nid), "net");
+        assert_eq!(e.resource_by_name("net"), Some(nw));
+        assert_eq!(e.resource_by_name("tpu"), None);
+    }
+
+    #[test]
+    fn duplicate_names_resolve_to_first_registration() {
+        let mut e = Engine::new();
+        let a = e.add_resource(ResourceSpec::new("x", ResourceKind::HostCpu, 1e9, 0));
+        let b = e.add_resource(ResourceSpec::new("x", ResourceKind::HostCpu, 1e9, 1));
+        assert_eq!(e.resource_name_id(a), e.resource_name_id(b));
+        assert_eq!(e.resource_by_name("x"), Some(a));
     }
 
     #[test]

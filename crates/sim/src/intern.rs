@@ -1,0 +1,104 @@
+//! Dense string interning for resource names.
+//!
+//! The engine resolves every resource name to a [`NameId`] handle when the
+//! resource is registered, so nothing on the hot path — the event loop, the
+//! scheduler's resource filters, metrics grouping — ever compares strings.
+//! Strings exist at the edges only: topology construction (which names
+//! resources) and report rendering (which resolves handles back).
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// Dense handle for an interned name. Handles are assigned in first-intern
+/// order starting at 0, so they double as indices into side tables.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NameId(pub u32);
+
+/// An append-only string interner: each distinct string maps to one dense
+/// [`NameId`], and every handle resolves back to exactly the string that
+/// produced it.
+#[derive(Debug, Default, Clone)]
+pub struct NameInterner {
+    names: Vec<String>,
+    index: HashMap<String, NameId>,
+}
+
+impl NameInterner {
+    /// Creates an empty interner.
+    pub fn new() -> Self {
+        NameInterner::default()
+    }
+
+    /// Interns `name`, returning its dense handle. Interning the same
+    /// string twice returns the same handle.
+    pub fn intern(&mut self, name: &str) -> NameId {
+        if let Some(&id) = self.index.get(name) {
+            return id;
+        }
+        let id = NameId(self.names.len() as u32);
+        self.names.push(name.to_string());
+        self.index.insert(name.to_string(), id);
+        id
+    }
+
+    /// Resolves a handle back to its string.
+    ///
+    /// # Panics
+    /// Panics if `id` was not produced by this interner.
+    pub fn resolve(&self, id: NameId) -> &str {
+        &self.names[id.0 as usize]
+    }
+
+    /// Looks up the handle of an already-interned name.
+    pub fn get(&self, name: &str) -> Option<NameId> {
+        self.index.get(name).copied()
+    }
+
+    /// Number of distinct interned names.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether no names have been interned.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+}
+
+impl fmt::Display for NameId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "name#{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent_and_dense() {
+        let mut i = NameInterner::new();
+        let a = i.intern("node0/gpu0/sm");
+        let b = i.intern("node0/nic");
+        let a2 = i.intern("node0/gpu0/sm");
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+        assert_eq!(a.0, 0);
+        assert_eq!(b.0, 1);
+        assert_eq!(i.len(), 2);
+    }
+
+    #[test]
+    fn handles_resolve_back_to_their_strings() {
+        let mut i = NameInterner::new();
+        let ids: Vec<NameId> = ["a", "b", "", "a/b/c"]
+            .iter()
+            .map(|s| i.intern(s))
+            .collect();
+        assert_eq!(i.resolve(ids[0]), "a");
+        assert_eq!(i.resolve(ids[2]), "");
+        assert_eq!(i.resolve(ids[3]), "a/b/c");
+        assert_eq!(i.get("a/b/c"), Some(ids[3]));
+        assert_eq!(i.get("missing"), None);
+    }
+}

@@ -34,6 +34,7 @@
 
 pub mod engine;
 pub mod fault;
+pub mod intern;
 pub mod intervals;
 pub mod metrics;
 pub mod observe;
@@ -44,6 +45,7 @@ pub mod trace;
 
 pub use engine::{Binding, Engine, EngineError, RunResult, Task, TaskCategory, TaskId, TaskRecord};
 pub use fault::{FaultEvent, FaultKind, FaultPlan};
+pub use intern::{NameId, NameInterner};
 pub use intervals::IntervalSet;
 pub use metrics::{
     BandwidthTimeline, Breakdown, ResourceTimeline, RunAnalysis, UtilizationTimeline,

@@ -172,13 +172,12 @@ impl ResourceSpec {
     }
 }
 
-/// Runtime state of a resource inside the engine: when each channel next
-/// becomes free, plus accounting of total busy time.
+/// Runtime accounting of a resource inside the engine. The per-channel
+/// next-free times live in the engine's flat channel arena, not here; this
+/// struct carries only the spec and the served-work totals.
 #[derive(Debug, Clone)]
 pub(crate) struct ResourceState {
     pub spec: ResourceSpec,
-    /// Next-free time per channel.
-    pub channel_free: Vec<SimTime>,
     /// Total busy time summed over channels.
     pub busy: SimDuration,
     /// Total work units served.
@@ -187,46 +186,54 @@ pub(crate) struct ResourceState {
     pub ops_served: u64,
 }
 
+/// Index of the channel in `channel_free` that frees up earliest (ties broken
+/// by index for determinism).
+pub(crate) fn earliest_channel(channel_free: &[SimTime]) -> usize {
+    channel_free
+        .iter()
+        .enumerate()
+        .min_by_key(|&(i, &t)| (t, i))
+        .map(|(i, _)| i)
+        .expect("resource has at least one channel")
+}
+
 impl ResourceState {
     pub fn new(spec: ResourceSpec) -> Self {
-        let channels = spec.channels;
         ResourceState {
             spec,
-            channel_free: vec![SimTime::ZERO; channels],
             busy: SimDuration::ZERO,
             work_served: 0.0,
             ops_served: 0,
         }
     }
 
-    /// Index of the channel that frees up earliest (ties broken by index for
-    /// determinism).
-    pub fn earliest_channel(&self) -> usize {
-        self.channel_free
-            .iter()
-            .enumerate()
-            .min_by_key(|&(i, &t)| (t, i))
-            .map(|(i, _)| i)
-            .expect("resource has at least one channel")
-    }
-
-    /// Dispatches an operation that became ready at `ready`, returning its
-    /// `(start, end)` interval on this resource. Tasks that queued behind a
-    /// burst are served slower per the resource's congestion model.
-    pub fn dispatch(&mut self, ready: SimTime, work: f64) -> (SimTime, SimTime) {
-        let ch = self.earliest_channel();
-        let start = ready.max(self.channel_free[ch]);
+    /// Dispatches an operation that became ready at `ready` onto the earliest
+    /// of `channel_free` (one slot per channel), returning the chosen channel
+    /// and the `(start, end)` interval. Tasks that queued behind a burst are
+    /// served slower per the resource's congestion model.
+    ///
+    /// `channel_free` is passed in rather than read from `self` so the engine
+    /// can keep every resource's channels in one flat arena and hand this
+    /// method a subslice; this struct then carries only the accounting.
+    pub fn dispatch_on(
+        &mut self,
+        channel_free: &mut [SimTime],
+        ready: SimTime,
+        work: f64,
+    ) -> (usize, SimTime, SimTime) {
+        let ch = earliest_channel(channel_free);
+        let start = ready.max(channel_free[ch]);
         let mut service = self.spec.service_time(work);
         if let Some(c) = self.spec.congestion {
             service = SimDuration::from_secs_f64(service.as_secs_f64() * c.slowdown(start - ready));
         }
         let dur = self.spec.launch_overhead + service;
         let end = start + dur;
-        self.channel_free[ch] = end;
+        channel_free[ch] = end;
         self.busy += dur;
         self.work_served += work;
         self.ops_served += 1;
-        (start, end)
+        (ch, start, end)
     }
 }
 
@@ -245,12 +252,18 @@ mod tests {
         assert_eq!(s.service_time(0.0), SimDuration::ZERO);
     }
 
+    /// Allocates the channel slice a test engine would hold for this spec.
+    fn channels_for(spec: &ResourceSpec) -> Vec<SimTime> {
+        vec![SimTime::ZERO; spec.channels]
+    }
+
     #[test]
     fn dispatch_is_fifo_on_single_channel() {
         let mut st =
             ResourceState::new(spec(1e9).with_launch_overhead(SimDuration::from_micros(10)));
-        let (s1, e1) = st.dispatch(SimTime::ZERO, 1e6); // 1 ms + 10 us
-        let (s2, e2) = st.dispatch(SimTime::ZERO, 1e6);
+        let mut free = channels_for(&st.spec);
+        let (_, s1, e1) = st.dispatch_on(&mut free, SimTime::ZERO, 1e6); // 1 ms + 10 us
+        let (_, s2, e2) = st.dispatch_on(&mut free, SimTime::ZERO, 1e6);
         assert_eq!(s1, SimTime::ZERO);
         assert_eq!(e1.as_nanos(), 1_010_000);
         assert_eq!(s2, e1, "second op waits for the channel");
@@ -261,26 +274,37 @@ mod tests {
     #[test]
     fn channels_serve_in_parallel() {
         let mut st = ResourceState::new(spec(1e9).with_channels(2));
-        let (_, e1) = st.dispatch(SimTime::ZERO, 1e6);
-        let (s2, _) = st.dispatch(SimTime::ZERO, 1e6);
+        let mut free = channels_for(&st.spec);
+        let (c1, _, e1) = st.dispatch_on(&mut free, SimTime::ZERO, 1e6);
+        let (c2, s2, _) = st.dispatch_on(&mut free, SimTime::ZERO, 1e6);
         assert_eq!(s2, SimTime::ZERO, "second channel is free");
-        let (s3, _) = st.dispatch(SimTime::ZERO, 1e6);
+        assert_ne!(c1, c2);
+        let (c3, s3, _) = st.dispatch_on(&mut free, SimTime::ZERO, 1e6);
         assert_eq!(s3, e1, "third op waits for the earliest channel");
+        assert_eq!(c3, c1);
     }
 
     #[test]
     fn dispatch_respects_ready_time() {
         let mut st = ResourceState::new(spec(1e9));
-        let (s, _) = st.dispatch(SimTime(500), 1.0);
+        let mut free = channels_for(&st.spec);
+        let (_, s, _) = st.dispatch_on(&mut free, SimTime(500), 1.0);
         assert_eq!(s, SimTime(500));
     }
 
     #[test]
     fn busy_time_accumulates() {
         let mut st = ResourceState::new(spec(1e9));
-        st.dispatch(SimTime::ZERO, 2e9);
+        let mut free = channels_for(&st.spec);
+        st.dispatch_on(&mut free, SimTime::ZERO, 2e9);
         assert_eq!(st.busy, SimDuration::from_secs_f64(2.0));
         assert_eq!(st.work_served, 2e9);
+    }
+
+    #[test]
+    fn earliest_channel_breaks_ties_by_index() {
+        assert_eq!(earliest_channel(&[SimTime(5), SimTime(3), SimTime(3)]), 1);
+        assert_eq!(earliest_channel(&[SimTime::ZERO]), 0);
     }
 
     #[test]
@@ -309,15 +333,17 @@ mod tests {
         assert!(c.slowdown(SimDuration::from_millis(100)) < 2.0);
 
         let mut st = ResourceState::new(spec(1e9).with_congestion(c));
+        let mut free = channels_for(&st.spec);
         // A burst of 3 tasks, all ready at t=0, 1 ms of work each.
-        let (_, e1) = st.dispatch(SimTime::ZERO, 1e6);
+        let (_, _, e1) = st.dispatch_on(&mut free, SimTime::ZERO, 1e6);
         assert_eq!(e1.as_nanos(), 1_000_000, "first task is uncongested");
-        let (_, e2) = st.dispatch(SimTime::ZERO, 1e6);
+        let (_, _, e2) = st.dispatch_on(&mut free, SimTime::ZERO, 1e6);
         assert!(e2.as_nanos() > 2_400_000, "queued task slows down: {e2:?}");
         // The same work paced (ready when the channel frees) stays fast.
         let mut paced = ResourceState::new(spec(1e9).with_congestion(c));
-        let (_, p1) = paced.dispatch(SimTime::ZERO, 1e6);
-        let (_, p2) = paced.dispatch(p1, 1e6);
+        let mut pfree = channels_for(&paced.spec);
+        let (_, _, p1) = paced.dispatch_on(&mut pfree, SimTime::ZERO, 1e6);
+        let (_, _, p2) = paced.dispatch_on(&mut pfree, p1, 1e6);
         assert_eq!(p2.as_nanos(), 2_000_000, "paced tasks pay no penalty");
     }
 }

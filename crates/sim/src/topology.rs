@@ -396,6 +396,16 @@ impl Cluster {
     pub fn same_machine(&self, a: usize, b: usize) -> bool {
         self.executors[a].node == self.executors[b].node
     }
+
+    /// Resource handles of every parameter-server node, flattened in
+    /// registration order. This is the precomputed handle set consumers
+    /// filter by instead of matching on `"ps<N>/..."` name prefixes.
+    pub fn server_resource_ids(&self) -> Vec<ResourceId> {
+        self.servers
+            .iter()
+            .flat_map(|s| [s.cpu, s.dram, s.nic])
+            .collect()
+    }
 }
 
 #[cfg(test)]
