@@ -28,6 +28,14 @@
 //! also writes the aggregated `picasso.analysis_suite` document, one
 //! `picasso.analysis_report` per scenario.
 //!
+//! `--races` skips the experiments and instead runs the effect-based
+//! concurrency analyzer over every perf scenario: static
+//! may-happen-in-parallel race detection on the lowered stage graph, then
+//! a trace cross-check of the declared effects against observed task
+//! overlap across several seeded runs; `--races-json PATH` (which implies
+//! `--races`) also writes the aggregated `picasso.race_suite` document.
+//! Exit 4 when a static race or an undeclared overlap is found.
+//!
 //! `--fault-plan SPEC` (and/or `--ckpt-dir DIR`) switches to the
 //! crash-and-recover mode: the real trainer runs once uninterrupted and
 //! once under the fault plan with checkpointing against `--ckpt-dir`
@@ -58,9 +66,9 @@
 //! export confirmations.
 
 use picasso_bench::recovery::run_scenario;
-use picasso_bench::scenarios::{analysis_scenarios, recovery_scenarios};
+use picasso_bench::scenarios::{analysis_scenarios, race_scenarios, recovery_scenarios};
 use picasso_bench::snapshot::{lint_suite, BenchSnapshot};
-use picasso_bench::{analysis, observatory};
+use picasso_bench::{analysis, observatory, races};
 use picasso_core::exec::{flight_record, lint_flight, lint_recovery};
 use picasso_core::exec::{ModelKind, RunArtifacts, WarmupConfig};
 use picasso_core::experiments::{
@@ -83,7 +91,8 @@ USAGE:
     repro <experiment|all> [quick|full]
           [--trace-out PATH] [--metrics-out PATH] [--report-json PATH]
           [--flight-out PATH] [--lint] [--lint-json PATH]
-          [--analyze] [--analyze-json PATH] [--quiet]
+          [--analyze] [--analyze-json PATH]
+          [--races] [--races-json PATH] [--quiet]
     repro --fault-plan SPEC [--ckpt-dir DIR] [--ckpt-every N]
           [--report-json PATH] [--trace-out PATH] [--flight-out PATH]
           [--quiet]
@@ -108,6 +117,13 @@ FLAGS:
                         path, achieved vs planned overlap, and idle gaps.
     --analyze-json PATH Also write the aggregated analysis-suite document
                         (implies --analyze).
+    --races             Effect-based concurrency analysis: static MHP race
+                        detection over every scenario's stage graph plus a
+                        trace cross-check of declared effects against
+                        observed overlap; exit 4 on a race or an
+                        undeclared overlap.
+    --races-json PATH   Also write the aggregated race-suite document
+                        (implies --races).
     --fault-plan SPEC   Crash-and-recover mode: train under this fault
                         plan (e.g. \"seed=41;crash@13\") and verify the
                         recovered run is bit-identical to an uninterrupted
@@ -149,6 +165,8 @@ struct Cli {
     lint_json: Option<String>,
     analyze: bool,
     analyze_json: Option<String>,
+    races: bool,
+    races_json: Option<String>,
     fault_plan: Option<String>,
     ckpt_dir: Option<String>,
     ckpt_every: Option<u64>,
@@ -169,6 +187,8 @@ fn parse_args() -> Cli {
         lint_json: None,
         analyze: false,
         analyze_json: None,
+        races: false,
+        races_json: None,
         fault_plan: None,
         ckpt_dir: None,
         ckpt_every: None,
@@ -197,6 +217,11 @@ fn parse_args() -> Cli {
             "--analyze-json" => {
                 cli.analyze = true;
                 cli.analyze_json = Some(value("--analyze-json"));
+            }
+            "--races" => cli.races = true,
+            "--races-json" => {
+                cli.races = true;
+                cli.races_json = Some(value("--races-json"));
             }
             "--fault-plan" => cli.fault_plan = Some(value("--fault-plan")),
             "--ckpt-dir" => cli.ckpt_dir = Some(value("--ckpt-dir")),
@@ -317,6 +342,45 @@ fn analyze_mode(cli: &Cli) -> ! {
         );
     }
     std::process::exit(0);
+}
+
+/// `--races` mode: run the effect-based concurrency analyzer over every
+/// perf scenario — static MHP races on the lowered stage graph, then the
+/// trace cross-check over seeded runs — print the summary, optionally
+/// export the aggregated suite document, and exit — 4 when any scenario
+/// has a static race or an undeclared observed overlap, 0 otherwise.
+fn races_mode(cli: &Cli) -> ! {
+    let mut outcomes = Vec::new();
+    for sc in race_scenarios() {
+        let t0 = Instant::now();
+        let outcome = races::run_scenario(&sc);
+        if !cli.quiet {
+            println!(
+                "  [{} race-checked in {:.1}s]",
+                outcome.scenario,
+                t0.elapsed().as_secs_f64()
+            );
+        }
+        outcomes.push(outcome);
+    }
+    for o in &outcomes {
+        for d in &o.diagnostics {
+            eprintln!("{d}");
+        }
+    }
+    println!("{}", races::summary_table(&outcomes));
+    if let Some(path) = &cli.races_json {
+        write(
+            path,
+            "race suite report",
+            &(races::suite_report_json(&outcomes).to_json() + "\n"),
+        );
+    }
+    std::process::exit(if outcomes.iter().all(races::RaceOutcome::is_clean) {
+        0
+    } else {
+        4
+    });
 }
 
 /// `--history-dir` mode: the cross-run observatory. Dispatches on the
@@ -505,6 +569,9 @@ fn main() {
     }
     if cli.analyze {
         analyze_mode(&cli);
+    }
+    if cli.races {
+        races_mode(&cli);
     }
     if cli.ckpt_every.is_some() && cli.ckpt_dir.is_none() && cli.fault_plan.is_none() {
         eprintln!("--ckpt-every needs --ckpt-dir or --fault-plan\n\n{USAGE}");

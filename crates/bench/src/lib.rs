@@ -16,6 +16,7 @@
 
 pub mod analysis;
 pub mod observatory;
+pub mod races;
 pub mod recovery;
 pub mod scenarios;
 pub mod snapshot;

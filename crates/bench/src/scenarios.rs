@@ -7,8 +7,10 @@
 //! [`crate::recovery::run_scenario`]. The observatory adds two more
 //! lists: [`flight_scenarios`] (the perf suite tapped through the flight
 //! recorder) and [`history_scenarios`] (pinned synthetic series for the
-//! cross-run change-point detector). Adding a scenario in one consumer
-//! but not the others is therefore impossible by construction.
+//! cross-run change-point detector). The race analyzer wraps the perf
+//! suite once more as [`race_scenarios`] (`repro --races`). Adding a
+//! scenario in one consumer but not the others is therefore impossible by
+//! construction.
 //!
 //! The perf scenario names and order are pinned by the committed
 //! `BENCH_<n>.json` baselines (the gate compares by name and the
@@ -66,6 +68,19 @@ pub struct FlightScenario {
     /// Stable scenario name (`flt_` + the wrapped perf scenario's name).
     pub name: String,
     /// The perf scenario whose simulation gets tapped.
+    pub perf: Scenario,
+}
+
+/// One race-analysis scenario: a perf scenario whose stage graph is
+/// checked for may-happen-in-parallel effect conflicts and whose executed
+/// traces (several seeded runs) verify the declared effects against
+/// observed task overlap. Wrapping the perf scenario keeps the lists
+/// consistent by construction, exactly like [`AnalysisScenario`].
+#[derive(Debug, Clone)]
+pub struct RaceScenario {
+    /// Stable scenario name (`race_` + the wrapped perf scenario's name).
+    pub name: String,
+    /// The perf scenario whose lowering and traces get race-checked.
     pub perf: Scenario,
 }
 
@@ -165,6 +180,20 @@ pub fn flight_scenarios() -> Vec<FlightScenario> {
         .collect()
 }
 
+/// The race-analysis suite: every perf scenario, race-checked. Deriving
+/// the list from [`perf_scenarios`] mirrors [`analysis_scenarios`]: the
+/// effect annotations must hold (zero findings) on exactly the lowerings
+/// the perf gate runs.
+pub fn race_scenarios() -> Vec<RaceScenario> {
+    perf_scenarios()
+        .into_iter()
+        .map(|sc| RaceScenario {
+            name: format!("race_{}", sc.name),
+            perf: sc,
+        })
+        .collect()
+}
+
 /// The run-history suite: pinned synthetic series covering the three
 /// regimes the observatory must separate — a clean flat history (silent),
 /// a sustained step regression (fires up), and a sustained improvement
@@ -238,6 +267,7 @@ mod tests {
         names.extend(recovery_scenarios().into_iter().map(|s| s.name));
         names.extend(analysis_scenarios().into_iter().map(|s| s.name));
         names.extend(flight_scenarios().into_iter().map(|s| s.name));
+        names.extend(race_scenarios().into_iter().map(|s| s.name));
         names.extend(history_scenarios().into_iter().map(|s| s.name));
         let mut dedup = names.clone();
         dedup.sort();
@@ -264,6 +294,17 @@ mod tests {
         for (f, p) in flt.iter().zip(&perf) {
             assert_eq!(f.name, format!("flt_{}", p.name));
             assert_eq!(f.perf.name, p.name);
+        }
+    }
+
+    #[test]
+    fn race_scenarios_wrap_every_perf_scenario() {
+        let race = race_scenarios();
+        let perf = perf_scenarios();
+        assert_eq!(race.len(), perf.len());
+        for (r, p) in race.iter().zip(&perf) {
+            assert_eq!(r.name, format!("race_{}", p.name));
+            assert_eq!(r.perf.name, p.name);
         }
     }
 

@@ -10,10 +10,12 @@
 //! can never perturb scheduling.
 
 use crate::scheduler::SimulationOutput;
-use picasso_lint::{Diagnostic, LintReport, Severity, Span};
+use picasso_lint::effects::{conflicts, ConflictKind, RaceAllowlist, RaceSig};
+use picasso_lint::{Diagnostic, EffectSet, LintReport, Severity, Span, StaticRace};
 use picasso_obs::analysis::{DagAnalysis, DagNode, ExecutedDag, PairSpec, PlannedInterleaving};
 use picasso_obs::json::Json;
 use picasso_obs::metrics::{MetricKind, MetricsRegistry};
+use std::collections::BTreeSet;
 
 /// Schema version of the `picasso.analysis_report` document.
 pub const ANALYSIS_REPORT_SCHEMA_VERSION: u32 = 1;
@@ -238,6 +240,203 @@ pub fn analysis_report_json(
     ])
 }
 
+// ----------------------------------------------------------------------
+// Trace cross-check: declared effects vs observed overlap.
+// ----------------------------------------------------------------------
+
+/// Seeded runs per scenario in the race cross-check (`repro --races`).
+pub const RACE_CHECK_RUNS: usize = 3;
+
+/// One observed conflicting overlap in an executed trace: two tasks whose
+/// wall-clock intervals intersected and whose declared effects conflict.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ObservedOverlap {
+    /// The order-independent conflict signature (rule, resource, op pair).
+    pub sig: RaceSig,
+    /// Engine task ids of the overlapping pair.
+    pub tasks: (u64, u64),
+    /// Iteration the pair ran in.
+    pub iteration: usize,
+    /// Executor the pair ran on.
+    pub executor: usize,
+}
+
+/// One effectful task with its schedule-scope labels and observed
+/// interval, extracted from the causal log + engine trace.
+#[derive(Debug, Clone)]
+struct EffectfulTask {
+    id: u64,
+    iteration: usize,
+    executor: usize,
+    micro: Option<usize>,
+    start_ns: u64,
+    end_ns: u64,
+    kind: String,
+    effects: EffectSet,
+}
+
+/// The pairwise core, separated from trace extraction for testability:
+/// flags every pair on the same (iteration, executor) that overlaps in
+/// time, is not split across two *different* micro-batch windows, and
+/// declares conflicting effects.
+///
+/// The micro-batch exclusion mirrors what the static stage graph models
+/// (one executor, one iteration, the first micro-batch): cross-micro
+/// overlap of commutative scatters is the *point* of D-interleaving and
+/// is already classified benign statically, so comparing across micro
+/// windows would only manufacture signatures the static side can never
+/// declare.
+fn conflicts_among(tasks: &[EffectfulTask], allow: &RaceAllowlist) -> Vec<ObservedOverlap> {
+    let mut out = Vec::new();
+    for (i, a) in tasks.iter().enumerate() {
+        for b in &tasks[i + 1..] {
+            if a.iteration != b.iteration || a.executor != b.executor {
+                continue;
+            }
+            if let (Some(ma), Some(mb)) = (a.micro, b.micro) {
+                if ma != mb {
+                    continue;
+                }
+            }
+            // Strict interval intersection: touching endpoints are ordered.
+            if a.start_ns >= b.end_ns || b.start_ns >= a.end_ns {
+                continue;
+            }
+            for c in conflicts(&a.effects, &b.effects, allow) {
+                out.push(ObservedOverlap {
+                    sig: RaceSig::new(c.kind.rule_id(), &c.resource, &a.kind, &b.kind),
+                    tasks: (a.id, b.id),
+                    iteration: a.iteration,
+                    executor: a.executor,
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Extracts every conflicting observed overlap from a finished run, under
+/// the default commutative allowlist.
+pub fn observed_conflicts(out: &SimulationOutput) -> Vec<ObservedOverlap> {
+    // Label every task id with its (iteration, executor, micro) scope.
+    let n = out.result.records.len();
+    let mut labels: Vec<Option<(usize, usize, Option<usize>)>> = vec![None; n];
+    for it in &out.scopes.iterations {
+        for ex in &it.executors {
+            labels[ex.range.start..ex.range.end.min(n)]
+                .fill(Some((it.index, ex.executor, None)));
+            for m in &ex.micro_batches {
+                labels[m.range.start..m.range.end.min(n)]
+                    .fill(Some((it.index, ex.executor, Some(m.index))));
+            }
+        }
+    }
+    let tasks: Vec<EffectfulTask> = out
+        .causal
+        .iter()
+        .filter(|st| !st.effects.is_empty())
+        .filter_map(|st| {
+            let (iteration, executor, micro) = labels[st.task.0]?;
+            let rec = &out.result.records[st.task.0];
+            Some(EffectfulTask {
+                id: st.task.0 as u64,
+                iteration,
+                executor,
+                micro,
+                start_ns: rec.start.as_nanos(),
+                end_ns: rec.end.as_nanos(),
+                kind: format!("{:?}", st.kind),
+                effects: st.effects.clone(),
+            })
+        })
+        .collect();
+    conflicts_among(&tasks, &RaceAllowlist::default())
+}
+
+/// Verifies declared effects against executed traces:
+///
+/// * `race.undeclared-overlap` (error) — an observed conflicting overlap
+///   whose signature the static race set does not contain: the effect
+///   annotations no longer predict what actually ran.
+/// * `race.mhp-imprecision` (info) — a statically-flagged conflicting
+///   pair that never overlapped in *any* of the seeded runs: the static
+///   relation is missing a modeled ordering edge.
+pub fn crosscheck_races(
+    static_races: &[StaticRace],
+    observed_per_run: &[Vec<ObservedOverlap>],
+) -> Vec<Diagnostic> {
+    let static_sigs: BTreeSet<&RaceSig> = static_races.iter().map(|r| &r.sig).collect();
+    let mut diags = Vec::new();
+    // Undeclared overlaps, deduplicated by signature across runs.
+    let mut reported: BTreeSet<&RaceSig> = BTreeSet::new();
+    for (run, observed) in observed_per_run.iter().enumerate() {
+        for o in observed {
+            if static_sigs.contains(&o.sig) || !reported.insert(&o.sig) {
+                continue;
+            }
+            diags.push(
+                Diagnostic::new(
+                    "race.undeclared-overlap",
+                    Severity::Error,
+                    Span::Run(o.sig.resource.clone()),
+                    format!(
+                        "run {run} observed `{}` overlapping `{}` on {} (tasks {} and {}, \
+                         iteration {}, executor {}) but the static race set does not declare \
+                         this conflict",
+                        o.sig.ops.0,
+                        o.sig.ops.1,
+                        o.sig.resource,
+                        o.tasks.0,
+                        o.tasks.1,
+                        o.iteration,
+                        o.executor,
+                    ),
+                )
+                .with_hint(
+                    "the effect derivation table no longer predicts the lowering; update \
+                     stage_effects (or add the missing ordering edge)",
+                ),
+            );
+        }
+    }
+    // Static pairs that never manifested.
+    let observed_sigs: BTreeSet<&RaceSig> =
+        observed_per_run.iter().flatten().map(|o| &o.sig).collect();
+    let mut flagged: BTreeSet<&RaceSig> = BTreeSet::new();
+    for race in static_races {
+        if observed_sigs.contains(&race.sig) || !flagged.insert(&race.sig) {
+            continue;
+        }
+        // Hard races abort before scheduling, so "never observed" is only
+        // meaningful evidence of imprecision for pairs a run can execute.
+        let severity = Severity::Info;
+        diags.push(
+            Diagnostic::new(
+                "race.mhp-imprecision",
+                severity,
+                Span::Stage(race.labels.0.clone()),
+                format!(
+                    "statically-MHP pair `{}` / `{}` ({} on {}) never overlapped in {} seeded \
+                     run(s)",
+                    race.labels.0,
+                    race.labels.1,
+                    match race.conflict.kind {
+                        ConflictKind::BenignCommutative => "benign reduce-add pair",
+                        _ => "conflict",
+                    },
+                    race.sig.resource,
+                    observed_per_run.len(),
+                ),
+            )
+            .with_hint(
+                "the schedule orders this pair in practice; model the missing edge in the \
+                 stage graph to shrink the MHP relation",
+            ),
+        );
+    }
+    diags
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -429,5 +628,252 @@ mod tests {
         let a1 = dag.analyze(&overlap_pairs(), unplanned);
         let d1 = lint_analysis(&dag, &a1, unplanned);
         assert!(!d1.iter().any(|d| d.rule == "run.low-overlap"));
+    }
+
+    // ------------------------------------------------------------------
+    // Trace cross-check.
+    // ------------------------------------------------------------------
+
+    use picasso_lint::{Resource, ResourceKind};
+
+    fn task(
+        id: u64,
+        micro: Option<usize>,
+        span: (u64, u64),
+        kind: &str,
+        effects: EffectSet,
+    ) -> EffectfulTask {
+        EffectfulTask {
+            id,
+            iteration: 0,
+            executor: 0,
+            micro,
+            start_ns: span.0,
+            end_ns: span.1,
+            kind: kind.into(),
+            effects,
+        }
+    }
+
+    fn cache(key: &str) -> Resource {
+        Resource::new(ResourceKind::CacheHot, key)
+    }
+
+    #[test]
+    fn conflicting_overlap_in_the_same_micro_window_is_observed() {
+        let tasks = vec![
+            task(
+                0,
+                Some(0),
+                (0, 10),
+                "CacheRefresh",
+                EffectSet::empty().write(cache("c0")),
+            ),
+            task(
+                1,
+                Some(0),
+                (5, 15),
+                "EmbeddingScatter",
+                EffectSet::empty().write(cache("c0")),
+            ),
+        ];
+        let obs = conflicts_among(&tasks, &RaceAllowlist::default());
+        assert_eq!(obs.len(), 1);
+        assert_eq!(obs[0].sig.rule, "race.write-write");
+        assert_eq!(obs[0].sig.resource, "cache:c0");
+        assert_eq!(obs[0].tasks, (0, 1));
+    }
+
+    #[test]
+    fn overlap_split_across_micro_windows_is_not_comparable() {
+        // Cross-micro scatter overlap is the point of D-interleaving; the
+        // static graph models one micro-batch, so the pair is skipped.
+        let tasks = vec![
+            task(
+                0,
+                Some(0),
+                (0, 10),
+                "EmbeddingScatter",
+                EffectSet::empty().write(cache("c0")),
+            ),
+            task(
+                1,
+                Some(1),
+                (5, 15),
+                "EmbeddingScatter",
+                EffectSet::empty().write(cache("c0")),
+            ),
+        ];
+        assert!(conflicts_among(&tasks, &RaceAllowlist::default()).is_empty());
+        // But a task outside any micro window compares against both.
+        let tasks = vec![
+            task(
+                0,
+                None,
+                (0, 10),
+                "CacheRefresh",
+                EffectSet::empty().write(cache("c0")),
+            ),
+            task(
+                1,
+                Some(1),
+                (5, 15),
+                "EmbeddingScatter",
+                EffectSet::empty().write(cache("c0")),
+            ),
+        ];
+        assert_eq!(conflicts_among(&tasks, &RaceAllowlist::default()).len(), 1);
+    }
+
+    #[test]
+    fn disjoint_intervals_and_disjoint_resources_are_silent() {
+        // Touching endpoints are ordered, not overlapping.
+        let tasks = vec![
+            task(
+                0,
+                None,
+                (0, 10),
+                "CacheRefresh",
+                EffectSet::empty().write(cache("c0")),
+            ),
+            task(
+                1,
+                None,
+                (10, 20),
+                "EmbeddingScatter",
+                EffectSet::empty().write(cache("c0")),
+            ),
+            task(
+                2,
+                None,
+                (0, 20),
+                "CacheRefresh",
+                EffectSet::empty().write(cache("c1")),
+            ),
+        ];
+        assert!(conflicts_among(&tasks, &RaceAllowlist::default()).is_empty());
+    }
+
+    #[test]
+    fn undeclared_overlap_is_a_hard_error_and_dedups_across_runs() {
+        let o = ObservedOverlap {
+            sig: RaceSig::new(
+                "race.write-write",
+                &cache("c0"),
+                "CacheRefresh",
+                "EmbeddingScatter",
+            ),
+            tasks: (3, 7),
+            iteration: 0,
+            executor: 1,
+        };
+        // The same signature observed in every run reports once.
+        let diags = crosscheck_races(&[], &[vec![o.clone()], vec![o.clone()], vec![o]]);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].rule, "race.undeclared-overlap");
+        assert_eq!(diags[0].severity, Severity::Error);
+        assert_eq!(diags[0].span, Span::Run("cache:c0".into()));
+    }
+
+    #[test]
+    fn statically_declared_overlap_is_not_undeclared() {
+        let sig = RaceSig::new(
+            "race.benign-commutative",
+            &cache("c0"),
+            "EmbeddingScatter",
+            "EmbeddingScatter",
+        );
+        let races = vec![StaticRace {
+            a: 0,
+            b: 1,
+            labels: ("chain0/bwd".into(), "chain0/bwd2".into()),
+            conflict: picasso_lint::effects::Conflict {
+                kind: ConflictKind::BenignCommutative,
+                resource: cache("c0"),
+                modes: (
+                    picasso_lint::AccessMode::ReduceAdd,
+                    picasso_lint::AccessMode::ReduceAdd,
+                ),
+            },
+            sig: sig.clone(),
+        }];
+        let observed = vec![vec![ObservedOverlap {
+            sig,
+            tasks: (1, 2),
+            iteration: 0,
+            executor: 0,
+        }]];
+        let diags = crosscheck_races(&races, &observed);
+        assert!(
+            diags.is_empty(),
+            "declared + observed pair must be silent: {diags:?}"
+        );
+    }
+
+    #[test]
+    fn never_observed_static_pair_reports_mhp_imprecision() {
+        let sig = RaceSig::new(
+            "race.benign-commutative",
+            &cache("c0"),
+            "EmbeddingScatter",
+            "EmbeddingScatter",
+        );
+        let races = vec![StaticRace {
+            a: 0,
+            b: 1,
+            labels: ("chain0/bwd".into(), "chain0/bwd2".into()),
+            conflict: picasso_lint::effects::Conflict {
+                kind: ConflictKind::BenignCommutative,
+                resource: cache("c0"),
+                modes: (
+                    picasso_lint::AccessMode::ReduceAdd,
+                    picasso_lint::AccessMode::ReduceAdd,
+                ),
+            },
+            sig,
+        }];
+        let diags = crosscheck_races(&races, &[vec![], vec![], vec![]]);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].rule, "race.mhp-imprecision");
+        assert_eq!(diags[0].severity, Severity::Info);
+    }
+
+    #[test]
+    fn crosscheck_is_clean_on_a_real_hybrid_run() {
+        // The closed loop on a real lowering: the static race set of the
+        // Hybrid DLRM graph is empty, and no executed trace may contain a
+        // conflicting overlap the static side failed to declare.
+        let data = DatasetSpec::criteo();
+        let mut spec = ModelKind::Dlrm.build(&data);
+        spec.micro_batches = 2;
+        for chain in &mut spec.chains {
+            chain.cache_hit_ratio = 0.5; // exercise the hot-cache effects
+        }
+        let cfg = SimConfig {
+            batch_per_executor: 1024,
+            iterations: 2,
+            machines: 2,
+            machine: MachineSpec::eflops(),
+            quantized_comm: false,
+        };
+        let g = crate::lint::stage_graph(&spec, Strategy::Hybrid, &cfg);
+        let races = g.static_races();
+        assert!(
+            races.is_empty(),
+            "hybrid lowering must be race-free: {races:?}"
+        );
+        let mut observed = Vec::new();
+        for _ in 0..2 {
+            let out = simulate(&spec, Strategy::Hybrid, &cfg).unwrap();
+            observed.push(observed_conflicts(&out));
+        }
+        for (run, obs) in observed.iter().enumerate() {
+            assert!(
+                obs.is_empty(),
+                "run {run} observed undeclared conflicting overlap: {obs:?}"
+            );
+        }
+        let diags = crosscheck_races(&races, &observed);
+        assert!(diags.is_empty(), "cross-check must be silent: {diags:?}");
     }
 }

@@ -34,15 +34,16 @@ pub mod trainer;
 pub mod warmup;
 
 pub use analysis::{
-    analysis_report_json, analyze_run, executed_dag, export_analysis_metrics, lint_analysis,
-    overlap_pairs,
+    analysis_report_json, analyze_run, crosscheck_races, executed_dag, export_analysis_metrics,
+    lint_analysis, observed_conflicts, overlap_pairs, ObservedOverlap, RACE_CHECK_RUNS,
 };
 pub use calibration::{CalibrationReport, CalibrationStats, CostRecord};
 pub use framework::{Framework, Optimizations};
 pub use lint::{stage_graph, stage_lints};
 pub use observe::{chrome_trace, flight_record, span_tracer, ScheduleScopes, TaskRange};
 pub use picasso_graph::{Diagnostic, LintReport, PassId, PipelineConfig, PipelineError, Severity};
-pub use picasso_lint::{StageEdge, StageFusion, StageGraph, StageNode};
+pub use picasso_lint::effects::RaceSig;
+pub use picasso_lint::{StageEdge, StageFusion, StageGraph, StageNode, StaticRace};
 pub use picasso_models::ModelKind;
 pub use recovery::{
     lint_flight, lint_recovery, run_recovery, CkptRecord, RecoveryEvent, RecoveryOptions,

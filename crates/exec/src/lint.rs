@@ -15,7 +15,10 @@ use crate::costs::{self, PlanContext, ResTarget, StageTask};
 use crate::scheduler::{split_batch, SimConfig};
 use crate::strategy::Strategy;
 use picasso_graph::{OpKind, WdlSpec};
-use picasso_lint::{Diagnostic, Severity, Span, StageFusion, StageGraph, StageNode};
+use picasso_lint::{
+    Diagnostic, EffectSet, Resource, ResourceKind, Severity, Span, StageFusion, StageGraph,
+    StageNode,
+};
 
 /// Resource class (the vocabulary of `stage.cross-class-fusion`) a stage
 /// target is bound by.
@@ -30,7 +33,7 @@ fn class_of(target: ResTarget) -> &'static str {
     }
 }
 
-fn node_of(label: String, st: &StageTask) -> StageNode {
+fn node_of(label: String, st: &StageTask, scope: EffectScope) -> StageNode {
     StageNode::new(
         &label,
         &format!("{:?}", st.kind),
@@ -38,6 +41,116 @@ fn node_of(label: String, st: &StageTask) -> StageNode {
         st.work,
         st.launches,
     )
+    .with_effects(stage_effects(st.kind, st.target, scope))
+}
+
+/// The namespace a stage's effects resolve their resource keys in:
+/// an embedding chain (one Eq. 1 packed shard, cache, dirty set, and
+/// collective buffer per chain) or the shared dense tower.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EffectScope {
+    /// I/O and barrier stages: no chain or tower attribution.
+    Io,
+    /// Embedding chain `ci` (Eq. 1 packed shard).
+    Chain(usize),
+    /// The shared dense tower (interaction modules + MLP + optimizer).
+    Dense,
+}
+
+impl EffectScope {
+    fn key(self) -> String {
+        match self {
+            EffectScope::Io => "in".to_string(),
+            EffectScope::Chain(ci) => format!("c{ci}"),
+            EffectScope::Dense => "dense".to_string(),
+        }
+    }
+}
+
+/// Mechanical effect derivation: the declared effect set of one lowered
+/// stage, from its op kind, hardware target, and scope. This is the
+/// *only* source of effect annotations — they are never hand-written —
+/// so the race rules check the lowering itself, and the trace
+/// cross-check ([`crate::analysis::crosscheck_races`]) verifies this
+/// table against observed overlap.
+///
+/// Per-micro-batch scratch ops (unique/partition/stitch/segment-reduce,
+/// H2D staging) touch only private buffers and derive the empty set.
+pub fn stage_effects(kind: OpKind, target: ResTarget, scope: EffectScope) -> EffectSet {
+    let key = scope.key();
+    let res = |k: ResourceKind| Resource::new(k, key.clone());
+    match kind {
+        OpKind::DataLoad => EffectSet::empty().read(Resource::new(ResourceKind::InputStream, "in")),
+        OpKind::Gather => match target {
+            // HybridHash hot rows served from device memory.
+            ResTarget::GpuMem => EffectSet::empty().read(res(ResourceKind::CacheHot)),
+            _ => EffectSet::empty().read(res(ResourceKind::EmbeddingShard)),
+        },
+        OpKind::EmbeddingScatter => {
+            let store = match target {
+                ResTarget::GpuMem => ResourceKind::CacheHot,
+                _ => ResourceKind::EmbeddingShard,
+            };
+            EffectSet::empty()
+                .reduce(res(store))
+                .reduce(res(ResourceKind::CkptDirty))
+        }
+        OpKind::Shuffle
+        | OpKind::ShuffleStitch
+        | OpKind::AllToAll
+        | OpKind::AllReduce
+        | OpKind::PsPull
+        | OpKind::PsPush => EffectSet::empty().write(res(ResourceKind::CollectiveBuffer)),
+        OpKind::InteractionCompute | OpKind::MlpCompute => {
+            EffectSet::empty().read(Resource::new(ResourceKind::DenseParams, "dense"))
+        }
+        OpKind::OptimizerApply => EffectSet::empty()
+            .write(Resource::new(ResourceKind::DenseParams, "dense"))
+            .write(Resource::new(ResourceKind::OptimizerState, "dense")),
+        OpKind::Preprocess
+        | OpKind::Unique
+        | OpKind::Partition
+        | OpKind::UniquePartition
+        | OpKind::Stitch
+        | OpKind::SegmentReduce
+        | OpKind::HostToDevice
+        | OpKind::Sync => EffectSet::empty(),
+    }
+}
+
+/// Test/fixture hook for the race analyzer: appends a HybridHash
+/// hot-storage refresh stage for chain `ci` to an already-built graph.
+/// The refresh *writes* `cache:c<ci>`, so it must be ordered against the
+/// chain's device-memory gradient scatter; passing `ordered = false`
+/// deliberately drops exactly that edge, seeding the race the analyzer
+/// is required to find. Returns `None` when the chain has no
+/// device-memory scatter (no cache hits configured).
+pub fn inject_cache_refresh(g: &mut StageGraph, ci: usize, ordered: bool) -> Option<usize> {
+    let scatter = g.nodes.iter().position(|n| {
+        n.label.starts_with(&format!("chain{ci}/b"))
+            && n.kind == "EmbeddingScatter"
+            && n.class == "device_memory"
+    })?;
+    let entry = g.nodes.iter().position(|n| n.entry).unwrap_or(0);
+    let refresh = g.push(
+        StageNode::new(
+            &format!("cache{ci}/refresh"),
+            "CacheRefresh",
+            "device_memory",
+            1.0,
+            1,
+        )
+        .with_effects(
+            EffectSet::empty().write(Resource::new(ResourceKind::CacheHot, format!("c{ci}"))),
+        ),
+    );
+    // Reachability is kept either way; only the ordering edge against the
+    // scatter is at stake.
+    g.dep(entry, refresh);
+    if ordered {
+        g.dep(scatter, refresh);
+    }
+    Some(refresh)
 }
 
 /// Lowers `spec` into the analyzable stage graph (one executor, one
@@ -104,7 +217,12 @@ pub fn stage_graph(spec: &WdlSpec, strategy: Strategy, cfg: &SimConfig) -> Stage
             cfg.batch_per_executor as f64 * spec.io_bytes_per_instance / costs::NET_EFF,
             OpKind::DataLoad.micro_ops(),
         )
-        .entry(),
+        .entry()
+        .with_effects(stage_effects(
+            OpKind::DataLoad,
+            ResTarget::Nic,
+            EffectScope::Io,
+        )),
     );
 
     // Embedding forward, group by group, with the Fig. 8c comm gate.
@@ -120,7 +238,11 @@ pub fn stage_graph(spec: &WdlSpec, strategy: Strategy, cfg: &SimConfig) -> Stage
             let mut fused_shuffle: Vec<usize> = Vec::new();
             let mut prev: Option<usize> = None;
             for (si, st) in stages.iter().enumerate() {
-                let node = g.push(node_of(format!("chain{ci}/f{si}"), st));
+                let node = g.push(node_of(
+                    format!("chain{ci}/f{si}"),
+                    st,
+                    EffectScope::Chain(ci),
+                ));
                 match prev {
                     Some(p) => g.dep(p, node),
                     None => g.dep(load, node),
@@ -177,6 +299,7 @@ pub fn stage_graph(spec: &WdlSpec, strategy: Strategy, cfg: &SimConfig) -> Stage
         let node = g.push(node_of(
             format!("module{mi}/fwd"),
             &costs::module_forward(module, b),
+            EffectScope::Dense,
         ));
         let deps: Vec<usize> = module_chains[mi]
             .iter()
@@ -192,7 +315,11 @@ pub fn stage_graph(spec: &WdlSpec, strategy: Strategy, cfg: &SimConfig) -> Stage
     }
 
     // MLP forward + backward.
-    let fwd = g.push(node_of("mlp/fwd".into(), &costs::mlp_forward(&spec.mlp, b)));
+    let fwd = g.push(node_of(
+        "mlp/fwd".into(),
+        &costs::mlp_forward(&spec.mlp, b),
+        EffectScope::Dense,
+    ));
     if module_fwd.is_empty() {
         let lasts: Vec<usize> = chain_last.iter().filter_map(|&t| t).collect();
         if lasts.is_empty() {
@@ -209,6 +336,7 @@ pub fn stage_graph(spec: &WdlSpec, strategy: Strategy, cfg: &SimConfig) -> Stage
     let bwd = g.push(node_of(
         "mlp/bwd".into(),
         &costs::mlp_backward(&spec.mlp, b),
+        EffectScope::Dense,
     ));
     g.dep(fwd, bwd);
 
@@ -218,6 +346,7 @@ pub fn stage_graph(spec: &WdlSpec, strategy: Strategy, cfg: &SimConfig) -> Stage
         let node = g.push(node_of(
             format!("module{mi}/bwd"),
             &costs::module_backward(module, b),
+            EffectScope::Dense,
         ));
         g.dep(bwd, node);
         module_bwd.push(node);
@@ -236,7 +365,11 @@ pub fn stage_graph(spec: &WdlSpec, strategy: Strategy, cfg: &SimConfig) -> Stage
         };
         let mut prev: Option<usize> = None;
         for (si, st) in costs::chain_backward(chain, b, &ctx).iter().enumerate() {
-            let node = g.push(node_of(format!("chain{ci}/b{si}"), st));
+            let node = g.push(node_of(
+                format!("chain{ci}/b{si}"),
+                st,
+                EffectScope::Chain(ci),
+            ));
             match prev {
                 Some(p) => g.dep(p, node),
                 None => {
@@ -274,7 +407,7 @@ pub fn stage_graph(spec: &WdlSpec, strategy: Strategy, cfg: &SimConfig) -> Stage
         .iter()
         .enumerate()
     {
-        let node = g.push(node_of(format!("sync/{si}"), st));
+        let node = g.push(node_of(format!("sync/{si}"), st, EffectScope::Dense));
         match prev {
             Some(p) => g.dep(p, node),
             None => {
@@ -384,6 +517,45 @@ mod tests {
             let diags = stage_lints(&spec, strategy, &cfg());
             assert!(diags.is_empty(), "{strategy:?}: {diags:?}");
         }
+    }
+
+    #[test]
+    fn injected_unordered_cache_refresh_is_a_write_write_race() {
+        // The seeded-race fixture: a cache-refresh stage that writes the
+        // same hot storage as chain 0's gradient scatter. With the
+        // ordering edge the graph is clean; dropping it must surface a
+        // `race.write-write` error on exactly that resource.
+        let data = DatasetSpec::criteo();
+        let mut spec = ModelKind::Dlrm.build(&data);
+        for c in &mut spec.chains {
+            c.cache_hit_ratio = 0.5; // materialize the GpuMem scatter
+        }
+        let mut g = stage_graph(&spec, Strategy::Hybrid, &cfg());
+        inject_cache_refresh(&mut g, 0, true).expect("hot scatter present");
+        assert!(g.static_races().is_empty(), "ordered refresh must be clean");
+        assert!(g.analyze().is_empty());
+
+        let mut g = stage_graph(&spec, Strategy::Hybrid, &cfg());
+        inject_cache_refresh(&mut g, 0, false).expect("hot scatter present");
+        let races = g.static_races();
+        // The free-floating refresh races the gradient scatter (write-write)
+        // and the forward hot gather (read after unordered write).
+        let ww = races
+            .iter()
+            .find(|r| r.sig.rule == "race.write-write")
+            .expect("scatter/refresh write-write race");
+        assert_eq!(ww.sig.resource, "cache:c0");
+        assert!(ww.labels.0.contains("chain0") || ww.labels.1.contains("chain0"));
+        assert!(races
+            .iter()
+            .all(|r| r.sig.resource == "cache:c0" && r.labels.1 == "cache0/refresh"));
+        let diags = g.analyze();
+        assert!(
+            diags
+                .iter()
+                .any(|d| d.rule == "race.write-write" && d.severity == Severity::Error),
+            "{diags:?}"
+        );
     }
 
     #[test]

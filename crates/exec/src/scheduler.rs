@@ -15,9 +15,11 @@
 
 use crate::calibration::CostRecord;
 use crate::costs::{self, PlanContext, ResTarget, StageTask};
+use crate::lint::{stage_effects, EffectScope};
 use crate::observe::{ExecutorScope, IterationScope, MicroBatchScope, ScheduleScopes, TaskRange};
 use crate::strategy::Strategy;
 use picasso_graph::{OpKind, WdlSpec};
+use picasso_lint::EffectSet;
 use picasso_sim::{Cluster, Engine, EngineError, MachineSpec, ResourceId, RunResult, Task, TaskId};
 use std::cell::RefCell;
 
@@ -77,6 +79,11 @@ pub struct CausalStage {
     pub launcher: bool,
     /// The tasks this node waited for (exactly the engine dependency edges).
     pub deps: Vec<TaskId>,
+    /// Declared effect set over shared resources (empty for launcher
+    /// dispatches and pure stages); derived by the same table the static
+    /// race rules use, and verified against observed overlap by the
+    /// trace cross-check.
+    pub effects: EffectSet,
 }
 
 /// A finished simulation plus its shape.
@@ -222,7 +229,8 @@ pub fn simulate(
                exec: usize,
                st: &StageTask,
                deps: &[TaskId],
-               dispatch_scale: f64|
+               dispatch_scale: f64,
+               scope: EffectScope|
      -> Result<TaskId, EngineError> {
         let h = &cluster.executors[exec];
         let (resource, server_side) = match st.target {
@@ -262,6 +270,7 @@ pub fn simulate(
                 executor: exec,
                 launcher: true,
                 deps: deps.to_vec(),
+                effects: EffectSet::empty(),
             });
             stage_deps = vec![launch_id];
         }
@@ -291,6 +300,7 @@ pub fn simulate(
             executor: exec,
             launcher: false,
             deps: stage_deps,
+            effects: stage_effects(st.kind, st.target, scope),
         });
         Ok(id)
     };
@@ -322,7 +332,7 @@ pub fn simulate(
             };
             let mut io_deps: Vec<TaskId> = prev_load[e].into_iter().collect();
             io_deps.extend(iter_dep[e].iter().copied());
-            let load = add(&mut engine, e, &io, &io_deps, 1.0)?;
+            let load = add(&mut engine, e, &io, &io_deps, 1.0, EffectScope::Io)?;
             prev_load[e] = Some(load);
 
             let mut bwd_ends: Vec<TaskId> = Vec::new();
@@ -384,7 +394,14 @@ pub fn simulate(
                                     }
                                 }
                             }
-                            let t = add(&mut engine, e, st, &deps, dispatch_scale)?;
+                            let t = add(
+                                &mut engine,
+                                e,
+                                st,
+                                &deps,
+                                dispatch_scale,
+                                EffectScope::Chain(ci),
+                            )?;
                             if si == comm_idx {
                                 comm_task = Some(t);
                                 if !chain.interleave_excluded {
@@ -426,6 +443,7 @@ pub fn simulate(
                         &costs::module_forward(module, b),
                         &deps,
                         dispatch_scale,
+                        EffectScope::Dense,
                     )?);
                 }
 
@@ -441,6 +459,7 @@ pub fn simulate(
                     &costs::mlp_forward(&spec.mlp, b),
                     &mlp_deps,
                     dispatch_scale,
+                    EffectScope::Dense,
                 )?;
                 let bwd = add(
                     &mut engine,
@@ -448,6 +467,7 @@ pub fn simulate(
                     &costs::mlp_backward(&spec.mlp, b),
                     &[fwd],
                     dispatch_scale,
+                    EffectScope::Dense,
                 )?;
 
                 // Module backward.
@@ -459,6 +479,7 @@ pub fn simulate(
                         &costs::module_backward(module, b),
                         &[bwd],
                         dispatch_scale,
+                        EffectScope::Dense,
                     )?);
                 }
 
@@ -478,7 +499,14 @@ pub fn simulate(
                             Some(p) => vec![p],
                             None => deps.clone(),
                         };
-                        prev = Some(add(&mut engine, e, &st, &d, dispatch_scale)?);
+                        prev = Some(add(
+                            &mut engine,
+                            e,
+                            &st,
+                            &d,
+                            dispatch_scale,
+                            EffectScope::Chain(ci),
+                        )?);
                     }
                     if let Some(p) = prev {
                         bwd_ends.push(p);
@@ -503,7 +531,7 @@ pub fn simulate(
                     Some(p) => vec![p],
                     None => bwd_ends.clone(),
                 };
-                prev = Some(add(&mut engine, e, &st, &deps, 1.0)?);
+                prev = Some(add(&mut engine, e, &st, &deps, 1.0, EffectScope::Dense)?);
             }
             iter_ends.push(prev.unwrap_or_else(|| *bwd_ends.last().expect("nonempty iteration")));
             executor_scopes.push(ExecutorScope {
@@ -528,7 +556,7 @@ pub fn simulate(
                 work: 1.0,
                 launches: 1,
             };
-            let b = add(&mut engine, 0, &barrier, &iter_ends, 1.0)?;
+            let b = add(&mut engine, 0, &barrier, &iter_ends, 1.0, EffectScope::Io)?;
             for dep in iter_dep.iter_mut() {
                 *dep = vec![b];
             }

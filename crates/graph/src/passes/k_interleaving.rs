@@ -16,6 +16,7 @@
 //! module-position scan over a cloned spec.
 
 use crate::spec::WdlSpec;
+use picasso_lint::{EffectSet, Resource, ResourceKind};
 
 /// Eq. 3: `Capacity_g = min_op (RBound_op / RParam_op)` — the parameter
 /// volume one interleaving group may process without being bounded by any
@@ -184,6 +185,56 @@ pub fn auto_group_count(spec: &WdlSpec, capacity: f64) -> usize {
     auto_group_count_filtered(spec, capacity, &excluded)
 }
 
+/// Per-group effect summaries: for every interleaving group, the union of
+/// shared-resource effects its chains' lowered stages will declare (the
+/// same key convention the executor's derivation table uses — chain `i`
+/// owns `shard:c{i}`, `cache:c{i}`, `dirty:c{i}`).
+///
+/// A chain's forward gather reads its shard (and hot cache when caching is
+/// on); its backward scatter reduce-adds into the same storage and marks
+/// the checkpoint dirty set. The summary is the provenance record for why
+/// K-Interleaving's staggered groups are safe to overlap: every mutation a
+/// group performs lands on resources keyed by its own chains, so the
+/// cross-group effect sets are disjoint (see [`groups_effect_disjoint`]).
+/// Indexing is by group id; groups with no chains summarize as empty.
+pub fn group_effects(spec: &WdlSpec) -> Vec<EffectSet> {
+    let n_groups = spec.group_count();
+    let mut out = vec![EffectSet::empty(); n_groups];
+    for (ci, chain) in spec.chains.iter().enumerate() {
+        let key = format!("c{ci}");
+        let mut set = std::mem::take(&mut out[chain.group as usize])
+            .read(Resource::new(ResourceKind::EmbeddingShard, &key))
+            .reduce(Resource::new(ResourceKind::EmbeddingShard, &key))
+            .reduce(Resource::new(ResourceKind::CkptDirty, &key));
+        if chain.cache_hit_ratio > 0.0 {
+            set = set
+                .read(Resource::new(ResourceKind::CacheHot, &key))
+                .reduce(Resource::new(ResourceKind::CacheHot, &key));
+        }
+        out[chain.group as usize] = set;
+    }
+    out
+}
+
+/// True when no two groups' effect summaries touch a common resource —
+/// the invariant that makes the staggered group schedule race-free by
+/// construction (each group mutates only storage keyed by its own chains).
+pub fn groups_effect_disjoint(groups: &[EffectSet]) -> bool {
+    let mut seen = std::collections::BTreeSet::new();
+    for g in groups {
+        let mut mine = std::collections::BTreeSet::new();
+        for e in &g.effects {
+            mine.insert(e.resource.to_string());
+        }
+        for r in mine {
+            if !seen.insert(r) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -346,5 +397,50 @@ mod tests {
         let s = apply(&spec(2), 8);
         // Only 2 chains exist; group ids stay dense and small.
         assert!(s.group_count() <= 2);
+    }
+
+    #[test]
+    fn group_effect_summaries_are_keyed_by_chain_and_disjoint() {
+        let s = apply(&spec(8), 2);
+        let groups = group_effects(&s);
+        assert_eq!(groups.len(), 2);
+        // Every chain's shard + dirty set appears in exactly its group.
+        for (ci, chain) in s.chains.iter().enumerate() {
+            let g = &groups[chain.group as usize];
+            let shard = format!("shard:c{ci}");
+            let dirty = format!("dirty:c{ci}");
+            assert!(
+                g.effects.iter().any(|e| e.resource.to_string() == shard),
+                "group {} missing {shard}",
+                chain.group
+            );
+            assert!(g.effects.iter().any(|e| e.resource.to_string() == dirty));
+        }
+        // No caching configured => no cache effects anywhere.
+        assert!(groups
+            .iter()
+            .flat_map(|g| &g.effects)
+            .all(|e| !e.resource.to_string().starts_with("cache:")));
+        assert!(
+            groups_effect_disjoint(&groups),
+            "staggered groups must not share mutable storage"
+        );
+    }
+
+    #[test]
+    fn cached_chains_add_hot_storage_to_their_group_summary() {
+        let mut s = spec(4);
+        s.chains[1].cache_hit_ratio = 0.4;
+        let s = apply(&s, 2);
+        let groups = group_effects(&s);
+        let g = &groups[s.chains[1].group as usize];
+        assert!(g
+            .effects
+            .iter()
+            .any(|e| e.resource.to_string() == "cache:c1"));
+        assert!(groups_effect_disjoint(&groups));
+        // A shared resource across groups breaks disjointness.
+        let shared = EffectSet::empty().reduce(Resource::new(ResourceKind::CacheHot, "c1"));
+        assert!(!groups_effect_disjoint(&[shared.clone(), shared]));
     }
 }

@@ -27,14 +27,22 @@
 //! - **stage** — invariants of the lowered execution graph: control-
 //!   dependency cycles, cross-resource-class fusion, unreachable stages,
 //!   cost-model sanity.
+//! - **race** — may-happen-in-parallel conflicts over declared effect
+//!   sets ([`effects`], [`mhp`]): unordered stage pairs that both touch
+//!   an embedding shard, cache hot storage, optimizer state, a dirty-ID
+//!   set, or a collective buffer.
 
 #![warn(missing_docs)]
 
 mod diag;
+pub mod effects;
+pub mod mhp;
 mod report;
 pub mod rules;
 mod stage_graph;
 
 pub use diag::{Diagnostic, Severity, Span};
+pub use effects::{AccessMode, Effect, EffectSet, RaceAllowlist, Resource, ResourceKind};
+pub use mhp::{MhpRelation, StaticRace};
 pub use report::LintReport;
 pub use stage_graph::{StageEdge, StageFusion, StageGraph, StageNode};

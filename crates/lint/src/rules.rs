@@ -19,6 +19,9 @@ pub enum Surface {
     Stage,
     /// A run configuration (fault plan + checkpoint policy).
     Run,
+    /// The may-happen-in-parallel relation over declared effect sets
+    /// (static over the stage graph, dynamic via the trace cross-check).
+    Race,
 }
 
 impl Surface {
@@ -29,6 +32,7 @@ impl Surface {
             Surface::Plan => "plan",
             Surface::Stage => "stage",
             Surface::Run => "run",
+            Surface::Race => "race",
         }
     }
 }
@@ -267,6 +271,60 @@ pub const RULES: &[RuleInfo] = &[
         grounding: "single-run gates miss slow drift; a CUSUM change-point over the run history \
                     catches regressions the per-run tolerance band absorbs",
     },
+    // ------------------------------------------------------------------
+    // Race surface.
+    // ------------------------------------------------------------------
+    RuleInfo {
+        id: "race.write-write",
+        surface: Surface::Race,
+        severity: Severity::Error,
+        summary: "two unordered stages both mutate the same resource (last writer wins \
+                  nondeterministically)",
+        grounding: "§III overlap runs gathers, collectives, and dense compute concurrently; \
+                    an unordered write pair on one shard is a silent lost update",
+    },
+    RuleInfo {
+        id: "race.read-after-unordered-write",
+        surface: Surface::Race,
+        severity: Severity::Error,
+        summary: "a stage reads a resource a concurrent unordered stage mutates",
+        grounding: "a gather overlapping an unordered scatter/refresh observes either old or \
+                    new rows depending on scheduling luck",
+    },
+    RuleInfo {
+        id: "race.ckpt-dirty-unordered",
+        surface: Surface::Race,
+        severity: Severity::Error,
+        summary: "a checkpoint dirty-ID set is mutated without ordering against its sweep",
+        grounding: "an incremental-checkpoint sweep racing a dirty mark can persist a shard \
+                    while dropping the mark, losing the update on recovery",
+    },
+    RuleInfo {
+        id: "race.benign-commutative",
+        surface: Surface::Race,
+        severity: Severity::Info,
+        summary: "two unordered commutative scatter-adds into an allowlisted resource (order \
+                  cannot change the final value)",
+        grounding: "sparse-SGD gradient scatter-adds commute; the explicit allowlist keeps \
+                    the downgrade auditable",
+    },
+    RuleInfo {
+        id: "race.undeclared-overlap",
+        surface: Surface::Race,
+        severity: Severity::Error,
+        summary: "executed-trace replay observed a conflicting overlap the declared effects \
+                  do not predict",
+        grounding: "the causal event log records what actually overlapped; an undeclared \
+                    conflict means the effect annotations have rotted",
+    },
+    RuleInfo {
+        id: "race.mhp-imprecision",
+        surface: Surface::Race,
+        severity: Severity::Info,
+        summary: "a statically-MHP conflicting pair never overlapped in any seeded run",
+        grounding: "the static relation over-approximates the scheduler; pairs that never \
+                    co-run flag where a modeled ordering edge is missing from the graph",
+    },
 ];
 
 /// Looks up a rule by id.
@@ -299,7 +357,13 @@ mod tests {
             "expected >= 10 rules, got {}",
             RULES.len()
         );
-        for surface in [Surface::Spec, Surface::Plan, Surface::Stage, Surface::Run] {
+        for surface in [
+            Surface::Spec,
+            Surface::Plan,
+            Surface::Stage,
+            Surface::Run,
+            Surface::Race,
+        ] {
             assert!(
                 RULES.iter().any(|r| r.surface == surface),
                 "no rules registered for surface {}",
@@ -320,6 +384,21 @@ mod tests {
     fn lookup_finds_known_rules_only() {
         assert!(rule("spec.duplicate-field").is_some());
         assert!(rule("stage.dependency-cycle").is_some());
+        assert!(rule("race.write-write").is_some());
         assert!(rule("spec.not-a-rule").is_none());
+    }
+
+    #[test]
+    fn every_rule_id_is_documented_in_design_md() {
+        // Doc-drift catch: DESIGN.md's rule tables (§11, §13–§16) must
+        // name every registered rule id.
+        let design = include_str!("../../../DESIGN.md");
+        for r in RULES {
+            assert!(
+                design.contains(r.id),
+                "rule {} is not documented in DESIGN.md",
+                r.id
+            );
+        }
     }
 }

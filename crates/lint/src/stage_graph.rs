@@ -8,7 +8,8 @@
 //! engine either cannot see (a cyclic spec never reaches it) or would
 //! only surface as silently-wrong numbers (zero-cost calibration points).
 
-use crate::{Diagnostic, Severity, Span};
+use crate::effects::{EffectSet, RaceAllowlist};
+use crate::{mhp, Diagnostic, Severity, Span};
 
 /// One lowered stage.
 #[derive(Debug, Clone, PartialEq)]
@@ -29,6 +30,9 @@ pub struct StageNode {
     /// True for graph entry points (stages with no intrinsic inputs,
     /// e.g. the data-load stage).
     pub entry: bool,
+    /// Declared effect set over shared resources (empty = pure); checked
+    /// by the `race.*` rules against the MHP relation.
+    pub effects: EffectSet,
 }
 
 impl StageNode {
@@ -41,12 +45,19 @@ impl StageNode {
             cost,
             launches,
             entry: false,
+            effects: EffectSet::empty(),
         }
     }
 
     /// Marks the node as a graph entry point (builder style).
     pub fn entry(mut self) -> StageNode {
         self.entry = true;
+        self
+    }
+
+    /// Attaches the declared effect set (builder style).
+    pub fn with_effects(mut self, effects: EffectSet) -> StageNode {
+        self.effects = effects;
         self
     }
 }
@@ -93,14 +104,27 @@ impl StageGraph {
         self.edges.push(StageEdge { from, to });
     }
 
-    /// Runs every stage-surface rule and returns the findings.
+    /// Runs every stage-surface rule (including the `race.*` rules over
+    /// the declared effect sets) and returns the findings.
     pub fn analyze(&self) -> Vec<Diagnostic> {
         let mut out = Vec::new();
         self.check_cycles(&mut out);
         self.check_fusions(&mut out);
         self.check_reachability(&mut out);
         self.check_costs(&mut out);
+        self.check_races(&mut out);
         out
+    }
+
+    /// Every statically-detected race: MHP pairs with conflicting
+    /// declared effects, under the default commutative allowlist.
+    pub fn static_races(&self) -> Vec<mhp::StaticRace> {
+        mhp::static_races(self, &RaceAllowlist::default())
+    }
+
+    /// `race.*`: flags MHP pairs whose declared effects conflict.
+    fn check_races(&self, out: &mut Vec<Diagnostic>) {
+        out.extend(mhp::race_diagnostics(&self.static_races()));
     }
 
     /// `stage.dependency-cycle`: Kahn's algorithm; any node left with a
@@ -420,6 +444,40 @@ mod tests {
             .collect();
         assert_eq!(costs.len(), 2);
         assert!(costs.iter().all(|d| d.severity == Severity::Error));
+    }
+
+    #[test]
+    fn analyze_runs_the_race_rules_over_declared_effects() {
+        use crate::effects::{EffectSet, Resource, ResourceKind};
+        let mut g = clean_graph();
+        // Two unordered stages both writing chain 0's hot cache rows.
+        let r = Resource::new(ResourceKind::CacheHot, "c0");
+        let a = g.push(
+            StageNode::new(
+                "chain0/scatter",
+                "EmbeddingScatter",
+                "device_memory",
+                4.0,
+                1,
+            )
+            .with_effects(EffectSet::empty().write(r.clone())),
+        );
+        let b = g.push(
+            StageNode::new("cache0/refresh", "CacheRefresh", "device_memory", 4.0, 1)
+                .with_effects(EffectSet::empty().write(r)),
+        );
+        g.dep(0, a);
+        g.dep(0, b);
+        let diags = g.analyze();
+        let races: Vec<_> = diags
+            .iter()
+            .filter(|d| d.rule == "race.write-write")
+            .collect();
+        assert_eq!(races.len(), 1, "{diags:?}");
+        assert_eq!(races[0].severity, Severity::Error);
+        // Ordering the pair silences the finding.
+        g.dep(a, b);
+        assert!(g.analyze().iter().all(|d| d.rule != "race.write-write"));
     }
 
     #[test]

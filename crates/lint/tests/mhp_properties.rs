@@ -1,0 +1,115 @@
+//! Property-based tests of the may-happen-in-parallel relation.
+//!
+//! The race rules are only as trustworthy as the relation under them, so
+//! the algebra is pinned on random stage graphs (cyclic edges allowed —
+//! the relation must degrade gracefully, the cycle rule owns the error):
+//!
+//! - **irreflexive**: no node is MHP with itself;
+//! - **symmetric**: `mhp(a, b) == mhp(b, a)`;
+//! - **anti-monotone under edge addition**: adding an ordering edge
+//!   never creates a new MHP pair (it can only order formerly-free
+//!   pairs), so tightening a schedule can never *introduce* a race.
+
+use picasso_lint::MhpRelation;
+use proptest::prelude::*;
+
+/// A random directed graph: `n` nodes and arbitrary (possibly cyclic,
+/// possibly self-looping) edges.
+fn graph_strategy() -> impl Strategy<Value = (usize, Vec<(usize, usize)>)> {
+    (1usize..16).prop_flat_map(|n| {
+        let edges = proptest::collection::vec((0..n, 0..n), 0..32);
+        edges.prop_map(move |e| (n, e))
+    })
+}
+
+proptest! {
+    #[test]
+    fn mhp_is_irreflexive(g in graph_strategy()) {
+        let (n, edges) = g;
+        let rel = MhpRelation::new(n, &edges);
+        for i in 0..n {
+            prop_assert!(!rel.mhp(i, i), "node {i} MHP with itself");
+        }
+    }
+
+    #[test]
+    fn mhp_is_symmetric(g in graph_strategy()) {
+        let (n, edges) = g;
+        let rel = MhpRelation::new(n, &edges);
+        for a in 0..n {
+            for b in 0..n {
+                prop_assert_eq!(rel.mhp(a, b), rel.mhp(b, a));
+            }
+        }
+    }
+
+    #[test]
+    fn mhp_is_anti_monotone_under_edge_addition(
+        g in graph_strategy(),
+        extra in (0usize..16, 0usize..16),
+    ) {
+        let (n, edges) = g;
+        let before = MhpRelation::new(n, &edges);
+        let mut more = edges.clone();
+        more.push((extra.0 % n, extra.1 % n));
+        let after = MhpRelation::new(n, &more);
+        // Every pair MHP after the extra edge was already MHP before:
+        // adding an ordering edge can only shrink the relation.
+        for (a, b) in after.pairs() {
+            prop_assert!(
+                before.mhp(a, b),
+                "edge addition created MHP pair ({a}, {b})"
+            );
+        }
+    }
+
+    #[test]
+    fn ordered_and_mhp_partition_distinct_pairs(g in graph_strategy()) {
+        let (n, edges) = g;
+        let rel = MhpRelation::new(n, &edges);
+        for a in 0..n {
+            for b in 0..n {
+                if a != b {
+                    prop_assert!(rel.ordered(a, b) != rel.mhp(a, b));
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn transitive_closure_matches_a_reference_floyd_warshall() {
+    // A fixed adversarial graph: two diamonds sharing a spine plus a
+    // 3-cycle, checked against an O(n^3) reference closure.
+    let n = 8;
+    let edges = [
+        (0, 1),
+        (0, 2),
+        (1, 3),
+        (2, 3),
+        (3, 4),
+        (4, 5),
+        (5, 6),
+        (6, 4), // cycle 4 -> 5 -> 6 -> 4
+        (0, 7),
+    ];
+    let mut reach = vec![vec![false; n]; n];
+    for &(a, b) in &edges {
+        reach[a][b] = true;
+    }
+    for k in 0..n {
+        for i in 0..n {
+            for j in 0..n {
+                if reach[i][k] && reach[k][j] {
+                    reach[i][j] = true;
+                }
+            }
+        }
+    }
+    let rel = MhpRelation::new(n, &edges);
+    for (i, row) in reach.iter().enumerate() {
+        for (j, &expected) in row.iter().enumerate() {
+            assert_eq!(rel.reaches(i, j), expected, "reach({i}, {j})");
+        }
+    }
+}
