@@ -36,6 +36,15 @@
 //! `--races`) also writes the aggregated `picasso.race_suite` document.
 //! Exit 4 when a static race or an undeclared overlap is found.
 //!
+//! `--serve` skips the experiments and instead drives every registered
+//! serving scenario — a seeded open-loop traffic plan through the
+//! forward-only replica with dynamic batching and admission control —
+//! printing the latency/SLO summary; `--serve-plan SPEC` replaces the
+//! suite with one ad-hoc scenario under the given traffic plan, and
+//! `--serve-json PATH` (which implies `--serve`) writes the aggregated
+//! `picasso.serve_report` document. Exit 4 when the serving plan's static
+//! analysis finds error-severity diagnostics.
+//!
 //! `--fault-plan SPEC` (and/or `--ckpt-dir DIR`) switches to the
 //! crash-and-recover mode: the real trainer runs once uninterrupted and
 //! once under the fault plan with checkpointing against `--ckpt-dir`
@@ -68,7 +77,7 @@
 use picasso_bench::recovery::run_scenario;
 use picasso_bench::scenarios::{analysis_scenarios, race_scenarios, recovery_scenarios};
 use picasso_bench::snapshot::{lint_suite, BenchSnapshot};
-use picasso_bench::{analysis, observatory, races};
+use picasso_bench::{analysis, observatory, races, serve as bench_serve};
 use picasso_core::exec::{flight_record, lint_flight, lint_recovery};
 use picasso_core::exec::{ModelKind, RunArtifacts, WarmupConfig};
 use picasso_core::experiments::{
@@ -92,7 +101,8 @@ USAGE:
           [--trace-out PATH] [--metrics-out PATH] [--report-json PATH]
           [--flight-out PATH] [--lint] [--lint-json PATH]
           [--analyze] [--analyze-json PATH]
-          [--races] [--races-json PATH] [--quiet]
+          [--races] [--races-json PATH]
+          [--serve] [--serve-plan SPEC] [--serve-json PATH] [--quiet]
     repro --fault-plan SPEC [--ckpt-dir DIR] [--ckpt-every N]
           [--report-json PATH] [--trace-out PATH] [--flight-out PATH]
           [--quiet]
@@ -124,6 +134,17 @@ FLAGS:
                         undeclared overlap.
     --races-json PATH   Also write the aggregated race-suite document
                         (implies --races).
+    --serve             Serving mode: drive every registered srv_* traffic
+                        scenario through the forward-only replica (dynamic
+                        batching, admission control) and print the
+                        latency/SLO summary; exit 4 on error-severity
+                        serving diagnostics.
+    --serve-plan SPEC   Replace the suite with one ad-hoc scenario under
+                        this traffic plan, e.g.
+                        \"seed=7;poisson@2500;users=200000;zipf=105;ids=8;reqs=6000\"
+                        (implies --serve).
+    --serve-json PATH   Also write the aggregated picasso.serve_report
+                        document (implies --serve).
     --fault-plan SPEC   Crash-and-recover mode: train under this fault
                         plan (e.g. \"seed=41;crash@13\") and verify the
                         recovered run is bit-identical to an uninterrupted
@@ -167,6 +188,9 @@ struct Cli {
     analyze_json: Option<String>,
     races: bool,
     races_json: Option<String>,
+    serve: bool,
+    serve_plan: Option<String>,
+    serve_json: Option<String>,
     fault_plan: Option<String>,
     ckpt_dir: Option<String>,
     ckpt_every: Option<u64>,
@@ -189,6 +213,9 @@ fn parse_args() -> Cli {
         analyze_json: None,
         races: false,
         races_json: None,
+        serve: false,
+        serve_plan: None,
+        serve_json: None,
         fault_plan: None,
         ckpt_dir: None,
         ckpt_every: None,
@@ -222,6 +249,15 @@ fn parse_args() -> Cli {
             "--races-json" => {
                 cli.races = true;
                 cli.races_json = Some(value("--races-json"));
+            }
+            "--serve" => cli.serve = true,
+            "--serve-plan" => {
+                cli.serve = true;
+                cli.serve_plan = Some(value("--serve-plan"));
+            }
+            "--serve-json" => {
+                cli.serve = true;
+                cli.serve_json = Some(value("--serve-json"));
             }
             "--fault-plan" => cli.fault_plan = Some(value("--fault-plan")),
             "--ckpt-dir" => cli.ckpt_dir = Some(value("--ckpt-dir")),
@@ -381,6 +417,70 @@ fn races_mode(cli: &Cli) -> ! {
     } else {
         4
     });
+}
+
+/// `--serve` mode: drive the registered serving scenarios (or one ad-hoc
+/// `--serve-plan` scenario) through the forward-only replica, print the
+/// latency/SLO summary, optionally export the aggregated
+/// `picasso.serve_report` document, and exit — 2 on a bad traffic plan,
+/// 3 when serving planning fails, 4 when the plan's static analysis has
+/// error-severity diagnostics, 0 otherwise.
+fn serve_mode(cli: &Cli) -> ! {
+    use picasso_bench::scenarios::ServeScenario;
+    let scenarios = match &cli.serve_plan {
+        Some(spec) => {
+            // Validate the grammar up front so a typo is a usage error
+            // (exit 2), not a runtime failure.
+            if let Err(err) = spec.parse::<picasso_core::sim::TrafficPlan>() {
+                eprintln!("bad --serve-plan: {err}");
+                std::process::exit(2);
+            }
+            vec![ServeScenario {
+                name: "cli".into(),
+                traffic: spec.clone(),
+                max_batch: 256,
+                max_linger_ns: 1_000_000,
+                queue_capacity: Some(4096),
+            }]
+        }
+        None => picasso_bench::scenarios::serve_scenarios(),
+    };
+    // One plan check up front: every suite scenario shares the serving
+    // lowering, so its diagnostics (including the serving lint rules)
+    // print once.
+    let plan = bench_serve::serving_plan(scenarios[0].queue_capacity).unwrap_or_else(|err| {
+        eprintln!("serving planning failed: {err}");
+        std::process::exit(3);
+    });
+    for d in &plan.diagnostics {
+        eprintln!("{d}");
+    }
+    let mut reports = Vec::new();
+    for sc in &scenarios {
+        let t0 = Instant::now();
+        let report = bench_serve::run_scenario(sc).unwrap_or_else(|err| {
+            eprintln!("serve scenario failed: {err}");
+            std::process::exit(3);
+        });
+        if !cli.quiet {
+            println!(
+                "  [{} served {} requests in {:.1}s]",
+                report.scenario,
+                report.served,
+                t0.elapsed().as_secs_f64()
+            );
+        }
+        reports.push(report);
+    }
+    println!("{}", bench_serve::summary_table(&reports));
+    if let Some(path) = &cli.serve_json {
+        write(
+            path,
+            "serve report",
+            &(bench_serve::suite_report_json(&reports).to_json() + "\n"),
+        );
+    }
+    std::process::exit(if bench_serve::has_errors(&plan) { 4 } else { 0 });
 }
 
 /// `--history-dir` mode: the cross-run observatory. Dispatches on the
@@ -572,6 +672,9 @@ fn main() {
     }
     if cli.races {
         races_mode(&cli);
+    }
+    if cli.serve {
+        serve_mode(&cli);
     }
     if cli.ckpt_every.is_some() && cli.ckpt_dir.is_none() && cli.fault_plan.is_none() {
         eprintln!("--ckpt-every needs --ckpt-dir or --fault-plan\n\n{USAGE}");

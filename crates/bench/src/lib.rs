@@ -19,6 +19,7 @@ pub mod observatory;
 pub mod races;
 pub mod recovery;
 pub mod scenarios;
+pub mod serve;
 pub mod snapshot;
 
 use picasso_core::{Framework, ModelKind};

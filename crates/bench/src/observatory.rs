@@ -21,7 +21,7 @@
 //! on clean or sub-slack-jittery history.
 
 use crate::scenarios::{suite_config, FlightScenario, HistoryScenario};
-use crate::snapshot::{BenchSnapshot, Direction, GATES};
+use crate::snapshot::{BenchSnapshot, Direction, GATES, SERVE_GATES};
 use picasso_core::exec::flight_record;
 use picasso_core::graph::{Diagnostic, Severity, Span};
 use picasso_core::obs::flight::{FlightConfig, FlightStats};
@@ -219,7 +219,11 @@ pub struct TrendFinding {
 pub fn trend_report(records: &[RunRecord]) -> Vec<TrendFinding> {
     let mut out = Vec::new();
     for (scenario, metric) in keys(records) {
-        let Some(gate) = GATES.iter().find(|g| g.metric == metric) else {
+        let Some(gate) = GATES
+            .iter()
+            .chain(&SERVE_GATES)
+            .find(|g| g.metric == metric)
+        else {
             continue;
         };
         let s = series(records, &scenario, &metric);

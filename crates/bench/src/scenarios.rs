@@ -8,8 +8,10 @@
 //! lists: [`flight_scenarios`] (the perf suite tapped through the flight
 //! recorder) and [`history_scenarios`] (pinned synthetic series for the
 //! cross-run change-point detector). The race analyzer wraps the perf
-//! suite once more as [`race_scenarios`] (`repro --races`). Adding a
-//! scenario in one consumer but not the others is therefore impossible by
+//! suite once more as [`race_scenarios`] (`repro --races`), and the
+//! serving suite registers its own list, [`serve_scenarios`]
+//! (`repro --serve` and the `srv_*` snapshot rows). Adding a scenario in
+//! one consumer but not the others is therefore impossible by
 //! construction.
 //!
 //! The perf scenario names and order are pinned by the committed
@@ -82,6 +84,26 @@ pub struct RaceScenario {
     pub name: String,
     /// The perf scenario whose lowering and traces get race-checked.
     pub perf: Scenario,
+}
+
+/// One serving scenario: a seeded open-loop traffic plan driven through
+/// one forward-only replica under a fixed dynamic-batching policy and
+/// admission bound. The replica event loop is deterministic, so every
+/// `srv_*` metric in the snapshot is bit-stable and gated like the
+/// training metrics.
+#[derive(Debug, Clone)]
+pub struct ServeScenario {
+    /// Stable scenario name (`srv_*`).
+    pub name: String,
+    /// Traffic plan in the `picasso_sim::TrafficPlan` grammar.
+    pub traffic: String,
+    /// Dynamic batcher: maximum coalesced batch size.
+    pub max_batch: usize,
+    /// Dynamic batcher: maximum linger delay in nanoseconds.
+    pub max_linger_ns: u64,
+    /// Admission bound (`None` = unbounded, drawing the
+    /// `run.serve-no-admission` lint).
+    pub queue_capacity: Option<usize>,
 }
 
 /// One run-history scenario: a synthetic metric series fed through the
@@ -194,6 +216,45 @@ pub fn race_scenarios() -> Vec<RaceScenario> {
         .collect()
 }
 
+/// The serving suite: the batch-size-vs-latency tradeoff plus an
+/// overload-shedding run.
+///
+/// The analytic forward latency of the suite's serving plan has a ~46 ms
+/// per-batch launch-overhead floor, so service capacity is roughly
+/// `max_batch / 46 ms`. The two tradeoff scenarios share one 2 500 rps
+/// traffic plan and are both queue-stable (capacities ~5 500 and
+/// ~21 000 rps); the long-linger rung forms larger batches, buying higher
+/// `srv_capacity_rps` at the cost of higher `srv_p99_ns` — the pair the
+/// perf gate pins. The shed scenario offers 20 000 rps against a
+/// 64-request batch bound (~1 400 rps capacity) behind a 512-entry
+/// admission gate, exercising deterministic shedding.
+pub fn serve_scenarios() -> Vec<ServeScenario> {
+    let tradeoff = "seed=29;poisson@2500;users=200000;zipf=105;ids=8;reqs=6000";
+    vec![
+        ServeScenario {
+            name: "srv_b256".into(),
+            traffic: tradeoff.into(),
+            max_batch: 256,
+            max_linger_ns: 1_000_000, // 1 ms
+            queue_capacity: Some(4096),
+        },
+        ServeScenario {
+            name: "srv_b1024".into(),
+            traffic: tradeoff.into(),
+            max_batch: 1024,
+            max_linger_ns: 100_000_000, // 100 ms
+            queue_capacity: Some(4096),
+        },
+        ServeScenario {
+            name: "srv_shed".into(),
+            traffic: "seed=29;poisson@20000;users=200000;zipf=105;ids=8;reqs=6000".into(),
+            max_batch: 64,
+            max_linger_ns: 1_000_000,
+            queue_capacity: Some(512),
+        },
+    ]
+}
+
 /// The run-history suite: pinned synthetic series covering the three
 /// regimes the observatory must separate — a clean flat history (silent),
 /// a sustained step regression (fires up), and a sustained improvement
@@ -268,6 +329,7 @@ mod tests {
         names.extend(analysis_scenarios().into_iter().map(|s| s.name));
         names.extend(flight_scenarios().into_iter().map(|s| s.name));
         names.extend(race_scenarios().into_iter().map(|s| s.name));
+        names.extend(serve_scenarios().into_iter().map(|s| s.name));
         names.extend(history_scenarios().into_iter().map(|s| s.name));
         let mut dedup = names.clone();
         dedup.sort();
@@ -305,6 +367,29 @@ mod tests {
         for (r, p) in race.iter().zip(&perf) {
             assert_eq!(r.name, format!("race_{}", p.name));
             assert_eq!(r.perf.name, p.name);
+        }
+    }
+
+    #[test]
+    fn serve_scenarios_parse_and_bound_their_queues() {
+        let suite = serve_scenarios();
+        assert!(!suite.is_empty());
+        for sc in &suite {
+            assert!(
+                sc.name.starts_with("srv_"),
+                "{}: not srv_-prefixed",
+                sc.name
+            );
+            let plan: picasso_core::sim::TrafficPlan = sc.traffic.parse().unwrap_or_else(|e| {
+                panic!("{}: bad traffic plan: {e}", sc.name);
+            });
+            assert_eq!(plan.to_string(), sc.traffic, "{}: not round-trip", sc.name);
+            assert!(sc.max_batch >= 1);
+            assert!(
+                sc.queue_capacity.is_some(),
+                "{}: suite scenarios must bound admission",
+                sc.name
+            );
         }
     }
 

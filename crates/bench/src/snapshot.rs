@@ -3,7 +3,10 @@
 //! A snapshot runs a fixed suite of deterministic simulator scenarios —
 //! baseline, +packing, +interleaving, +caching, over a small and a large
 //! model — one thread per scenario, and records the headline metrics plus
-//! the full run report of each. Snapshots serialize to versioned
+//! the full run report of each. The serving suite's `srv_*` rows (latency
+//! quantiles, service capacity, cache hit rate from the forward-only
+//! replica) ride behind the training rows and are gated by their own
+//! [`SERVE_GATES`] metric family. Snapshots serialize to versioned
 //! `BENCH_<n>.json` files; the `perfgate` binary compares a fresh run
 //! against the newest committed snapshot and fails when any gated metric
 //! moves past its threshold in the bad direction. Everything under the
@@ -15,11 +18,12 @@
 //! pass under the deliberately loose [`PASS_WALL_GATE`] so a planning-cost
 //! blowup fails CI without wall-clock noise doing the same.
 
-use crate::scenarios::{perf_scenarios, recovery_scenarios, suite_config};
+use crate::scenarios::{perf_scenarios, recovery_scenarios, serve_scenarios, suite_config};
 use picasso_core::exec::lint_recovery;
 use picasso_core::obs::diff::rel_change;
 use picasso_core::obs::flight::FlightConfig;
 use picasso_core::obs::json::{self, Json};
+use picasso_core::serve::ServeReport;
 use picasso_core::{si, LintReport, Session, Strategy, TextTable};
 use std::collections::BTreeMap;
 use std::fs;
@@ -125,6 +129,31 @@ pub struct ScenarioResult {
     pub flight_wall_ns: u64,
 }
 
+/// Converts one serving report into its snapshot row. Serving metrics are
+/// `srv_`-prefixed so the training gates ([`GATES`]) and the serving gates
+/// ([`SERVE_GATES`]) skip each other's rows by key absence; the volatile
+/// wall-time records stay empty (the replica runs in virtual time).
+pub fn serve_result(report: &ServeReport) -> ScenarioResult {
+    let mut metrics = BTreeMap::new();
+    metrics.insert("srv_p50_ns".into(), report.p50_ns as f64);
+    metrics.insert("srv_p95_ns".into(), report.p95_ns as f64);
+    metrics.insert("srv_p99_ns".into(), report.p99_ns as f64);
+    metrics.insert("srv_capacity_rps".into(), report.capacity_rps());
+    metrics.insert("srv_cache_hit_ratio".into(), report.cache_hit_ratio());
+    metrics.insert("srv_mean_batch".into(), report.mean_batch());
+    metrics.insert("srv_shed".into(), report.shed as f64);
+    metrics.insert("srv_slo_violations".into(), report.slo_violations as f64);
+    metrics.insert("srv_max_queue_depth".into(), report.max_queue_depth as f64);
+    ScenarioResult {
+        name: report.scenario.clone(),
+        metrics,
+        report: report.to_json(),
+        pass_wall_ns: BTreeMap::new(),
+        analyze_wall_ns: 0,
+        flight_wall_ns: 0,
+    }
+}
+
 /// Runs one scenario and extracts its snapshot record.
 pub fn run_scenario(sc: &Scenario) -> ScenarioResult {
     let session = Session::new(sc.model, suite_config());
@@ -198,14 +227,23 @@ impl BenchSnapshot {
                 scope.spawn(move || *slot = Some(run_scenario(sc)));
             }
         });
+        let mut scenarios: Vec<ScenarioResult> = slots
+            .into_iter()
+            .map(|r| r.expect("scenario thread ran to completion"))
+            .collect();
+        // The serving suite rides behind the perf rows: the replica runs in
+        // virtual time (milliseconds of wall clock per scenario), so a
+        // serial pass keeps the document order fixed at no real cost.
+        for sc in serve_scenarios() {
+            let report = crate::serve::run_scenario(&sc)
+                .unwrap_or_else(|e| panic!("serve scenario {}: {e}", sc.name));
+            scenarios.push(serve_result(&report));
+        }
         BenchSnapshot {
             version,
             generated_unix_ms,
             embedding_rows_per_sec: embedding_microbench(),
-            scenarios: slots
-                .into_iter()
-                .map(|r| r.expect("scenario thread ran to completion"))
-                .collect(),
+            scenarios,
         }
     }
 
@@ -480,6 +518,30 @@ pub const GATES: [Gate; 5] = [
     },
 ];
 
+/// The serving gates over the `srv_*` rows of the snapshot. The replica's
+/// virtual-time event loop is deterministic, so — like [`GATES`] — the
+/// thresholds guard model changes, not noise. Scenarios missing a serving
+/// metric on both sides (every training row) are skipped by key absence,
+/// and a baseline predating the serving suite compares as `Added`, never
+/// as a failure.
+pub const SERVE_GATES: [Gate; 3] = [
+    Gate {
+        metric: "srv_p99_ns",
+        direction: Direction::LowerIsBetter,
+        threshold: 0.05,
+    },
+    Gate {
+        metric: "srv_capacity_rps",
+        direction: Direction::HigherIsBetter,
+        threshold: 0.05,
+    },
+    Gate {
+        metric: "srv_cache_hit_ratio",
+        direction: Direction::HigherIsBetter,
+        threshold: 0.05,
+    },
+];
+
 /// The planning-time gate: each scenario's worst (maximum) per-pass wall
 /// time, read from the volatile `pass_wall_ns` records. Unlike the
 /// simulated [`GATES`], this is real wall-clock time, so the threshold is
@@ -644,13 +706,15 @@ pub fn compare(baseline: &BenchSnapshot, current: &BenchSnapshot) -> Comparison 
     for name in names {
         let old = old_by_name.get(name);
         let new = new_by_name.get(name);
-        for gate in &GATES {
+        for gate in GATES.iter().chain(&SERVE_GATES) {
             let old_v = old.and_then(|s| s.metrics.get(gate.metric)).copied();
             let new_v = new.and_then(|s| s.metrics.get(gate.metric)).copied();
             let (rel, verdict) = match (old_v, new_v) {
                 (Some(o), Some(n)) => judge(gate, o, n),
                 (Some(_), None) => (None, Verdict::Missing),
                 (None, Some(_)) => (None, Verdict::Added),
+                // Absent on both sides: the metric belongs to the other
+                // family (training gates on a serving row or vice versa).
                 (None, None) => continue,
             };
             rows.push(DeltaRow {
@@ -945,10 +1009,58 @@ mod tests {
     }
 
     #[test]
+    fn serve_gates_skip_training_rows_and_flag_serving_regressions() {
+        // Training rows carry no srv_* metrics: the serving gates emit no
+        // rows for them (skip-if-absent on both sides).
+        let a = synthetic_snapshot(0, 1000.0);
+        let b = synthetic_snapshot(1, 1000.0);
+        assert!(compare(&a, &b)
+            .rows
+            .iter()
+            .all(|r| !r.metric.starts_with("srv_")));
+        // A serving row appearing against a pre-serving baseline is
+        // informational, never a failure.
+        let srv = |p99: f64, cap: f64| {
+            let mut metrics = BTreeMap::new();
+            metrics.insert("srv_p99_ns".into(), p99);
+            metrics.insert("srv_capacity_rps".into(), cap);
+            metrics.insert("srv_cache_hit_ratio".into(), 0.5);
+            ScenarioResult {
+                name: "srv_b256".into(),
+                metrics,
+                report: Json::Null,
+                pass_wall_ns: BTreeMap::new(),
+                analyze_wall_ns: 0,
+                flight_wall_ns: 0,
+            }
+        };
+        let mut with_srv = synthetic_snapshot(1, 1000.0);
+        with_srv.scenarios.push(srv(90e6, 2500.0));
+        let cmp = compare(&a, &with_srv);
+        assert!(cmp.passed(), "new serving rows must not fail the gate");
+        assert!(cmp
+            .rows
+            .iter()
+            .any(|r| r.metric == "srv_p99_ns" && r.verdict == Verdict::Added));
+        // A tail-latency blowup against a serving baseline fails.
+        let mut regressed = synthetic_snapshot(2, 1000.0);
+        regressed.scenarios.push(srv(150e6, 2500.0));
+        let cmp = compare(&with_srv, &regressed);
+        assert!(!cmp.passed());
+        let row = cmp.rows.iter().find(|r| r.metric == "srv_p99_ns").unwrap();
+        assert_eq!(row.verdict, Verdict::Regressed);
+        // The capacity gate guards the other direction of the tradeoff.
+        let mut slower = synthetic_snapshot(3, 1000.0);
+        slower.scenarios.push(srv(90e6, 1500.0));
+        assert!(!compare(&with_srv, &slower).passed());
+    }
+
+    #[test]
     fn capture_order_matches_the_scenario_table() {
         // The parallel capture must keep suite order — the committed
         // snapshot document and the byte-identity test depend on it.
-        let names: Vec<String> = scenarios().into_iter().map(|s| s.name).collect();
+        let mut names: Vec<String> = scenarios().into_iter().map(|s| s.name).collect();
+        names.extend(serve_scenarios().into_iter().map(|s| s.name));
         let snap = BenchSnapshot::capture(0, 0);
         let got: Vec<&str> = snap.scenarios.iter().map(|s| s.name.as_str()).collect();
         assert_eq!(got, names.iter().map(String::as_str).collect::<Vec<_>>());

@@ -134,13 +134,17 @@ fn real_suite_snapshots_ingest_and_stay_trend_clean() {
     let dir = tmp_dir("real");
     let snap = BenchSnapshot::capture(0, 0);
     let records = snapshot_records(&snap);
-    assert_eq!(records.len(), 8, "one record per perf scenario");
+    assert_eq!(
+        records.len(),
+        11,
+        "one record per perf scenario plus one per serving scenario"
+    );
     let mut store = HistoryStore::open(&dir).unwrap();
     for run in ["a", "b", "c"] {
         ingest_document(&mut store, run, &snap.to_json()).unwrap();
     }
     let loaded = store.load().unwrap();
-    assert_eq!(loaded.len(), 24);
+    assert_eq!(loaded.len(), 33);
     let findings = trend_report(&loaded);
     assert!(
         findings.is_empty(),

@@ -17,8 +17,13 @@ fn suite_is_deterministic_and_gates_round_trip() {
         b.canonical_json().to_json(),
         "two runs of the suite must serialize byte-identically"
     );
-    assert_eq!(a.scenarios.len(), 8);
-    for sc in &a.scenarios {
+    assert_eq!(a.scenarios.len(), 11, "8 training rows + 3 serving rows");
+    let (train, srv): (Vec<_>, Vec<_>) = a
+        .scenarios
+        .iter()
+        .partition(|sc| !sc.name.starts_with("srv_"));
+    assert_eq!((train.len(), srv.len()), (8, 3));
+    for sc in &train {
         assert!(
             sc.metrics["ips_per_node"] > 0.0,
             "{}: throughput must be positive",
@@ -33,6 +38,23 @@ fn suite_is_deterministic_and_gates_round_trip() {
                 .and_then(picasso_core::obs::Json::items)
                 .unwrap()
                 .is_empty(),
+            "{}",
+            sc.name
+        );
+    }
+    for sc in &srv {
+        assert!(
+            sc.metrics["srv_p99_ns"] >= sc.metrics["srv_p50_ns"],
+            "{}: quantiles must be ordered",
+            sc.name
+        );
+        assert!(sc.metrics["srv_capacity_rps"] > 0.0, "{}", sc.name);
+        // The full serve report rides along as the row's report document.
+        assert_eq!(
+            sc.report
+                .get("kind")
+                .and_then(picasso_core::obs::Json::as_str),
+            Some("picasso.serve_report"),
             "{}",
             sc.name
         );
@@ -54,11 +76,14 @@ fn suite_is_deterministic_and_gates_round_trip() {
     // Synthetic regression: a baseline claiming 1.5x the real throughput.
     let mut doctored = baseline.clone();
     for sc in &mut doctored.scenarios {
-        let ips = sc.metrics["ips_per_node"];
-        sc.metrics.insert("ips_per_node".into(), ips * 1.5);
+        if let Some(&ips) = sc.metrics.get("ips_per_node") {
+            sc.metrics.insert("ips_per_node".into(), ips * 1.5);
+        }
     }
     let cmp = compare(&doctored, &b);
     assert!(!cmp.passed(), "a 33% throughput drop must fail the gate");
-    assert_eq!(cmp.regressions().len(), a.scenarios.len());
+    // Only the training rows carry ips_per_node; the serving rows are
+    // untouched by the doctoring and must not fail.
+    assert_eq!(cmp.regressions().len(), 8);
     fs::remove_dir_all(&dir).unwrap();
 }

@@ -34,6 +34,7 @@ pub use picasso_exec as exec;
 pub use picasso_graph as graph;
 pub use picasso_models as models;
 pub use picasso_obs as obs;
+pub use picasso_serve as serve;
 pub use picasso_sim as sim;
 pub use picasso_train as train;
 

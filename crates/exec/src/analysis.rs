@@ -323,11 +323,13 @@ pub fn observed_conflicts(out: &SimulationOutput) -> Vec<ObservedOverlap> {
     let mut labels: Vec<Option<(usize, usize, Option<usize>)>> = vec![None; n];
     for it in &out.scopes.iterations {
         for ex in &it.executors {
-            labels[ex.range.start..ex.range.end.min(n)]
-                .fill(Some((it.index, ex.executor, None)));
+            labels[ex.range.start..ex.range.end.min(n)].fill(Some((it.index, ex.executor, None)));
             for m in &ex.micro_batches {
-                labels[m.range.start..m.range.end.min(n)]
-                    .fill(Some((it.index, ex.executor, Some(m.index))));
+                labels[m.range.start..m.range.end.min(n)].fill(Some((
+                    it.index,
+                    ex.executor,
+                    Some(m.index),
+                )));
             }
         }
     }

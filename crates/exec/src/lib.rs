@@ -28,6 +28,7 @@ pub mod lint;
 pub mod observe;
 pub mod recovery;
 pub mod scheduler;
+pub mod serving;
 pub mod strategy;
 pub mod telemetry;
 pub mod trainer;
@@ -50,6 +51,9 @@ pub use recovery::{
     RecoveryRun,
 };
 pub use scheduler::{simulate, CausalStage, SimConfig, SimulationOutput};
+pub use serving::{
+    forward_latency_ns, prepare_serving, serving_lints, serving_stage_graph, ServingPlan,
+};
 pub use strategy::{DenseSync, EmbeddingExchange, Strategy};
 pub use telemetry::TrainingReport;
 pub use trainer::{

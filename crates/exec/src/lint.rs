@@ -153,9 +153,38 @@ pub fn inject_cache_refresh(g: &mut StageGraph, ci: usize, ordered: bool) -> Opt
     Some(refresh)
 }
 
+/// The forward half of the lowering, shared between the training builder
+/// [`stage_graph`] and the serving builder
+/// [`crate::serving::serving_stage_graph`]: data load, grouped embedding
+/// forward with the Fig. 8c comm gate and declared group dependencies,
+/// interaction modules, and the MLP forward. Node insertion order is part
+/// of the contract — race digests hash node indices.
+pub(crate) struct ForwardLowering {
+    /// The graph so far (forward stages only).
+    pub g: StageGraph,
+    /// Modules consuming each chain's output.
+    pub chain_consumers: Vec<Vec<usize>>,
+    /// The MLP forward node (the forward graph's sink).
+    pub mlp_fwd: usize,
+    /// Cost-model context the backward half continues with.
+    pub ctx: PlanContext,
+    /// First-micro-batch size the stages were costed at.
+    pub b: usize,
+}
+
 /// Lowers `spec` into the analyzable stage graph (one executor, one
 /// iteration, first micro-batch).
 pub fn stage_graph(spec: &WdlSpec, strategy: Strategy, cfg: &SimConfig) -> StageGraph {
+    let fl = forward_graph(spec, strategy, cfg);
+    backward_half(fl, spec, strategy, cfg)
+}
+
+/// Builds the forward half (see [`ForwardLowering`]).
+pub(crate) fn forward_graph(
+    spec: &WdlSpec,
+    strategy: Strategy,
+    cfg: &SimConfig,
+) -> ForwardLowering {
     let per_node = cfg.machine.gpus_per_node.max(1);
     let ctx = PlanContext {
         n_exec: (cfg.machines * per_node).max(1),
@@ -314,7 +343,7 @@ pub fn stage_graph(spec: &WdlSpec, strategy: Strategy, cfg: &SimConfig) -> Stage
         module_fwd.push(node);
     }
 
-    // MLP forward + backward.
+    // MLP forward.
     let fwd = g.push(node_of(
         "mlp/fwd".into(),
         &costs::mlp_forward(&spec.mlp, b),
@@ -333,6 +362,30 @@ pub fn stage_graph(spec: &WdlSpec, strategy: Strategy, cfg: &SimConfig) -> Stage
             g.dep(m, fwd);
         }
     }
+    ForwardLowering {
+        g,
+        chain_consumers,
+        mlp_fwd: fwd,
+        ctx,
+        b,
+    }
+}
+
+/// Appends the backward half (MLP/module backward, embedding backward,
+/// dense sync) to a forward lowering, producing the full training graph.
+fn backward_half(
+    fl: ForwardLowering,
+    spec: &WdlSpec,
+    strategy: Strategy,
+    cfg: &SimConfig,
+) -> StageGraph {
+    let ForwardLowering {
+        mut g,
+        chain_consumers,
+        mlp_fwd: fwd,
+        ctx,
+        b,
+    } = fl;
     let bwd = g.push(node_of(
         "mlp/bwd".into(),
         &costs::mlp_backward(&spec.mlp, b),

@@ -236,20 +236,20 @@ pub fn run(
 /// Everything [`prepare`] derives before the simulation gate: the planned
 /// spec, measurement context, simulation shape, and every static-analysis
 /// finding over all three surfaces.
-struct Prepared {
-    spec: WdlSpec,
-    warmup: WarmupReport,
-    pass_reports: Vec<PassReport>,
-    diagnostics: Vec<Diagnostic>,
-    cfg: SimConfig,
-    micro: usize,
-    groups: usize,
-    hit: f64,
+pub(crate) struct Prepared {
+    pub(crate) spec: WdlSpec,
+    pub(crate) warmup: WarmupReport,
+    pub(crate) pass_reports: Vec<PassReport>,
+    pub(crate) diagnostics: Vec<Diagnostic>,
+    pub(crate) cfg: SimConfig,
+    pub(crate) micro: usize,
+    pub(crate) groups: usize,
+    pub(crate) hit: f64,
 }
 
 /// Warm-up, pass pipeline, batch sizing, analytic ratios, and the full
 /// static analysis — everything up to (but excluding) the simulation.
-fn prepare(
+pub(crate) fn prepare(
     model: ModelKind,
     data: &Arc<DatasetSpec>,
     strategy: Strategy,

@@ -183,6 +183,17 @@ impl PipelineConfig {
         PipelineConfig::all().without(&[PassId::Caching])
     }
 
+    /// The forward-only serving pipeline: packing (fewer, larger kernel
+    /// launches amortize per-request dispatch) and caching (HybridHash as a
+    /// read-mostly serving cache), but no interleaving — interleaving
+    /// staggers gradient collectives against backward compute, and a serving
+    /// graph has neither.
+    pub fn serving() -> PipelineConfig {
+        PipelineConfig {
+            passes: vec![PassId::DPacking, PassId::KPacking, PassId::Caching],
+        }
+    }
+
     /// This pipeline with `removed` filtered out (ablation construction).
     pub fn without(&self, removed: &[PassId]) -> PipelineConfig {
         PipelineConfig {
@@ -664,6 +675,18 @@ mod tests {
         let cfg = PipelineConfig::all();
         let back = PipelineConfig::from_names(&cfg.names()).unwrap();
         assert_eq!(back, cfg);
+    }
+
+    #[test]
+    fn serving_preset_is_valid_and_excludes_interleaving() {
+        let cfg = PipelineConfig::serving();
+        cfg.validate().unwrap();
+        assert!(cfg.enables(PassId::DPacking));
+        assert!(cfg.enables(PassId::KPacking));
+        assert!(cfg.enables(PassId::Caching));
+        assert!(!cfg.enables(PassId::KInterleaving));
+        assert!(!cfg.enables(PassId::DInterleaving));
+        Pipeline::from_config(&cfg).unwrap();
     }
 
     #[test]

@@ -263,6 +263,25 @@ pub const RULES: &[RuleInfo] = &[
                     state than simulating it",
     },
     RuleInfo {
+        id: "run.backward-stage-in-serving",
+        surface: Surface::Run,
+        severity: Severity::Error,
+        summary: "a forward-only serving graph contains a stage that mutates model state \
+                  (gradient, optimizer, or checkpoint stage)",
+        grounding: "serving shares the training lowering up to the MLP forward; any stage \
+                    writing embedding shards, dense parameters, optimizer state, or dirty \
+                    sets past that point is a training stage that leaked into inference",
+    },
+    RuleInfo {
+        id: "run.serve-no-admission",
+        surface: Surface::Run,
+        severity: Severity::Warn,
+        summary: "the serving request queue is unbounded (no admission control)",
+        grounding: "in an open-loop arrival model a queue without a capacity bound grows \
+                    without limit under overload, stretching every queued request's latency \
+                    instead of shedding deterministically",
+    },
+    RuleInfo {
         id: "run.regressing-trend",
         surface: Surface::Run,
         severity: Severity::Warn,
@@ -390,7 +409,7 @@ mod tests {
 
     #[test]
     fn every_rule_id_is_documented_in_design_md() {
-        // Doc-drift catch: DESIGN.md's rule tables (§11, §13–§16) must
+        // Doc-drift catch: DESIGN.md's rule tables (§11, §13–§17) must
         // name every registered rule id.
         let design = include_str!("../../../DESIGN.md");
         for r in RULES {

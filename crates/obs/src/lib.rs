@@ -39,6 +39,7 @@ pub mod diff;
 pub mod flight;
 pub mod history;
 pub mod json;
+pub mod latency;
 pub mod metrics;
 pub mod prometheus;
 pub mod report;
@@ -58,6 +59,7 @@ pub use history::{
     MannKendall, RunRecord, Shift,
 };
 pub use json::Json;
+pub use latency::{exact_quantile, latency_bounds_ns, LatencyRecorder, SloTracker};
 pub use metrics::{MetricKind, MetricsRegistry, MetricsSnapshot};
 pub use report::{RunReport, RUN_REPORT_SCHEMA_VERSION};
 pub use span::{SpanRecord, Tracer};

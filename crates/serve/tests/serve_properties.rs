@@ -1,0 +1,251 @@
+//! Property and end-to-end tests of the serving subsystem: batcher
+//! invariants under random arrival sequences, replica determinism, the
+//! batch-size-vs-latency tradeoff, and deterministic shedding.
+
+use picasso_data::DatasetSpec;
+use picasso_exec::{prepare_serving, ModelKind, ServingPlan, TrainerOptions};
+use picasso_serve::{serve, BatchPolicy, Batcher, QueuedRequest, ReplicaConfig};
+use picasso_sim::TrafficPlan;
+use proptest::prelude::*;
+
+/// One dispatched request as observed by [`drive`]: `(seq, arrival,
+/// dispatched_at, batch_len, server_free_at)`, where `server_free_at` is
+/// the time the server last became free before this dispatch.
+type DriveRow = (u64, u64, u64, usize, u64);
+
+/// Drives a batcher through a full arrival sequence the way the replica
+/// event loop does: batches are formed at dispatch time, the instant the
+/// (simulated) server is idle and the batcher is ready. `service_ns`
+/// models the server occupancy per dispatched batch.
+fn drive(policy: BatchPolicy, arrivals: &[(u64, u64)], service_ns: u64) -> Vec<DriveRow> {
+    let mut b = Batcher::new(policy);
+    let mut out = Vec::new();
+    let mut busy_until: Option<u64> = None;
+    let mut free_at = 0u64; // when the server last became free
+    let mut i = 0;
+    loop {
+        let t_done = busy_until;
+        let t_deadline = if busy_until.is_none() {
+            b.deadline_ns()
+        } else {
+            None
+        };
+        let t_arrival = arrivals.get(i).map(|&(_, at)| at);
+        let Some(t) = [t_done, t_deadline, t_arrival]
+            .iter()
+            .flatten()
+            .min()
+            .copied()
+        else {
+            break;
+        };
+        // Completion before deadline before arrival on ties, mirroring the
+        // replica loop.
+        if t_done == Some(t) {
+            busy_until = None;
+            free_at = t;
+        } else if t_deadline != Some(t) {
+            let (seq, at) = arrivals[i];
+            i += 1;
+            b.push(QueuedRequest {
+                seq,
+                at_ns: at,
+                ids: vec![seq],
+            });
+        }
+        if busy_until.is_none() && b.ready(t) {
+            let batch = b.take(t).expect("ready implies pending");
+            for r in &batch.requests {
+                out.push((r.seq, r.at_ns, t, batch.len(), free_at));
+            }
+            busy_until = Some(t + service_ns);
+        }
+    }
+    out
+}
+
+fn arrival_strategy() -> impl Strategy<Value = Vec<u64>> {
+    // Inter-arrival gaps; cumulative sum gives nondecreasing arrival times.
+    proptest::collection::vec(0u64..2_000, 1..300)
+}
+
+proptest! {
+    /// Batcher invariants: a batch never exceeds `max_batch`; no request
+    /// is dispatched before it arrived; once the server is free, no
+    /// request lingers beyond its bound (with an always-free server —
+    /// `service_ns == 0` is in range — that is exactly "no request waits
+    /// longer than the linger bound"); every request is dispatched exactly
+    /// once, in arrival order.
+    #[test]
+    fn batcher_honors_size_and_linger_bounds(
+        gaps in arrival_strategy(),
+        max_batch in 1usize..32,
+        linger in 1u64..5_000,
+        service_ns in 0u64..20_000,
+    ) {
+        let mut at = 0u64;
+        let arrivals: Vec<(u64, u64)> = gaps
+            .iter()
+            .enumerate()
+            .map(|(i, &g)| {
+                at += g;
+                (i as u64, at)
+            })
+            .collect();
+        let rows = drive(
+            BatchPolicy { max_batch, max_linger_ns: linger },
+            &arrivals,
+            service_ns,
+        );
+        prop_assert_eq!(rows.len(), arrivals.len(), "every request dispatched once");
+        let mut seen: Vec<u64> = rows.iter().map(|&(seq, ..)| seq).collect();
+        let sorted = { let mut s = seen.clone(); s.sort_unstable(); s };
+        prop_assert_eq!(&seen, &sorted, "dispatched in arrival order");
+        seen.dedup();
+        prop_assert_eq!(seen.len(), arrivals.len());
+        for &(seq, arrived, dispatched, n, free_at) in &rows {
+            prop_assert!(n <= max_batch, "batch of {n} exceeds max {max_batch}");
+            prop_assert!(dispatched >= arrived, "request {seq} dispatched before arrival");
+            let bound = (arrived + linger).max(free_at);
+            prop_assert!(
+                dispatched <= bound,
+                "request {seq} (arrived {}) dispatched at {} past its bound {} \
+                 (linger {}, server free at {})",
+                arrived,
+                dispatched,
+                bound,
+                linger,
+                free_at
+            );
+        }
+    }
+}
+
+fn plan(queue_capacity: Option<usize>) -> ServingPlan {
+    let data = DatasetSpec::criteo().shared();
+    let opts = TrainerOptions {
+        batch_per_executor: Some(256),
+        ..Default::default()
+    };
+    prepare_serving(
+        ModelKind::WideDeep,
+        &data,
+        picasso_exec::Strategy::Hybrid,
+        &opts,
+        queue_capacity,
+    )
+    .expect("serving plan")
+}
+
+fn traffic(seed: u64) -> TrafficPlan {
+    format!("seed={seed};poisson@20000;users=200000;zipf=105;ids=8;reqs=4000")
+        .parse()
+        .expect("valid plan")
+}
+
+#[test]
+fn same_seed_runs_produce_bit_identical_reports() {
+    let plan = plan(Some(4096));
+    let cfg = ReplicaConfig::default();
+    let a = serve(&plan, &traffic(7), &cfg, "det");
+    let b = serve(&plan, &traffic(7), &cfg, "det");
+    assert_eq!(a.report, b.report);
+    assert_eq!(a.report.digest(), b.report.digest());
+    assert_eq!(
+        a.report.to_json().to_string(),
+        b.report.to_json().to_string()
+    );
+    let c = serve(&plan, &traffic(8), &cfg, "det");
+    assert_ne!(a.report.digest(), c.report.digest(), "seed must matter");
+}
+
+#[test]
+fn larger_batches_raise_tail_latency_and_service_capacity() {
+    let plan = plan(Some(4096));
+    // The analytic forward latency has a ~46 ms per-batch launch-overhead
+    // floor, so capacity ≈ batch / 46 ms. At 2 500 rps both operating
+    // points below are queue-stable (capacities ~5 500 and ~21 000 rps),
+    // which is what makes the comparison meaningful: the long-linger
+    // config trades tail latency for bigger batches rather than simply
+    // melting down.
+    let tradeoff_traffic: TrafficPlan =
+        "seed=17;poisson@2500;users=200000;zipf=105;ids=8;reqs=6000"
+            .parse()
+            .unwrap();
+    let small = ReplicaConfig {
+        policy: BatchPolicy {
+            max_batch: 256,
+            max_linger_ns: 1_000_000, // 1 ms
+        },
+        ..ReplicaConfig::default()
+    };
+    let large = ReplicaConfig {
+        policy: BatchPolicy {
+            max_batch: 1024,
+            max_linger_ns: 100_000_000, // 100 ms
+        },
+        ..ReplicaConfig::default()
+    };
+    let s = serve(&plan, &tradeoff_traffic, &small, "small").report;
+    let l = serve(&plan, &tradeoff_traffic, &large, "large").report;
+    assert!(
+        l.p99_ns > s.p99_ns,
+        "large-batch p99 {} must exceed small-batch p99 {}",
+        l.p99_ns,
+        s.p99_ns
+    );
+    assert!(
+        l.capacity_rps() > s.capacity_rps(),
+        "large-batch capacity {:.0} rps must exceed small-batch {:.0} rps",
+        l.capacity_rps(),
+        s.capacity_rps()
+    );
+    assert!(l.mean_batch() > s.mean_batch());
+    assert_eq!(s.shed, 0);
+    assert_eq!(l.shed, 0);
+}
+
+#[test]
+fn tiny_admission_bound_sheds_deterministically_and_caps_the_queue() {
+    let plan = plan(Some(16));
+    let cfg = ReplicaConfig {
+        queue_capacity: Some(16),
+        policy: BatchPolicy {
+            max_batch: 4,
+            max_linger_ns: 1_000_000,
+        },
+        ..ReplicaConfig::default()
+    };
+    // Offered load far above capacity at this batch size.
+    let t: TrafficPlan = "seed=3;poisson@200000;users=50000;zipf=105;ids=8;reqs=4000"
+        .parse()
+        .unwrap();
+    let a = serve(&plan, &t, &cfg, "shed").report;
+    let b = serve(&plan, &t, &cfg, "shed").report;
+    assert_eq!(a, b, "shedding must be deterministic");
+    assert!(a.shed > 0, "overload must shed");
+    assert_eq!(a.served + a.shed, a.requests);
+    assert!(
+        a.max_queue_depth <= 16,
+        "queue depth {} exceeded admission bound",
+        a.max_queue_depth
+    );
+    assert_eq!(a.slo_ns, cfg.slo_ns);
+}
+
+#[test]
+fn serving_cache_serves_hot_traffic_from_hot_storage() {
+    let plan = plan(Some(4096));
+    let cfg = ReplicaConfig::default();
+    // Heavily skewed users: the hot set fits the 4 MB cache easily.
+    let t: TrafficPlan = "seed=11;poisson@20000;users=1000000;zipf=120;ids=8;reqs=6000"
+        .parse()
+        .unwrap();
+    let r = serve(&plan, &t, &cfg, "cache").report;
+    assert!(r.cache_hot_hits + r.cache_cold_hits > 0, "cache exercised");
+    assert!(
+        r.cache_hit_ratio() > 0.3,
+        "skewed traffic should hit hot storage, got {:.3}",
+        r.cache_hit_ratio()
+    );
+}

@@ -42,6 +42,7 @@ pub mod resource;
 pub mod time;
 pub mod topology;
 pub mod trace;
+pub mod traffic;
 
 pub use engine::{Binding, Engine, EngineError, RunResult, Task, TaskCategory, TaskId, TaskRecord};
 pub use fault::{FaultEvent, FaultKind, FaultPlan};
@@ -55,3 +56,4 @@ pub use resource::{CongestionSpec, ResourceId, ResourceKind, ResourceSpec};
 pub use time::{SimDuration, SimTime};
 pub use topology::{Cluster, ExecutorHandles, GpuSpec, MachineSpec, OverheadSpec, ServerHandles};
 pub use trace::to_chrome_trace;
+pub use traffic::{ArrivalProcess, Request, TrafficGen, TrafficPlan};
